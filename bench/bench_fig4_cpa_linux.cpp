@@ -1,0 +1,154 @@
+// Experiment F4 — reproduces Figure 4 of the paper: "CPA against AES
+// running on Linux, employing the Hamming distance between two byte-long
+// stores" in SubBytes.
+//
+// Environment model: the second core runs a saturated webserver (random-
+// walk activity), the scheduler preempts at will (bursts), nothing is
+// clock-gated — usca::power::os_noise_config.  As in the paper, only 100
+// traces are used, each the average of 16 executions of the same input.
+//
+// Attack model (micro-architecture aware): the store data of consecutive
+// SubBytes strb instructions shares the IS/EX operand bus and the memory
+// path, so HD(sbox[pt0 ^ k0], sbox[pt1 ^ k1]) leaks.  The attack recovers
+// k0 assuming k1 from the preceding chained attack step (the paper's
+// model likewise combines two consecutive stores).
+//
+// Defaults: traces=100, averaging=16 — the paper's exact campaign size.
+#include <cmath>
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "crypto/aes_codegen.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+#include "stats/cpa.h"
+#include "stats/pearson.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+
+int main(int argc, char** argv) {
+  const bench::arg_map args(argc, argv);
+  const std::size_t traces = args.get_size("traces", 100);
+  const int averaging = static_cast<int>(args.get_size("averaging", 16));
+  const std::uint64_t seed = args.get_size("seed", 0xf16'4);
+
+  std::printf("== Figure 4: CPA on AES under Linux load, model = "
+              "HD(two consecutive SubBytes byte stores) ==\n");
+  std::printf("   traces=%zu (avg of %d executions each), OS noise "
+              "enabled\n\n",
+              traces, averaging);
+
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  const crypto::aes_key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                               0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                               0x09, 0xcf, 0x4f, 0x3c};
+  const crypto::aes_round_keys rk = crypto::expand_key(key);
+
+  power::synthesis_config power_config;
+  power_config.os_noise.enabled = true; // the loaded-Linux environment
+  power::trace_synthesizer synth(power_config, seed);
+  util::xoshiro256 rng(seed ^ 0x7654321);
+
+  // Window: the SubBytes phase of round 1 (where the byte stores live).
+  stats::cpa_engine cpa(0, 0);
+  bool ready = false;
+
+  std::uint64_t sb_begin = 0;
+  std::uint64_t sb_end = 0;
+  const auto add_traces = [&](std::size_t count) {
+    for (std::size_t t = 0; t < count; ++t) {
+      crypto::aes_block pt;
+      for (auto& b : pt) {
+        b = rng.next_u8();
+      }
+      sim::pipeline pipe(layout.prog, sim::cortex_a7());
+      crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
+      pipe.warm_caches();
+      pipe.run();
+      for (const auto& m : pipe.marks()) {
+        if (m.id == crypto::mark_ark0_end) {
+          sb_begin = m.cycle;
+        } else if (m.id == crypto::mark_sb1_end) {
+          sb_end = m.cycle;
+        }
+      }
+      const power::trace trace = synth.synthesize_averaged(
+          pipe.activity(), static_cast<std::uint32_t>(sb_begin),
+          static_cast<std::uint32_t>(sb_end), averaging);
+      if (!ready) {
+        cpa = stats::cpa_engine(trace.size(), 256);
+        ready = true;
+      }
+      std::vector<double> hypotheses(256);
+      for (std::size_t g = 0; g < 256; ++g) {
+        const std::uint8_t first = crypto::subbytes_hypothesis(
+            pt[0], static_cast<std::uint8_t>(g));
+        const std::uint8_t second =
+            crypto::subbytes_hypothesis(pt[1], key[1]);
+        hypotheses[g] =
+            static_cast<double>(util::hamming_distance(first, second));
+      }
+      cpa.add_trace(trace, hypotheses);
+    }
+  };
+
+  add_traces(traces);
+  const stats::cpa_result result = cpa.solve();
+  const std::vector<double>& correct = result.corr[key[0]];
+
+  std::printf("correlation vs time (correct key), SubBytes window:\n");
+  std::printf("cycle  corr\n");
+  bench::print_rule(30);
+  double max_abs = 0.0;
+  for (const double c : correct) {
+    max_abs = std::max(max_abs, std::fabs(c));
+  }
+  const std::size_t stride = std::max<std::size_t>(1, correct.size() / 60);
+  for (std::size_t s = 0; s < correct.size(); ++s) {
+    const bool peak = std::fabs(correct[s]) > 0.7 * max_abs;
+    if (!peak && s % stride != 0) {
+      continue;
+    }
+    std::printf("%5zu  %+.4f%s\n", s, correct[s], peak ? "  <== peak" : "");
+  }
+
+  const auto best = result.best();
+  const auto wrong = result.best_excluding(key[0]);
+  const double z = result.distinguishing_z(key[0]);
+  std::printf("\nbest guess 0x%02zx (true 0x%02x)\n", best.guess, key[0]);
+  std::printf("|corr| correct %.4f vs best wrong %.4f  (z = %.2f, "
+              ">99%% needs 2.33)\n",
+              std::fabs(result.peak_of(key[0]).corr), std::fabs(wrong.corr),
+              z);
+
+  const bool recovered_at_paper_size = best.guess == key[0];
+  std::printf("\nat the paper's campaign size (%zu traces) the correct key "
+              "%s rank 0%s\n",
+              traces, recovered_at_paper_size ? "holds" : "does NOT hold",
+              z > 2.326 ? " and clears the >99% criterion" : "");
+
+  // Grow the campaign until the Fisher-z distinguishability criterion is
+  // met (measurements-to-confidence).  Note: at rho ~ 0.02 and n = 100,
+  // the paper's own numbers would not clear a Fisher-z 99% test either;
+  // see EXPERIMENTS.md for the discussion.
+  std::size_t total = traces;
+  double z_now = z;
+  while (z_now <= 2.326 && total < 6400) {
+    add_traces(total); // double the campaign
+    total *= 2;
+    z_now = cpa.solve().distinguishing_z(key[0]);
+    std::printf("  extended to %4zu traces: distinguishing z = %.2f\n",
+                total, z_now);
+  }
+  const stats::cpa_result final_result = cpa.solve();
+  std::printf("\nfinal: best guess 0x%02zx after %zu traces, z = %.2f\n",
+              final_result.best().guess, total, z_now);
+  const bool success =
+      recovered_at_paper_size && final_result.best().guess == key[0] &&
+      z_now > 2.326;
+  std::printf("attack %s\n", success ? "SUCCEEDS" : "FAILS");
+  return success ? 0 : 1;
+}

@@ -1,0 +1,171 @@
+// Experiment A3 (extension) — measurements-to-disclosure scaling.
+//
+// Quantifies the practical payoff of micro-architecture-aware modelling
+// that the paper argues for: how many traces does the CPA need before the
+// correct key byte is distinguishable from the best wrong guess at >99%
+// confidence, as a function of (a) the hypothesis model and (b) the
+// measurement environment.
+//
+// Models compared:
+//   * HW(SubBytes out)            — the coarse, micro-architecture-unaware
+//                                   model of Figure 3;
+//   * HD(consecutive SB stores)   — the micro-architecture-aware model of
+//                                   Figure 4 (operand-bus/store-path
+//                                   sharing of consecutive strb data).
+//
+// Environments: bare metal, loaded Linux (synthetic model), loaded Linux
+// with the *simulated* second core.
+//
+// Defaults: max_traces=3200, averaging=16.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.h"
+#include "crypto/aes_codegen.h"
+#include "power/second_core.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+#include "stats/attack_metrics.h"
+#include "stats/cpa.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+
+namespace {
+
+enum class attack_model { hw_subbytes, hd_stores };
+enum class environment { bare, linux_synthetic, linux_simulated };
+
+const char* model_name(attack_model m) {
+  return m == attack_model::hw_subbytes ? "HW(SubBytes)" : "HD(SB stores)";
+}
+
+const char* env_name(environment e) {
+  switch (e) {
+  case environment::bare:
+    return "bare metal";
+  case environment::linux_synthetic:
+    return "Linux (synthetic)";
+  case environment::linux_simulated:
+    return "Linux (simulated core)";
+  }
+  return "?";
+}
+
+/// Pre-collects `max_traces` acquisitions once; sub-campaign z-scores are
+/// then evaluated on prefixes, so the MTD search costs no extra simulation.
+class campaign {
+public:
+  campaign(attack_model model, environment env, std::size_t max_traces,
+           int averaging, std::uint64_t seed)
+      : model_(model) {
+    const crypto::aes_program_layout layout =
+        crypto::generate_aes128_program();
+    key_ = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
+            0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
+    const crypto::aes_round_keys rk = crypto::expand_key(key_);
+
+    power::synthesis_config config;
+    config.os_noise.enabled = env != environment::bare;
+    power::trace_synthesizer synth(config, seed);
+    if (env == environment::linux_simulated) {
+      synth.attach_second_core(std::make_shared<power::second_core_noise>(
+          sim::cortex_a7(), config.weights, seed ^ 0xc0de, 8192));
+    }
+    util::xoshiro256 rng(seed ^ 0xabc);
+
+    for (std::size_t t = 0; t < max_traces; ++t) {
+      crypto::aes_block pt;
+      for (auto& b : pt) {
+        b = rng.next_u8();
+      }
+      sim::pipeline pipe(layout.prog, sim::cortex_a7());
+      crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
+      pipe.warm_caches();
+      pipe.run();
+      std::uint64_t begin = 0;
+      std::uint64_t end = 0;
+      for (const auto& m : pipe.marks()) {
+        if (m.id == crypto::mark_ark0_end) {
+          begin = m.cycle;
+        } else if (m.id == crypto::mark_sb1_end) {
+          end = m.cycle;
+        }
+      }
+      traces_.push_back(synth.synthesize_averaged(
+          pipe.activity(), static_cast<std::uint32_t>(begin),
+          static_cast<std::uint32_t>(end), averaging));
+      plaintexts_.push_back(pt);
+    }
+  }
+
+  double z_at(std::size_t n) const {
+    stats::cpa_engine cpa(traces_.front().size(), 256);
+    std::vector<double> h(256);
+    for (std::size_t t = 0; t < std::min(n, traces_.size()); ++t) {
+      const crypto::aes_block& pt = plaintexts_[t];
+      for (std::size_t g = 0; g < 256; ++g) {
+        const std::uint8_t first = crypto::subbytes_hypothesis(
+            pt[0], static_cast<std::uint8_t>(g));
+        if (model_ == attack_model::hw_subbytes) {
+          h[g] = util::hamming_weight(first);
+        } else {
+          const std::uint8_t second =
+              crypto::subbytes_hypothesis(pt[1], key_[1]);
+          h[g] = util::hamming_distance(first, second);
+        }
+      }
+      cpa.add_trace(traces_[t], h);
+    }
+    return cpa.solve().distinguishing_z(key_[0]);
+  }
+
+private:
+  attack_model model_;
+  crypto::aes_key key_{};
+  std::vector<power::trace> traces_;
+  std::vector<crypto::aes_block> plaintexts_;
+};
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bench::arg_map args(argc, argv);
+  const std::size_t max_traces = args.get_size("max_traces", 3'200);
+  const int averaging = static_cast<int>(args.get_size("averaging", 16));
+  const std::uint64_t seed = args.get_size("seed", 0x111d);
+
+  std::printf("== A3: measurements-to-disclosure (traces until the correct "
+              "key clears 99%%) ==\n");
+  std::printf("   window: round-1 SubBytes; cap %zu traces\n\n", max_traces);
+  std::printf("%-16s %-24s %s\n", "model", "environment",
+              "traces to >99% disclosure");
+  bench::print_rule(66);
+
+  for (const attack_model model :
+       {attack_model::hw_subbytes, attack_model::hd_stores}) {
+    for (const environment env :
+         {environment::bare, environment::linux_synthetic,
+          environment::linux_simulated}) {
+      const campaign c(model, env, max_traces, averaging, seed);
+      const std::size_t mtd = stats::measurements_to_disclosure(
+          [&](std::size_t n) { return c.z_at(n); }, 2.326, 25, max_traces);
+      if (mtd >= max_traces && c.z_at(max_traces) <= 2.326) {
+        std::printf("%-16s %-24s > %zu (not disclosed)\n", model_name(model),
+                    env_name(env), max_traces);
+      } else {
+        std::printf("%-16s %-24s %zu\n", model_name(model), env_name(env),
+                    mtd);
+      }
+    }
+  }
+
+  std::printf("\nexpected shape: the micro-architecture-aware HD model in "
+              "the SubBytes window\ndiscloses with fewer traces than the "
+              "coarse HW model there, and noise multiplies\nthe requirement "
+              "in every case.\n");
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Experiment H2 (extension) — portable side-channel security.
+//
+// The paper's introduction motivates the whole study with portability:
+// "guaranteeing that a software side-channel resistant library preserves
+// both its functional properties, and its side-channel security when
+// executed on different, ISA-compliant, processors".  This bench
+// demonstrates the failure mode concretely:
+//
+//     eor r1, r2, r3        ; r2 = share a0, r3 = mask
+//     eor r5, r4, #0x55     ; r4 = share a1
+//
+// On the Cortex-A7 the pair dual-issues (ALU + ALU-imm), so a0 and a1
+// travel different operand buses: the gadget is clean.  On a scalar,
+// ISA-compatible core the same two instructions issue back-to-back over
+// the same bus: HD(a0, a1) = HW(a) leaks.  The static scanner, the
+// taint-aware hardening pass and dynamic measurement all agree — and the
+// pass produces a binary that is clean on *both* cores.
+#include <cmath>
+#include <cstdio>
+
+#include "asmx/assembler.h"
+#include "bench_util.h"
+#include "core/leakage_aware_scheduler.h"
+#include "isa/disasm.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+#include "stats/pearson.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+using isa::reg;
+
+namespace {
+
+double hw_secret_correlation(const asmx::program& prog,
+                             const sim::micro_arch_config& config,
+                             std::uint64_t seed) {
+  const std::size_t trials = 8'000;
+  util::xoshiro256 rng(seed);
+  power::trace_synthesizer synth(power::synthesis_config{}, seed ^ 0xace);
+  std::vector<double> model;
+  std::vector<power::trace> traces;
+  std::size_t samples = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    sim::pipeline pipe(prog, config);
+    const std::uint32_t secret = rng.next_u32();
+    const std::uint32_t mask = rng.next_u32();
+    pipe.state().set_reg(reg::r2, secret ^ mask); // a0
+    pipe.state().set_reg(reg::r3, rng.next_u32());
+    pipe.state().set_reg(reg::r4, mask);          // a1
+    pipe.warm_caches();
+    pipe.run();
+    traces.push_back(synth.synthesize(
+        pipe.activity(), 0, static_cast<std::uint32_t>(pipe.cycles() + 4)));
+    samples = traces.back().size();
+    model.push_back(static_cast<double>(util::hamming_weight(secret)));
+  }
+  double best = 0.0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    stats::pearson_accumulator acc;
+    for (std::size_t t = 0; t < trials; ++t) {
+      acc.add(model[t], traces[t][s]);
+    }
+    best = std::max(best, std::fabs(acc.correlation()));
+  }
+  return best;
+}
+
+void report_line(const char* program_name, const char* core,
+                 std::size_t static_findings, double corr,
+                 double threshold) {
+  std::printf("  %-22s %-12s %zu%-18s %.4f  %s\n", program_name, core,
+              static_findings, " static finding(s)", corr,
+              corr > threshold ? "LEAKS" : "clean");
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const bench::arg_map args(argc, argv);
+  (void)args;
+  std::printf("== H2: portable side-channel security across ISA-compatible "
+              "cores ==\n\n");
+
+  const asmx::program gadget = asmx::assemble("eor r1, r2, r3\n"
+                                              "eor r5, r4, #0x55\n"
+                                              "halt\n");
+  std::printf("gadget (r2/r4 = shares of the secret, r3 = fresh mask):\n");
+  for (std::size_t i = 0; i < gadget.code.size(); ++i) {
+    std::printf("  %zu: %s\n", i, isa::disassemble(gadget.code[i]).c_str());
+  }
+  std::printf("\n");
+
+  const sim::micro_arch_config a7 = sim::cortex_a7();
+  const sim::micro_arch_config scalar = sim::cortex_a7_scalar();
+  const std::set<reg> shares = {reg::r2, reg::r4};
+  const core::leakage_aware_scheduler on_a7(a7);
+  const core::leakage_aware_scheduler on_scalar(scalar);
+  const double threshold = stats::significance_threshold(8'000, 0.995);
+
+  std::printf("  %-22s %-12s %-20s %-7s\n", "program", "core", "scan",
+              "max |corr(HW(a))|");
+  bench::print_rule(74);
+  report_line("original", "Cortex-A7", on_a7.secret_findings(gadget, shares),
+              hw_secret_correlation(gadget, a7, 31), threshold);
+  report_line("original", "scalar",
+              on_scalar.secret_findings(gadget, shares),
+              hw_secret_correlation(gadget, scalar, 31), threshold);
+
+  // Harden for the *scalar* worst case; the result must stay clean on the
+  // dual-issue core too (it only adds separation).
+  core::hardening_options options;
+  options.secret_registers = shares;
+  const core::hardening_result hardened = on_scalar.harden(gadget, options);
+  std::printf("\nhardening for the scalar core: %zu -> %zu finding(s) "
+              "(%d swap(s), %d reorder(s), %d separator(s))\n\n",
+              hardened.findings_before, hardened.findings_after,
+              hardened.swaps, hardened.reorders, hardened.separators);
+
+  report_line("hardened", "scalar",
+              on_scalar.secret_findings(hardened.hardened, shares),
+              hw_secret_correlation(hardened.hardened, scalar, 31),
+              threshold);
+  report_line("hardened", "Cortex-A7",
+              on_a7.secret_findings(hardened.hardened, shares),
+              hw_secret_correlation(hardened.hardened, a7, 31), threshold);
+
+  std::printf("\nconclusion: dual-issue separated the shares on the A7; the "
+              "identical binary\nrecombined them on a scalar ISA-compatible "
+              "core.  Side-channel security does\nnot port across "
+              "micro-architectures — the paper's central warning.\n");
+
+  const bool shape_ok =
+      on_a7.secret_findings(gadget, shares) == 0 &&
+      on_scalar.secret_findings(gadget, shares) > 0 &&
+      on_scalar.secret_findings(hardened.hardened, shares) == 0;
+  return shape_ok ? 0 : 1;
+}

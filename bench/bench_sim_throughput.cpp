@@ -1,0 +1,135 @@
+// Experiment P1 — engineering throughput of the simulation stack
+// (google-benchmark).  These numbers bound the wall-clock cost of the
+// paper-scale campaigns (100k traces).
+#include <benchmark/benchmark.h>
+
+#include "asmx/program.h"
+#include "crypto/aes_codegen.h"
+#include "power/synthesizer.h"
+#include "sim/functional_executor.h"
+#include "sim/pipeline.h"
+#include "stats/cpa.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+
+namespace {
+
+asmx::program make_alu_loop(int instructions) {
+  asmx::program_builder b;
+  for (int i = 0; i < instructions; ++i) {
+    b.emit(isa::ins::add(isa::reg::r1, isa::reg::r2, isa::reg::r3));
+    b.emit(isa::ins::eor(isa::reg::r4, isa::reg::r5, isa::reg::r6));
+  }
+  return b.build();
+}
+
+void BM_FunctionalExecutorMips(benchmark::State& state) {
+  const asmx::program prog = make_alu_loop(2'000);
+  for (auto _ : state) {
+    sim::functional_executor exec(prog);
+    exec.run();
+    benchmark::DoNotOptimize(exec.state().regs[1]);
+  }
+  state.SetItemsProcessed(state.iterations() * 4'001);
+}
+BENCHMARK(BM_FunctionalExecutorMips);
+
+void BM_PipelineCyclesPerSecond(benchmark::State& state) {
+  const asmx::program prog = make_alu_loop(2'000);
+  const bool record = state.range(0) != 0;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    sim::pipeline pipe(prog, sim::cortex_a7());
+    pipe.set_record_activity(record);
+    pipe.warm_caches();
+    pipe.run();
+    cycles += pipe.cycles();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+  state.SetLabel(record ? "activity recorded" : "timing only");
+}
+BENCHMARK(BM_PipelineCyclesPerSecond)->Arg(0)->Arg(1);
+
+void BM_AesEncryptionOnPipeline(benchmark::State& state) {
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  const crypto::aes_round_keys rk = crypto::expand_key(crypto::aes_key{});
+  util::xoshiro256 rng(1);
+  for (auto _ : state) {
+    crypto::aes_block pt;
+    for (auto& b : pt) {
+      b = rng.next_u8();
+    }
+    sim::pipeline pipe(layout.prog, sim::cortex_a7());
+    crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
+    pipe.warm_caches();
+    pipe.run();
+    benchmark::DoNotOptimize(pipe.cycles());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetLabel("one AES-128 block, activity recorded");
+}
+BENCHMARK(BM_AesEncryptionOnPipeline);
+
+void BM_TraceSynthesis(benchmark::State& state) {
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  const crypto::aes_round_keys rk = crypto::expand_key(crypto::aes_key{});
+  sim::pipeline pipe(layout.prog, sim::cortex_a7());
+  crypto::install_aes_inputs(pipe.memory(), layout, rk, crypto::aes_block{});
+  pipe.warm_caches();
+  pipe.run();
+  power::trace_synthesizer synth(power::synthesis_config{}, 3);
+  const auto end = static_cast<std::uint32_t>(pipe.cycles());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        synth.synthesize_averaged(pipe.activity(), 0, end, 16));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceSynthesis);
+
+void BM_CpaSolvePartitioned(benchmark::State& state) {
+  const std::size_t samples = 300;
+  stats::partitioned_cpa cpa(samples);
+  util::xoshiro256 rng(4);
+  std::vector<double> trace(samples);
+  for (int t = 0; t < 2'000; ++t) {
+    for (auto& v : trace) {
+      v = rng.next_gaussian();
+    }
+    cpa.add_trace(rng.next_u8(), trace);
+  }
+  const auto model = [](std::size_t g, std::size_t p) {
+    return static_cast<double>(
+        util::hamming_weight(static_cast<std::uint32_t>(g ^ p)));
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cpa.solve(model, 256));
+  }
+  state.SetLabel("2000 traces x 300 samples x 256 guesses");
+}
+BENCHMARK(BM_CpaSolvePartitioned);
+
+void BM_CpaAddTraceNaive(benchmark::State& state) {
+  const std::size_t samples = 300;
+  stats::cpa_engine cpa(samples, 256);
+  util::xoshiro256 rng(5);
+  std::vector<double> trace(samples);
+  std::vector<double> hypotheses(256);
+  for (auto& h : hypotheses) {
+    h = rng.next_double();
+  }
+  for (auto& v : trace) {
+    v = rng.next_gaussian();
+  }
+  for (auto _ : state) {
+    cpa.add_trace(trace, hypotheses);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CpaAddTraceNaive);
+
+} // namespace
+
+BENCHMARK_MAIN();

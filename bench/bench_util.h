@@ -1,0 +1,54 @@
+// Shared helpers for the experiment harnesses: a small key=value command
+// line parser (every bench runs standalone with sensible defaults) and
+// ASCII table rendering.
+#ifndef USCA_BENCH_BENCH_UTIL_H
+#define USCA_BENCH_BENCH_UTIL_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+
+namespace usca::bench {
+
+/// Parses "key=value" arguments; unknown keys abort with a usage hint.
+class arg_map {
+public:
+  arg_map(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const std::size_t eq = arg.find('=');
+      if (eq == std::string::npos) {
+        std::fprintf(stderr, "usage: %s [key=value]...\n", argv[0]);
+        std::exit(2);
+      }
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end()
+               ? fallback
+               : static_cast<std::size_t>(std::stoull(it->second));
+  }
+
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::stod(it->second);
+  }
+
+private:
+  std::map<std::string, std::string> values_;
+};
+
+inline void print_rule(int width) {
+  for (int i = 0; i < width; ++i) {
+    std::putchar('-');
+  }
+  std::putchar('\n');
+}
+
+} // namespace usca::bench
+
+#endif // USCA_BENCH_BENCH_UTIL_H

@@ -1,0 +1,95 @@
+// End-to-end CPA attack demo against the generated AES-128 running on the
+// simulated Cortex-A7 (a compact version of the paper's Section 5).
+//
+// Recovers key byte 0 from synthesized power traces with the coarse
+// Hamming-weight-of-SubBytes-output model and prints the top candidates.
+#include <cmath>
+#include <cstdio>
+
+#include "crypto/aes_codegen.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+#include "stats/cpa.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+
+int main() {
+  const std::size_t traces = 1'000;
+  std::printf("== CPA attack on simulated AES-128 (key byte 0, %zu traces) "
+              "==\n\n",
+              traces);
+
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  const crypto::aes_key key = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23,
+                               0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+                               0x10, 0x32, 0x54, 0x76};
+  const crypto::aes_round_keys rk = crypto::expand_key(key);
+
+  power::trace_synthesizer synth(power::synthesis_config{}, 7);
+  util::xoshiro256 rng(42);
+
+  stats::partitioned_cpa cpa(0);
+  bool ready = false;
+  for (std::size_t t = 0; t < traces; ++t) {
+    crypto::aes_block pt;
+    for (auto& b : pt) {
+      b = rng.next_u8();
+    }
+    sim::pipeline pipe(layout.prog, sim::cortex_a7());
+    crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
+    pipe.warm_caches();
+    pipe.run();
+
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    for (const auto& m : pipe.marks()) {
+      if (m.id == crypto::mark_encrypt_begin) {
+        begin = static_cast<std::uint32_t>(m.cycle);
+      } else if (m.id == crypto::mark_round1_end) {
+        end = static_cast<std::uint32_t>(m.cycle);
+      }
+    }
+    const power::trace trace =
+        synth.synthesize_averaged(pipe.activity(), begin, end, 8);
+    if (!ready) {
+      cpa = stats::partitioned_cpa(trace.size());
+      ready = true;
+    }
+    cpa.add_trace(pt[0], trace);
+    if ((t + 1) % 250 == 0) {
+      std::printf("  collected %zu traces...\n", t + 1);
+    }
+  }
+
+  const stats::cpa_result result = cpa.solve(
+      [](std::size_t guess, std::size_t pt_byte) {
+        return static_cast<double>(util::hamming_weight(
+            crypto::subbytes_hypothesis(static_cast<std::uint8_t>(pt_byte),
+                                        static_cast<std::uint8_t>(guess))));
+      },
+      256);
+
+  // Rank all guesses by their correlation peak.
+  std::vector<std::size_t> order(256);
+  for (std::size_t g = 0; g < 256; ++g) {
+    order[g] = g;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::fabs(result.peak_of(a).corr) >
+           std::fabs(result.peak_of(b).corr);
+  });
+
+  std::printf("\ntop-5 key guesses:\n");
+  for (int i = 0; i < 5; ++i) {
+    const auto peak = result.peak_of(order[static_cast<std::size_t>(i)]);
+    std::printf("  %d. guess 0x%02zx  |corr| %.4f at cycle %zu%s\n", i + 1,
+                peak.guess, std::fabs(peak.corr), peak.sample,
+                peak.guess == key[0] ? "   <== true key byte" : "");
+  }
+  std::printf("\ndistinguishing z-score of the true key: %.2f "
+              "(>2.33 = 99%% confidence)\n",
+              result.distinguishing_z(key[0]));
+  return result.best().guess == key[0] ? 0 : 1;
+}

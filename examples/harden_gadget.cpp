@@ -1,0 +1,129 @@
+// The complete defensive loop of the paper's proposal: statically detect
+// micro-architectural share combinations in a masked gadget, let the
+// leakage-aware scheduling pass rewrite the code, and *dynamically verify*
+// on the pipeline that the secret-dependent correlations are gone.
+//
+// Gadget: first-order masked XOR, c = a ^ b with a = a0^a1, b = b0^b1:
+//
+//     eor r1, r2, r4      ; c0 = a0 ^ b0
+//     eor r5, r3, r6      ; c1 = a1 ^ b1
+//
+// Each share is uniform, each instruction is first-order secure — yet on
+// the modelled Cortex-A7 the first-operand bus combines a0 with a1
+// (leaking HW(a)) and the write-back buffer combines c0 with c1 (leaking
+// HW(a ^ b)).  Neither combination is visible at ISA level.
+#include <cmath>
+#include <cstdio>
+
+#include "asmx/assembler.h"
+#include "core/leakage_aware_scheduler.h"
+#include "isa/disasm.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+#include "stats/pearson.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+using isa::reg;
+
+namespace {
+
+void print_program(const char* title, const asmx::program& prog) {
+  std::printf("%s\n", title);
+  for (std::size_t i = 0; i < prog.code.size(); ++i) {
+    std::printf("  %2zu: %s\n", i, isa::disassemble(prog.code[i]).c_str());
+  }
+}
+
+struct leak_probe {
+  double hw_a = 0.0;     ///< max |corr| of HW(a) = HD(a0, a1)
+  double hw_a_xor_b = 0.0; ///< max |corr| of HW(a^b) = HD(c0, c1)
+};
+
+leak_probe probe(const asmx::program& prog, std::uint64_t seed) {
+  const std::size_t trials = 8'000;
+  util::xoshiro256 rng(seed);
+  power::trace_synthesizer synth(power::synthesis_config{}, seed ^ 0xf00);
+
+  std::vector<double> model_a;
+  std::vector<double> model_c;
+  std::vector<power::trace> traces;
+  std::size_t samples = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    sim::pipeline pipe(prog, sim::cortex_a7());
+    const std::uint32_t a = rng.next_u32();
+    const std::uint32_t b = rng.next_u32();
+    const std::uint32_t mask_a = rng.next_u32();
+    const std::uint32_t mask_b = rng.next_u32();
+    pipe.state().set_reg(reg::r2, a ^ mask_a); // a0
+    pipe.state().set_reg(reg::r3, mask_a);     // a1
+    pipe.state().set_reg(reg::r4, b ^ mask_b); // b0
+    pipe.state().set_reg(reg::r6, mask_b);     // b1
+    pipe.warm_caches();
+    pipe.run();
+    traces.push_back(synth.synthesize(
+        pipe.activity(), 0, static_cast<std::uint32_t>(pipe.cycles() + 4)));
+    samples = traces.back().size();
+    model_a.push_back(static_cast<double>(util::hamming_weight(a)));
+    model_c.push_back(static_cast<double>(util::hamming_weight(a ^ b)));
+  }
+  leak_probe out;
+  for (std::size_t s = 0; s < samples; ++s) {
+    stats::pearson_accumulator acc_a;
+    stats::pearson_accumulator acc_c;
+    for (std::size_t t = 0; t < trials; ++t) {
+      acc_a.add(model_a[t], traces[t][s]);
+      acc_c.add(model_c[t], traces[t][s]);
+    }
+    out.hw_a = std::max(out.hw_a, std::fabs(acc_a.correlation()));
+    out.hw_a_xor_b =
+        std::max(out.hw_a_xor_b, std::fabs(acc_c.correlation()));
+  }
+  return out;
+}
+
+const char* verdict(double corr, double threshold) {
+  return corr > threshold ? "LEAKS" : "clean";
+}
+
+} // namespace
+
+int main() {
+  std::printf("== leakage-aware hardening of a masked XOR gadget ==\n\n");
+  const asmx::program original = asmx::assemble("eor r1, r2, r4\n"
+                                                "eor r5, r3, r6\n"
+                                                "halt\n");
+  print_program("original gadget (r2/r3 = shares of a, r4/r6 = shares of b):",
+                original);
+
+  const core::leakage_aware_scheduler scheduler(sim::cortex_a7());
+  core::hardening_options options;
+  options.secret_registers = {reg::r2, reg::r3, reg::r4, reg::r6};
+  const core::hardening_result result = scheduler.harden(original, options);
+
+  std::printf("\nstatic scan: %zu secret combination(s) before, %zu after "
+              "(%d swap(s), %d reorder(s), %d separator(s))\n\n",
+              result.findings_before, result.findings_after, result.swaps,
+              result.reorders, result.separators);
+  print_program("hardened gadget:", result.hardened);
+
+  std::printf("\ndynamic verification (8k traces):\n");
+  const double threshold = stats::significance_threshold(8'000, 0.995);
+  const leak_probe before = probe(original, 21);
+  const leak_probe after = probe(result.hardened, 21);
+  std::printf("  model        original   hardened\n");
+  std::printf("  HW(a)        %.4f %-7s %.4f %s\n", before.hw_a,
+              verdict(before.hw_a, threshold), after.hw_a,
+              verdict(after.hw_a, threshold));
+  std::printf("  HW(a^b)      %.4f %-7s %.4f %s\n", before.hw_a_xor_b,
+              verdict(before.hw_a_xor_b, threshold), after.hw_a_xor_b,
+              verdict(after.hw_a_xor_b, threshold));
+  std::printf("\nBoth combinations predicted by the scanner are real on the\n"
+              "pipeline (operand bus: HW(a); write-back buffer: HW(a^b)),\n"
+              "and the transformed code removes them.\n");
+  const bool ok = before.hw_a > threshold && before.hw_a_xor_b > threshold &&
+                  after.hw_a < threshold && after.hw_a_xor_b < threshold;
+  std::printf("%s\n", ok ? "HARDENING VERIFIED" : "UNEXPECTED OUTCOME");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+// Static leakage scanning of a masked implementation (the Section 4.2
+// toolchain use case).
+//
+// A first-order masked xor gadget is scanned under the Cortex-A7 model.
+// The scanner reports that the two shares of the secret are combined by
+// the IS/EX operand bus — a leak invisible to ISA-level reasoning — and
+// shows that swapping the operands of one (commutative!) instruction
+// changes the leakage, exactly the pitfall the paper warns about.
+#include <cstdio>
+
+#include "asmx/assembler.h"
+#include "core/leakage_scanner.h"
+
+using namespace usca;
+
+namespace {
+
+void scan_and_print(const char* title, const char* source) {
+  std::printf("--- %s ---\n%s\n", title, source);
+  const core::leakage_scanner scanner(sim::cortex_a7());
+  const auto findings = scanner.scan(asmx::assemble(source));
+  if (findings.empty()) {
+    std::printf("  no findings\n\n");
+    return;
+  }
+  for (const auto& f : findings) {
+    std::printf("  %s\n", core::to_string(f).c_str());
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  std::printf("== static micro-architectural leakage scan ==\n\n");
+
+  // r2 = share A of the secret, r4 = share B (secret = A ^ B), r3 = fresh
+  // mask.  Each instruction alone is first-order secure.
+  scan_and_print("masked gadget (original)",
+                 "eor r1, r2, r3\n"
+                 "eor r5, r4, r3\n");
+
+  std::printf("note the operand-bus finding combining r2 (share A) and r4\n"
+              "(share B): the bus transition leaks HD(A, B) = HW(A ^ B) —\n"
+              "the *unmasked secret* — although no instruction ever\n"
+              "computes A ^ B.\n\n");
+
+  // Swapping the commutative operands of the second eor moves share B to
+  // the other bus: now it combines with the mask instead of share A.
+  scan_and_print("masked gadget (operands swapped)",
+                 "eor r1, r2, r3\n"
+                 "eor r5, r3, r4\n");
+
+  std::printf("after the swap the shares no longer meet; the semantically\n"
+              "neutral change is security relevant (Section 4.2).\n\n");
+
+  // Inserting a nop does NOT help: the ALU input latches keep share A
+  // alive across it, and the nop adds Hamming-weight exposure on top.
+  scan_and_print("masked gadget (nop inserted)",
+                 "eor r1, r2, r3\n"
+                 "nop\n"
+                 "eor r5, r4, r3\n");
+
+  // Memory remanence: a sensitive byte parked in memory combines with the
+  // next loaded value inside the LSU.
+  scan_and_print("memory remanence",
+                 "strb r1, [r8]\n"
+                 "ldr  r2, [r9]\n"
+                 "ldrb r3, [r10]\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Micro-architecture exploration demo: what can be learned about an
+// unknown CPU purely from cycle counts (the paper's Section 3 method).
+//
+// Runs the CPI explorer against three configurations — the Cortex-A7
+// model, its scalar ablation, and an "idealized" structurally-limited
+// dual-issue core — and prints the deduced structure for each.
+#include <cstdio>
+
+#include "core/cpi_explorer.h"
+
+using namespace usca;
+
+namespace {
+
+void explore(const char* title, const sim::micro_arch_config& config) {
+  std::printf("=== %s ===\n", title);
+  const core::cpi_explorer explorer(config);
+  std::printf("%s", explorer.infer_structure().to_string().c_str());
+
+  std::printf("dual-issue matrix (rows = older, cols = younger):\n    ");
+  for (std::size_t c = 0; c < core::num_probe_classes; ++c) {
+    std::printf("%-7.6s",
+                std::string(core::probe_class_name(
+                                static_cast<core::probe_class>(c)))
+                    .c_str());
+  }
+  std::printf("\n");
+  const core::dual_issue_matrix matrix = explorer.explore();
+  for (std::size_t r = 0; r < core::num_probe_classes; ++r) {
+    std::printf("%-6.5s",
+                std::string(core::probe_class_name(
+                                static_cast<core::probe_class>(r)))
+                    .c_str());
+    for (std::size_t c = 0; c < core::num_probe_classes; ++c) {
+      std::printf("%-7s", matrix.entry[r][c].dual_issued ? "Y" : ".");
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+} // namespace
+
+int main() {
+  explore("ARM Cortex-A7-like core (the paper's target)", sim::cortex_a7());
+  explore("scalar ablation of the same core", sim::cortex_a7_scalar());
+
+  sim::micro_arch_config ideal = sim::cortex_a7();
+  ideal.policy = sim::issue_policy::structural;
+  explore("idealized core: structural limits only (no issue PLA)", ideal);
+
+  std::printf("Identical ISA, three different issue behaviours: the\n"
+              "micro-architecture is observable from timing alone, and\n"
+              "(per the paper) it determines the side-channel leakage.\n");
+  return 0;
+}

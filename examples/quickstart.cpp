@@ -1,0 +1,91 @@
+// Quickstart: assemble a program, run it on the Cortex-A7-like pipeline,
+// synthesize a power trace, and test a leakage hypothesis.
+//
+// Build & run:  cmake -B build -G Ninja && cmake --build build
+//               ./build/examples/quickstart
+#include <cstdio>
+
+#include "asmx/assembler.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+#include "stats/pearson.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+using namespace usca;
+
+int main() {
+  // 1. Assemble a tiny program: two xors separated by a nop.  At ISA
+  //    level the values of r2 and r5 are unrelated; the pipeline will
+  //    combine them anyway.
+  const asmx::program prog = asmx::assemble(R"(
+      nop
+      nop
+      mark #1
+      eor r1, r2, r3
+      nop
+      eor r4, r5, r6
+      nop
+      nop
+      nop
+      mark #2
+      halt
+  )");
+
+  // 2. Campaign: random inputs per trial, one synthesized trace each.
+  const std::size_t trials = 5'000;
+  util::xoshiro256 rng(2024);
+  power::trace_synthesizer synth(power::synthesis_config{}, 99);
+
+  std::vector<double> model_hd_r2_r5;   // HD between the two first operands
+  std::vector<std::vector<double>> traces;
+  std::size_t samples = 0;
+
+  for (std::size_t t = 0; t < trials; ++t) {
+    sim::pipeline pipe(prog, sim::cortex_a7());
+    const std::uint32_t r2 = rng.next_u32();
+    const std::uint32_t r5 = rng.next_u32();
+    pipe.state().set_reg(isa::reg::r2, r2);
+    pipe.state().set_reg(isa::reg::r3, rng.next_u32());
+    pipe.state().set_reg(isa::reg::r5, r5);
+    pipe.state().set_reg(isa::reg::r6, rng.next_u32());
+    pipe.warm_caches();
+    pipe.run();
+
+    std::uint32_t begin = 0;
+    std::uint32_t end = 0;
+    for (const auto& m : pipe.marks()) {
+      (m.id == 1 ? begin : end) = static_cast<std::uint32_t>(m.cycle);
+    }
+    traces.push_back(synth.synthesize(pipe.activity(), begin, end));
+    samples = traces.back().size();
+    model_hd_r2_r5.push_back(
+        static_cast<double>(util::hamming_distance(r2, r5)));
+  }
+
+  // 3. Correlate the hypothesis "HD(r2, r5)" against every cycle.
+  std::printf("cycle | corr(HD(r2,r5), power)\n");
+  std::printf("------+------------------------\n");
+  double best = 0.0;
+  std::size_t best_cycle = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    stats::pearson_accumulator acc;
+    for (std::size_t t = 0; t < trials; ++t) {
+      acc.add(model_hd_r2_r5[t], traces[t][s]);
+    }
+    const double r = acc.correlation();
+    std::printf("%5zu | %+.4f%s\n", s, r,
+                stats::correlation_significant(r, trials, 0.995)
+                    ? "  <== leaks (>99.5%)"
+                    : "");
+    if (std::abs(r) > std::abs(best)) {
+      best = r;
+      best_cycle = s;
+    }
+  }
+  std::printf("\nThe two xor operands r2 and r5 — algorithmically unrelated "
+              "values —\nare combined by the shared IS/EX operand bus and "
+              "the ALU input latch:\nmax |corr| %.3f at cycle %zu.\n",
+              std::abs(best), best_cycle);
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Line lexer for AL32 assembly source.
+//
+// The assembler is line-oriented (one instruction, label or directive per
+// line); the lexer turns a single line into a token stream.  Comments
+// start with ';', '@' or "//" and run to end of line.
+#ifndef USCA_ASMX_LEXER_H
+#define USCA_ASMX_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usca::asmx {
+
+enum class token_kind : std::uint8_t {
+  identifier, ///< mnemonics, register names, labels, directives (.word)
+  integer,    ///< decimal, 0x hex, 0b binary; value in token::value
+  comma,
+  colon,
+  hash,
+  lbracket,
+  rbracket,
+  lparen,
+  rparen,
+  minus,
+  plus,
+  end, ///< end of line
+};
+
+struct token {
+  token_kind kind = token_kind::end;
+  std::string text;          ///< identifier spelling
+  std::uint32_t value = 0;   ///< integer payload
+  int column = 0;            ///< 1-based column for diagnostics
+};
+
+/// Tokenizes one line.  Throws util::assembly_error on malformed input
+/// (bad number, stray character); `line` is used for the diagnostic.
+std::vector<token> tokenize_line(std::string_view text, int line);
+
+} // namespace usca::asmx
+
+#endif // USCA_ASMX_LEXER_H

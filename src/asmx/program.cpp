@@ -1,0 +1,107 @@
+#include "asmx/program.h"
+
+#include <algorithm>
+
+namespace usca::asmx {
+
+std::optional<std::size_t>
+program::index_of_address(std::uint32_t address) const noexcept {
+  if (address < code_base || (address - code_base) % 4 != 0) {
+    return std::nullopt;
+  }
+  const std::size_t index = (address - code_base) / 4;
+  if (index >= code.size()) {
+    return std::nullopt;
+  }
+  return index;
+}
+
+std::optional<std::uint32_t>
+program::symbol(std::string_view name) const noexcept {
+  const auto it = symbols.find(name);
+  if (it == symbols.end()) {
+    return std::nullopt;
+  }
+  return it->second;
+}
+
+program_builder::program_builder() = default;
+
+std::size_t program_builder::emit(const isa::instruction& ins) {
+  prog_.code.push_back(ins);
+  return prog_.code.size() - 1;
+}
+
+program_builder&
+program_builder::emit_all(const std::vector<isa::instruction>& seq) {
+  for (const auto& ins : seq) {
+    emit(ins);
+  }
+  return *this;
+}
+
+program_builder&
+program_builder::repeat(const std::vector<isa::instruction>& seq, int times) {
+  for (int i = 0; i < times; ++i) {
+    emit_all(seq);
+  }
+  return *this;
+}
+
+program_builder& program_builder::pad_nops(int count) {
+  for (int i = 0; i < count; ++i) {
+    emit(isa::ins::nop());
+  }
+  return *this;
+}
+
+std::uint32_t program_builder::data_word(std::uint32_t value) {
+  const std::uint32_t address = data_block(4, 4);
+  const std::size_t offset = address - prog_.data_base;
+  for (int i = 0; i < 4; ++i) {
+    prog_.data[offset + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(value >> (8 * i));
+  }
+  return address;
+}
+
+std::uint32_t program_builder::data_block(std::size_t size,
+                                          std::size_t alignment) {
+  std::size_t offset = prog_.data.size();
+  if (alignment > 1) {
+    offset = (offset + alignment - 1) / alignment * alignment;
+  }
+  prog_.data.resize(offset + size, 0);
+  return prog_.data_base + static_cast<std::uint32_t>(offset);
+}
+
+std::uint32_t
+program_builder::data_bytes(std::span<const std::uint8_t> bytes) {
+  const std::uint32_t address = data_block(bytes.size(), 4);
+  const std::size_t offset = address - prog_.data_base;
+  std::copy(bytes.begin(), bytes.end(),
+            prog_.data.begin() + static_cast<std::ptrdiff_t>(offset));
+  return address;
+}
+
+program_builder& program_builder::load_constant(isa::reg rd,
+                                                std::uint32_t value) {
+  emit(isa::ins::movw(rd, static_cast<std::uint16_t>(value & 0xffffU)));
+  emit(isa::ins::movt(rd, static_cast<std::uint16_t>(value >> 16)));
+  return *this;
+}
+
+program_builder& program_builder::define_symbol(const std::string& name,
+                                                std::uint32_t address) {
+  prog_.symbols[name] = address;
+  return *this;
+}
+
+program program_builder::build(bool append_halt) {
+  if (append_halt) {
+    emit(isa::ins::halt());
+  }
+  return prog_;
+}
+
+} // namespace usca::asmx

@@ -1,0 +1,87 @@
+// Program image: the unit loaded into the simulators.
+//
+// A program is a code section (a vector of decoded instructions laid out
+// at `code_base`, four bytes per instruction) plus an initialized data
+// section at `data_base` and a symbol table.  Programs are produced either
+// by the assembler (usca::asmx::assemble) or programmatically via
+// program_builder (used by the CPI explorer and the leakage benchmarks).
+#ifndef USCA_ASMX_PROGRAM_H
+#define USCA_ASMX_PROGRAM_H
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+
+namespace usca::asmx {
+
+struct program {
+  std::uint32_t code_base = 0x0000'0000;
+  std::uint32_t data_base = 0x0001'0000;
+  std::vector<isa::instruction> code;
+  std::vector<std::uint8_t> data;
+  std::map<std::string, std::uint32_t, std::less<>> symbols;
+
+  /// Address of the instruction at `index`.
+  std::uint32_t address_of(std::size_t index) const noexcept {
+    return code_base + static_cast<std::uint32_t>(index * 4);
+  }
+
+  /// Index of the instruction at `address`; nullopt when outside the code
+  /// section or unaligned.
+  std::optional<std::size_t> index_of_address(std::uint32_t address) const noexcept;
+
+  /// Looks up a symbol; nullopt when undefined.
+  std::optional<std::uint32_t> symbol(std::string_view name) const noexcept;
+};
+
+/// Fluent builder for programmatic benchmark construction.
+class program_builder {
+public:
+  program_builder();
+
+  /// Appends one instruction; returns its index.
+  std::size_t emit(const isa::instruction& ins);
+
+  /// Appends a sequence.
+  program_builder& emit_all(const std::vector<isa::instruction>& seq);
+
+  /// Appends `times` copies of the sequence (the paper's micro-benchmarks
+  /// repeat an instruction pair 200 times).
+  program_builder& repeat(const std::vector<isa::instruction>& seq, int times);
+
+  /// Appends `count` canonical nops (pipeline flushing padding).
+  program_builder& pad_nops(int count);
+
+  /// Reserves and initializes a data word; returns its absolute address.
+  std::uint32_t data_word(std::uint32_t value);
+
+  /// Reserves `size` zero bytes aligned to `alignment`; returns address.
+  std::uint32_t data_block(std::size_t size, std::size_t alignment = 4);
+
+  /// Copies `bytes` into the data section (4-byte aligned); returns address.
+  std::uint32_t data_bytes(std::span<const std::uint8_t> bytes);
+
+  /// Emits the movw/movt pair materializing a 32-bit constant.
+  program_builder& load_constant(isa::reg rd, std::uint32_t value);
+
+  /// Defines a symbol pointing at the given absolute address.
+  program_builder& define_symbol(const std::string& name, std::uint32_t address);
+
+  /// Number of instructions emitted so far.
+  std::size_t size() const noexcept { return prog_.code.size(); }
+
+  /// Finalizes the program; appends a halt unless `append_halt` is false.
+  program build(bool append_halt = true);
+
+private:
+  program prog_;
+};
+
+} // namespace usca::asmx
+
+#endif // USCA_ASMX_PROGRAM_H

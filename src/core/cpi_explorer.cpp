@@ -1,0 +1,216 @@
+#include "core/cpi_explorer.h"
+
+#include <cmath>
+#include <optional>
+#include <sstream>
+
+#include "asmx/program.h"
+#include "sim/pipeline.h"
+#include "util/error.h"
+
+namespace usca::core {
+
+namespace {
+
+using isa::instruction;
+using isa::reg;
+namespace mk = isa::ins;
+
+std::string_view class_names[num_probe_classes] = {
+    "mov", "ALU", "ALU w/ imm", "mul", "shifts", "branch", "ld/st"};
+
+/// Representatives of each probe class.  The "older" variant writes r1 and
+/// reads r2/r3 (base r8); the "younger" variant writes r4 and reads r5/r6
+/// (base r9) so that any ordered cross-product of representatives is free
+/// of data hazards.  The hazarded younger variant reads r1, the older's
+/// destination, creating the artificial RAW dependency of Section 3.2.
+struct class_rep {
+  instruction older;
+  instruction younger;
+  std::optional<instruction> younger_hazard;
+};
+
+class_rep representative(probe_class cls) {
+  switch (cls) {
+  case probe_class::mov:
+    return {mk::mov(reg::r1, reg::r2), mk::mov(reg::r4, reg::r5),
+            mk::mov(reg::r4, reg::r1)};
+  case probe_class::alu:
+    return {mk::add(reg::r1, reg::r2, reg::r3),
+            mk::add(reg::r4, reg::r5, reg::r6),
+            mk::add(reg::r4, reg::r1, reg::r6)};
+  case probe_class::alu_imm:
+    return {mk::add_imm(reg::r1, reg::r2, 7), mk::add_imm(reg::r4, reg::r5, 9),
+            mk::add_imm(reg::r4, reg::r1, 9)};
+  case probe_class::mul:
+    return {mk::mul(reg::r1, reg::r2, reg::r3),
+            mk::mul(reg::r4, reg::r5, reg::r6),
+            mk::mul(reg::r4, reg::r1, reg::r6)};
+  case probe_class::shift:
+    return {mk::lsl(reg::r1, reg::r2, 3), mk::lsr(reg::r4, reg::r5, 2),
+            mk::lsr(reg::r4, reg::r1, 2)};
+  case probe_class::branch:
+    return {mk::b(0), mk::b(0), std::nullopt};
+  case probe_class::ld_st:
+    // The hazarded variant stores r1 (the older instruction's result):
+    // a RAW dependency through the store *data* operand, which keeps the
+    // access address well-defined for every older class.
+    return {mk::ldr(reg::r1, reg::r8), mk::ldr(reg::r4, reg::r9),
+            mk::str(reg::r1, reg::r9)};
+  }
+  throw util::usca_error("invalid probe class");
+}
+
+} // namespace
+
+std::string_view probe_class_name(probe_class cls) noexcept {
+  return class_names[static_cast<std::size_t>(cls)];
+}
+
+cpi_explorer::cpi_explorer(sim::micro_arch_config config) : config_(config) {}
+
+double cpi_explorer::measure_cpi(const std::vector<instruction>& unit,
+                                 int reps, int flush_nops) const {
+  asmx::program_builder builder;
+  // Two pointer-chained data words give every memory probe a valid base
+  // address in r8/r9 and a valid *loaded* address for hazard variants.
+  const std::uint32_t addr_b = builder.data_word(0);
+  const std::uint32_t addr_a = builder.data_word(addr_b);
+  builder.load_constant(reg::r8, addr_a);
+  builder.load_constant(reg::r9, addr_b);
+  builder.pad_nops(flush_nops);
+  builder.emit(mk::mark(1));
+  // Keep the repeated region 8-byte aligned so the fetch unit presents the
+  // intended (older, younger) pairs.
+  while (builder.size() % 2 != 0) {
+    builder.pad_nops(1);
+  }
+  builder.repeat(unit, reps);
+  builder.emit(mk::mark(2));
+  builder.pad_nops(flush_nops);
+
+  sim::pipeline pipe(builder.build(), config_);
+  pipe.set_record_activity(false);
+  pipe.warm_caches();
+  pipe.run();
+
+  std::uint64_t begin = 0;
+  std::uint64_t end = 0;
+  for (const auto& m : pipe.marks()) {
+    if (m.id == 1) {
+      begin = m.cycle;
+    } else if (m.id == 2) {
+      end = m.cycle;
+    }
+  }
+  if (end <= begin) {
+    throw util::simulation_error("CPI micro-benchmark markers not found");
+  }
+  const auto instructions =
+      static_cast<double>(unit.size()) * static_cast<double>(reps);
+  return static_cast<double>(end - begin) / instructions;
+}
+
+pair_measurement cpi_explorer::measure_pair(probe_class older,
+                                            probe_class younger) const {
+  const class_rep a = representative(older);
+  const class_rep b = representative(younger);
+  pair_measurement out;
+  out.cpi_hazard_free = measure_cpi({a.older, b.younger});
+  if (b.younger_hazard) {
+    out.cpi_hazarded = measure_cpi({a.older, *b.younger_hazard});
+  } else {
+    out.cpi_hazarded = std::nan("");
+  }
+  out.dual_issued = out.cpi_hazard_free < dual_issue_threshold;
+  return out;
+}
+
+dual_issue_matrix cpi_explorer::explore() const {
+  dual_issue_matrix matrix;
+  for (std::size_t row = 0; row < num_probe_classes; ++row) {
+    for (std::size_t col = 0; col < num_probe_classes; ++col) {
+      matrix.entry[row][col] = measure_pair(static_cast<probe_class>(row),
+                                            static_cast<probe_class>(col));
+    }
+  }
+  return matrix;
+}
+
+pipeline_inference cpi_explorer::infer_structure() const {
+  pipeline_inference out;
+
+  // Sustained dual-issue rate of a hazard-free mov stream.
+  out.best_cpi = measure_cpi(
+      {mk::mov(reg::r1, reg::r2), mk::mov(reg::r3, reg::r4)});
+  out.fetch_width = out.best_cpi < 0.6 ? 2 : 1;
+
+  const pair_measurement alu_alu =
+      measure_pair(probe_class::alu, probe_class::alu);
+  const pair_measurement alui_alu =
+      measure_pair(probe_class::alu_imm, probe_class::alu);
+  const pair_measurement shift_shift =
+      measure_pair(probe_class::shift, probe_class::shift);
+  const pair_measurement mul_mul =
+      measure_pair(probe_class::mul, probe_class::mul);
+  const pair_measurement shift_mul =
+      measure_pair(probe_class::shift, probe_class::mul);
+
+  // Two arithmetic instructions executing together imply two ALUs.
+  out.num_alus = (alui_alu.dual_issued || alu_alu.dual_issued) ? 2 : 1;
+  // If two shifts (or two muls) never pair, only one ALU carries the
+  // barrel shifter / multiplier: the ALUs are not identical.
+  out.alus_identical = shift_shift.dual_issued && mul_mul.dual_issued;
+  out.shifter_and_mul_on_single_alu = out.num_alus == 2 &&
+                                      !shift_shift.dual_issued &&
+                                      !mul_mul.dual_issued &&
+                                      !shift_mul.dual_issued;
+
+  // A sustained CPI of 1 over a dependent-free ld/st or mul stream means
+  // the unit accepts one instruction per cycle: it is pipelined.
+  const double ldr_cpi = measure_cpi({mk::ldr(reg::r1, reg::r8)});
+  out.lsu_pipelined = ldr_cpi < 1.5;
+  const double mul_cpi = measure_cpi({mk::mul(reg::r1, reg::r2, reg::r3)});
+  out.mul_pipelined = mul_cpi < 1.5;
+
+  // Port counting: ALU+ALU needs four read ports, ALU-imm+ALU three.
+  if (alu_alu.dual_issued) {
+    out.rf_read_ports = 4;
+  } else if (alui_alu.dual_issued) {
+    out.rf_read_ports = 3;
+  } else {
+    out.rf_read_ports = 2;
+  }
+  // Sustained CPI 0.5 with both instructions writing a destination needs
+  // two write ports.
+  out.rf_write_ports = alui_alu.dual_issued ? 2 : 1;
+
+  const double nop_cpi = measure_cpi({mk::nop()});
+  out.nops_dual_issued = nop_cpi < dual_issue_threshold;
+  return out;
+}
+
+std::string pipeline_inference::to_string() const {
+  std::ostringstream os;
+  os << "Deduced pipeline structure (cf. paper Figure 2):\n";
+  os << "  best-case CPI (mov stream) : " << best_cpi << "\n";
+  os << "  fetch width                : " << fetch_width
+     << " instructions/cycle\n";
+  os << "  ALUs                       : " << num_alus
+     << (alus_identical ? " (identical)" : " (asymmetric)") << "\n";
+  os << "  shifter+multiplier         : "
+     << (shifter_and_mul_on_single_alu ? "on a single ALU (ALU0)"
+                                       : "replicated / n.a.")
+     << "\n";
+  os << "  LSU pipelined              : " << (lsu_pipelined ? "yes" : "no")
+     << "\n";
+  os << "  multiplier pipelined       : " << (mul_pipelined ? "yes" : "no")
+     << "\n";
+  os << "  RF read ports              : " << rf_read_ports << "\n";
+  os << "  RF write ports             : " << rf_write_ports << "\n";
+  os << "  nops dual-issued           : " << (nops_dual_issued ? "yes" : "no")
+     << "\n";
+  return os.str();
+}
+
+} // namespace usca::core

@@ -1,0 +1,106 @@
+// CPI-based micro-architecture exploration (paper Section 3).
+//
+// The method: run micro-benchmarks of 200 repetitions of an instruction
+// pair framed by pipeline-flushing nops, measure the achieved clock
+// cycles per instruction, and compare hazard-free against artificially
+// RAW-hazarded variants.  Hazard-free pairs that reach CPI 0.5 are being
+// dual-issued; pairs stuck at CPI >= 1 are not.  From the resulting 7x7
+// legality matrix (Table 1) the structural parameters of the pipeline
+// follow: the number and asymmetry of the ALUs, the placement of the
+// barrel shifter and multiplier, LSU/multiplier pipelining, the number of
+// register-file ports and the fetch width (Figure 2).
+//
+// The explorer treats the pipeline as a black box — it only observes
+// cycle counts, exactly like the paper's oscilloscope-and-GPIO setup —
+// so it works unchanged against any micro_arch_config.
+#ifndef USCA_CORE_CPI_EXPLORER_H
+#define USCA_CORE_CPI_EXPLORER_H
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "isa/instruction.h"
+#include "sim/micro_arch_config.h"
+
+namespace usca::core {
+
+/// The seven instruction classes of Table 1, in the paper's column order.
+enum class probe_class : std::size_t {
+  mov = 0,
+  alu = 1,
+  alu_imm = 2,
+  mul = 3,
+  shift = 4,
+  branch = 5,
+  ld_st = 6,
+};
+
+constexpr std::size_t num_probe_classes = 7;
+
+std::string_view probe_class_name(probe_class cls) noexcept;
+
+struct pair_measurement {
+  double cpi_hazard_free = 0.0;
+  double cpi_hazarded = 0.0; ///< NaN when no hazard variant exists
+  bool dual_issued = false;  ///< cpi_hazard_free below the dual threshold
+};
+
+/// Full Table-1-style result.
+struct dual_issue_matrix {
+  /// entry[older][younger]
+  std::array<std::array<pair_measurement, num_probe_classes>,
+             num_probe_classes>
+      entry{};
+  bool dual(probe_class older, probe_class younger) const noexcept {
+    return entry[static_cast<std::size_t>(older)]
+                [static_cast<std::size_t>(younger)]
+                    .dual_issued;
+  }
+};
+
+/// Structural deductions in the style of Section 3.2 / Figure 2.
+struct pipeline_inference {
+  double best_cpi = 1.0;     ///< sustained CPI of a hazard-free mov stream
+  int fetch_width = 1;       ///< deduced from best_cpi
+  int num_alus = 1;
+  bool alus_identical = true;
+  bool shifter_and_mul_on_single_alu = false;
+  bool lsu_pipelined = false;
+  bool mul_pipelined = false;
+  int rf_read_ports = 0;
+  int rf_write_ports = 0;
+  bool nops_dual_issued = false;
+
+  /// Human-readable Figure-2-style summary.
+  std::string to_string() const;
+};
+
+class cpi_explorer {
+public:
+  explicit cpi_explorer(sim::micro_arch_config config);
+
+  /// CPI of `reps` repetitions of `unit`, framed by `flush_nops` nops on
+  /// each side, measured between trigger markers (the GPIO equivalent).
+  double measure_cpi(const std::vector<isa::instruction>& unit,
+                     int reps = 200, int flush_nops = 100) const;
+
+  /// Measures one ordered class pair, hazard-free and hazarded.
+  pair_measurement measure_pair(probe_class older, probe_class younger) const;
+
+  /// The full Table 1 reproduction.
+  dual_issue_matrix explore() const;
+
+  /// Section 3.2: deduce the pipeline structure from CPI observations.
+  pipeline_inference infer_structure() const;
+
+  /// CPI below this counts as dual-issued (midpoint of 0.5 and 1.0).
+  static constexpr double dual_issue_threshold = 0.75;
+
+private:
+  sim::micro_arch_config config_;
+};
+
+} // namespace usca::core
+
+#endif // USCA_CORE_CPI_EXPLORER_H

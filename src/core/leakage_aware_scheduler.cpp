@@ -1,0 +1,265 @@
+#include "core/leakage_aware_scheduler.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace usca::core {
+
+namespace {
+
+using isa::instruction;
+using isa::opcode;
+using isa::reg;
+
+bool is_commutative(const instruction& ins) noexcept {
+  switch (ins.op) {
+  case opcode::add:
+  case opcode::and_:
+  case opcode::orr:
+  case opcode::eor:
+    break;
+  default:
+    return false;
+  }
+  // Swappable only in the plain reg,reg form (a shifted operand-2 is not
+  // interchangeable with rn).
+  return ins.op2.k == isa::operand2::kind::reg_shifted &&
+         !ins.op2.shift.active();
+}
+
+instruction swapped_operands(const instruction& ins) noexcept {
+  instruction out = ins;
+  out.rn = ins.op2.rm;
+  out.op2 = isa::operand2::make_reg(ins.rn);
+  return out;
+}
+
+/// True when `a` and `b` can be exchanged without changing semantics:
+/// no data dependency in either direction, no flag interaction, no
+/// control flow or memory involvement (memory order is preserved
+/// conservatively).
+bool independent(const instruction& a, const instruction& b) noexcept {
+  if (isa::is_branch(a) || isa::is_branch(b) || a.op == opcode::mark ||
+      b.op == opcode::mark || a.op == opcode::halt ||
+      b.op == opcode::halt) {
+    return false;
+  }
+  if (isa::is_memory(a) && isa::is_memory(b)) {
+    return false; // conservative: keep the memory order
+  }
+  const auto interferes = [](const instruction& x, const instruction& y) {
+    const isa::reg_list x_dests = isa::destination_registers(x);
+    for (const reg r : isa::source_registers(y)) {
+      if (x_dests.contains(r)) {
+        return true;
+      }
+    }
+    const isa::reg_list y_dests = isa::destination_registers(y);
+    for (const reg r : x_dests) {
+      if (y_dests.contains(r)) {
+        return true;
+      }
+    }
+    return false;
+  };
+  if (interferes(a, b) || interferes(b, a)) {
+    return false;
+  }
+  const auto writes_flags = [](const instruction& x) {
+    return x.set_flags || isa::is_compare(x);
+  };
+  const auto reads_flags = [](const instruction& x) {
+    return (x.cond != isa::condition::al && x.cond != isa::condition::nv) ||
+           x.op == opcode::adc || x.op == opcode::sbc;
+  };
+  if ((writes_flags(a) && (reads_flags(b) || writes_flags(b))) ||
+      (writes_flags(b) && reads_flags(a))) {
+    return false;
+  }
+  return true;
+}
+
+bool has_branches(const asmx::program& prog) noexcept {
+  return std::any_of(prog.code.begin(), prog.code.end(),
+                     [](const instruction& ins) { return isa::is_branch(ins); });
+}
+
+} // namespace
+
+leakage_aware_scheduler::leakage_aware_scheduler(sim::micro_arch_config config)
+    : config_(config), scanner_(config) {}
+
+bool leakage_aware_scheduler::taint_map::endpoint(
+    const value_ref& ref) const noexcept {
+  if (ref.instr_index >= result.size()) {
+    return false;
+  }
+  if (ref.is_reg()) {
+    return before[ref.instr_index][isa::index_of(ref.reg())];
+  }
+  return result[ref.instr_index];
+}
+
+leakage_aware_scheduler::taint_map
+leakage_aware_scheduler::compute_taint(const asmx::program& prog,
+                                       const std::set<reg>& secrets) const {
+  taint_map out;
+  const std::size_t n = prog.code.size();
+  out.before.resize(n);
+  out.result.assign(n, false);
+  std::array<bool, isa::num_registers> current{};
+  for (const reg r : secrets) {
+    current[isa::index_of(r)] = true;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    out.before[i] = current;
+    const instruction& ins = prog.code[i];
+    bool tainted = false;
+    if (!isa::is_load(ins)) { // memory taint is not tracked
+      for (const reg r : isa::source_registers(ins)) {
+        tainted = tainted || current[isa::index_of(r)];
+      }
+    }
+    out.result[i] = tainted;
+    for (const reg r : isa::destination_registers(ins)) {
+      current[isa::index_of(r)] = tainted;
+    }
+  }
+  return out;
+}
+
+bool leakage_aware_scheduler::finding_is_secret_combination(
+    const leak_finding& f, const taint_map& taint) const noexcept {
+  if (f.hamming_weight) {
+    // HW exposure of a single share is first-order benign (a share alone
+    // is uniform); the pass targets combinations of two values.
+    return false;
+  }
+  if (f.older.is_reg() && f.newer.is_reg() &&
+      f.older.reg() == f.newer.reg()) {
+    return false;
+  }
+  return taint.endpoint(f.older) && taint.endpoint(f.newer);
+}
+
+std::size_t
+leakage_aware_scheduler::secret_findings(const asmx::program& prog,
+                                         const std::set<reg>& secrets) const {
+  const taint_map taint = compute_taint(prog, secrets);
+  std::size_t count = 0;
+  for (const leak_finding& f : scanner_.scan(prog)) {
+    if (finding_is_secret_combination(f, taint)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+hardening_result
+leakage_aware_scheduler::harden(const asmx::program& prog,
+                                const hardening_options& options) const {
+  if (options.secret_registers.contains(options.scratch)) {
+    throw util::analysis_error(
+        "hardening scratch register overlaps the secret set");
+  }
+  hardening_result result;
+  result.hardened = prog;
+  result.findings_before = secret_findings(prog, options.secret_registers);
+  result.findings_after = result.findings_before;
+  const bool reordering_safe = !has_branches(prog);
+
+  for (int round = 0;
+       round < options.max_rounds && result.findings_after > 0; ++round) {
+    // Locate the first remaining secret-secret combination.
+    const auto findings = scanner_.scan(result.hardened);
+    const taint_map taint =
+        compute_taint(result.hardened, options.secret_registers);
+    const leak_finding* target = nullptr;
+    for (const leak_finding& f : findings) {
+      if (finding_is_secret_combination(f, taint)) {
+        target = &f;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      break;
+    }
+
+    struct candidate {
+      asmx::program prog;
+      std::size_t score;
+      int kind; // 0 = swap, 1 = reorder, 2 = separator
+    };
+    std::vector<candidate> candidates;
+    const auto consider = [&](asmx::program&& attempt, int kind) {
+      const std::size_t score =
+          secret_findings(attempt, options.secret_registers);
+      candidates.push_back({std::move(attempt), score, kind});
+    };
+
+    // 1. Commutative operand swaps on either endpoint.
+    for (const std::size_t index :
+         {target->older.instr_index, target->newer.instr_index}) {
+      const instruction& ins = result.hardened.code[index];
+      if (is_commutative(ins)) {
+        asmx::program attempt = result.hardened;
+        attempt.code[index] = swapped_operands(ins);
+        consider(std::move(attempt), 0);
+      }
+    }
+
+    // 2. Reorder the newer instruction with its predecessor.
+    if (reordering_safe && target->newer.instr_index > 0) {
+      const std::size_t index = target->newer.instr_index;
+      const instruction& prev = result.hardened.code[index - 1];
+      const instruction& cur = result.hardened.code[index];
+      if (independent(prev, cur)) {
+        asmx::program attempt = result.hardened;
+        std::swap(attempt.code[index - 1], attempt.code[index]);
+        consider(std::move(attempt), 1);
+      }
+    }
+
+    // 3. Separator: an identity ALU op on the scratch register overwrites
+    //    the shared operand buses, latches and write-back path between
+    //    the combining pair.  (A nop would NOT do: on this core nops
+    //    zeroize buses — exposing Hamming weights — and leave the ALU
+    //    latches holding the secret.)
+    if (reordering_safe) {
+      asmx::program attempt = result.hardened;
+      attempt.code.insert(
+          attempt.code.begin() +
+              static_cast<std::ptrdiff_t>(target->newer.instr_index),
+          isa::ins::dp(opcode::orr, options.scratch, options.scratch,
+                       options.scratch));
+      consider(std::move(attempt), 2);
+    }
+
+    // Greedy: apply the best candidate that strictly improves.
+    const auto best = std::min_element(
+        candidates.begin(), candidates.end(),
+        [](const candidate& a, const candidate& b) {
+          return a.score < b.score || (a.score == b.score && a.kind < b.kind);
+        });
+    if (best == candidates.end() || best->score >= result.findings_after) {
+      break; // no transformation makes progress
+    }
+    result.findings_after = best->score;
+    switch (best->kind) {
+    case 0:
+      ++result.swaps;
+      break;
+    case 1:
+      ++result.reorders;
+      break;
+    default:
+      ++result.separators;
+      break;
+    }
+    result.hardened = std::move(best->prog);
+  }
+  return result;
+}
+
+} // namespace usca::core

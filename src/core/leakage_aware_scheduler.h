@@ -1,0 +1,95 @@
+// Leakage-aware code transformation (the paper's compiler-backend
+// proposal).
+//
+// Section 4.2 closes with: "to provide a protected code emission matching
+// the micro-architectural leakage model, constraints in the register
+// allocation and the instruction scheduling backend passes can be added".
+// This pass implements the instruction-level half of that proposal: given
+// a program and a set of *secret-carrying* registers, it rewrites the
+// code — without changing its architectural semantics — so that the
+// static leakage scanner no longer predicts any combination of two
+// distinct secret values in a shared pipeline structure.
+//
+// Transformations applied (in order of preference):
+//   1. commutative-operand swaps (add/and/orr/eor/mul): moves one of a
+//      combining pair to a different operand bus;
+//   2. reordering of adjacent independent instructions: changes which
+//      values are structure-neighbours (and possibly the dual-issue
+//      grouping);
+//   3. separator insertion: an ALU instruction on non-secret scratch
+//      registers is inserted between the combining pair to overwrite the
+//      shared structure (a *computation* barrier, not a nop — the paper
+//      shows nops are not security neutral on this core).
+//
+// The pass is best-effort greedy: it iterates until no secret-secret
+// finding remains or no transformation makes progress.  Results carry the
+// before/after finding counts so callers can verify the outcome.
+#ifndef USCA_CORE_LEAKAGE_AWARE_SCHEDULER_H
+#define USCA_CORE_LEAKAGE_AWARE_SCHEDULER_H
+
+#include <array>
+#include <set>
+#include <vector>
+
+#include "asmx/program.h"
+#include "core/leakage_scanner.h"
+#include "sim/micro_arch_config.h"
+
+namespace usca::core {
+
+struct hardening_options {
+  /// Registers whose pairwise combination in any structure is forbidden
+  /// (e.g. the shares of a masked secret).
+  std::set<isa::reg> secret_registers;
+  /// Scratch register available for separator instructions; must not be
+  /// live in the program.
+  isa::reg scratch = isa::reg::r12;
+  /// Maximum greedy iterations before giving up.
+  int max_rounds = 32;
+};
+
+struct hardening_result {
+  asmx::program hardened;
+  std::size_t findings_before = 0; ///< secret-secret findings originally
+  std::size_t findings_after = 0;  ///< remaining after the pass
+  int swaps = 0;        ///< commutative operand swaps applied
+  int reorders = 0;     ///< adjacent reorderings applied
+  int separators = 0;   ///< separator instructions inserted
+  bool fully_hardened() const noexcept { return findings_after == 0; }
+};
+
+class leakage_aware_scheduler {
+public:
+  explicit leakage_aware_scheduler(sim::micro_arch_config config);
+
+  /// Counts scanner findings that combine two *distinct* secret-tainted
+  /// values.  Taint propagates through data flow: a destination written
+  /// from any tainted source is tainted, so result-path combinations
+  /// (EX/WB buffers joining two share-derived results) are caught too.
+  /// Loads are conservatively untainted (memory taint is not tracked).
+  std::size_t secret_findings(const asmx::program& prog,
+                              const std::set<isa::reg>& secrets) const;
+
+  /// Applies the hardening transformations.
+  hardening_result harden(const asmx::program& prog,
+                          const hardening_options& options) const;
+
+private:
+  /// Returns, per finding-endpoint, whether it carries tainted data.
+  struct taint_map {
+    std::vector<std::array<bool, isa::num_registers>> before; ///< per instr
+    std::vector<bool> result;                                 ///< per instr
+    bool endpoint(const value_ref& ref) const noexcept;
+  };
+  taint_map compute_taint(const asmx::program& prog,
+                          const std::set<isa::reg>& secrets) const;
+  bool finding_is_secret_combination(const leak_finding& f,
+                                     const taint_map& taint) const noexcept;
+
+  sim::micro_arch_config config_;
+  leakage_scanner scanner_;
+};
+
+} // namespace usca::core
+
+#endif // USCA_CORE_LEAKAGE_AWARE_SCHEDULER_H

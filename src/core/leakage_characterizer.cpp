@@ -1,0 +1,220 @@
+#include "core/leakage_characterizer.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "stats/pearson.h"
+#include "util/error.h"
+
+namespace usca::core {
+
+std::string_view table2_column_name(table2_column col) noexcept {
+  switch (col) {
+  case table2_column::register_file:
+    return "Register File";
+  case table2_column::is_ex_buffer:
+    return "Is/Ex Buffer";
+  case table2_column::shift_buffer:
+    return "Shift Buffer";
+  case table2_column::alu_buffer:
+    return "ALU buffer";
+  case table2_column::ex_wb_buffer:
+    return "Ex/Wb Buffer";
+  case table2_column::mdr:
+    return "MDR";
+  case table2_column::align_buffer:
+    return "Align Buffer";
+  }
+  return "?";
+}
+
+table2_column column_of(sim::component comp) noexcept {
+  using sim::component;
+  switch (comp) {
+  case component::rf_read_port:
+    return table2_column::register_file;
+  case component::is_ex_bus:
+  case component::alu_in_latch:
+    return table2_column::is_ex_buffer;
+  case component::shift_buffer:
+    return table2_column::shift_buffer;
+  case component::alu_out:
+    return table2_column::alu_buffer;
+  case component::ex_wb_latch:
+  case component::wb_bus:
+    return table2_column::ex_wb_buffer;
+  case component::mdr:
+    return table2_column::mdr;
+  case component::align_buffer:
+    return table2_column::align_buffer;
+  }
+  return table2_column::register_file;
+}
+
+std::uint32_t trial_context::get(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it == values_.end()) {
+    throw util::analysis_error("trial value '" + name + "' not set");
+  }
+  return it->second;
+}
+
+bool benchmark_report::matches_expectations() const noexcept {
+  if (expect_dual_issue != observed_dual_issue) {
+    return false;
+  }
+  return std::all_of(verdicts.begin(), verdicts.end(),
+                     [](const model_verdict& v) {
+                       return v.expected == v.detected;
+                     });
+}
+
+leakage_characterizer::leakage_characterizer(sim::micro_arch_config arch,
+                                             power::synthesis_config power)
+    : arch_(arch), power_(power) {}
+
+benchmark_report
+leakage_characterizer::characterize(const characterization_benchmark& bench,
+                                    const options& opts) const {
+  const bench_program bp = bench.build();
+  util::xoshiro256 rng(opts.seed);
+  power::trace_synthesizer synth(power_, opts.seed ^ 0x9d2c5680);
+
+  benchmark_report report;
+  report.name = bench.name;
+  report.sequence_text = bench.sequence_text;
+  report.expect_dual_issue = bench.expect_dual_issue;
+  report.traces = opts.traces;
+
+  const std::size_t n_models = bench.models.size();
+  std::vector<std::vector<stats::pearson_accumulator>> power_acc(n_models);
+  std::vector<std::vector<std::vector<stats::pearson_accumulator>>>
+      column_acc(n_models); ///< [model][column][sample]
+  std::size_t samples = 0;
+
+  std::vector<double> column_contrib; ///< per-sample scratch, one column
+
+  for (std::size_t trial = 0; trial < opts.traces; ++trial) {
+    sim::pipeline pipe(bp.prog, arch_);
+    trial_context ctx;
+    bench.setup(pipe, rng, bp, ctx);
+    pipe.warm_caches();
+    pipe.run();
+
+    std::uint64_t begin = 0;
+    std::uint64_t end = 0;
+    std::uint64_t dual_begin = 0;
+    std::uint64_t dual_end = 0;
+    for (const auto& m : pipe.marks()) {
+      if (m.id == 1) {
+        begin = m.cycle;
+        dual_begin = m.dual_pairs;
+      } else if (m.id == 2) {
+        end = m.cycle;
+        dual_end = m.dual_pairs;
+      }
+    }
+    if (end <= begin) {
+      throw util::simulation_error("characterization markers not found");
+    }
+    if (trial == 0) {
+      samples = static_cast<std::size_t>(end - begin);
+      report.samples = samples;
+      report.observed_dual_issue = dual_end > dual_begin;
+      for (std::size_t m = 0; m < n_models; ++m) {
+        power_acc[m].resize(samples);
+        column_acc[m].assign(num_table2_columns, {});
+        for (auto& col : column_acc[m]) {
+          col.resize(samples);
+        }
+      }
+    } else if (static_cast<std::size_t>(end - begin) != samples) {
+      throw util::simulation_error(
+          "data-dependent timing in characterization benchmark");
+    }
+    const auto first = static_cast<std::uint32_t>(begin);
+    const auto last = static_cast<std::uint32_t>(end);
+
+    const power::trace tr =
+        synth.synthesize_averaged(pipe.activity(), first, last,
+                                  opts.averaging);
+
+    std::vector<double> model_values(n_models);
+    for (std::size_t m = 0; m < n_models; ++m) {
+      model_values[m] = bench.models[m].eval(ctx);
+      for (std::size_t s = 0; s < samples; ++s) {
+        power_acc[m][s].add(model_values[m], tr[s]);
+      }
+    }
+
+    // Attribution pass: correlate models against each column's own
+    // (noise-free) power contribution on a subset of the trials.
+    if (trial < opts.attribution_trials) {
+      for (std::size_t col = 0; col < num_table2_columns; ++col) {
+        column_contrib.assign(samples, 0.0);
+        for (const sim::activity_event& ev : pipe.activity()) {
+          if (ev.cycle < first || ev.cycle >= last) {
+            continue;
+          }
+          if (static_cast<std::size_t>(column_of(ev.comp)) != col) {
+            continue;
+          }
+          column_contrib[ev.cycle - first] +=
+              power_.weights[ev.comp] * static_cast<double>(ev.toggles);
+        }
+        for (std::size_t m = 0; m < n_models; ++m) {
+          for (std::size_t s = 0; s < samples; ++s) {
+            column_acc[m][col][s].add(model_values[m], column_contrib[s]);
+          }
+        }
+      }
+    }
+  }
+
+  // Verdicts: significant total-power correlation at a cycle attributed to
+  // the model's own column.
+  const double alpha =
+      (1.0 - opts.confidence) / static_cast<double>(samples);
+  const double per_sample_confidence = 1.0 - alpha;
+
+  for (std::size_t m = 0; m < n_models; ++m) {
+    const model_spec& spec = bench.models[m];
+    model_verdict verdict;
+    verdict.label = spec.label;
+    verdict.column = spec.column;
+    verdict.expected = spec.expected_leak;
+    verdict.border_effect = spec.border_effect;
+    verdict.threshold =
+        stats::significance_threshold(opts.traces, per_sample_confidence);
+    const auto col = static_cast<std::size_t>(spec.column);
+    for (std::size_t s = 0; s < samples; ++s) {
+      const double r = power_acc[m][s].correlation();
+      if (!stats::correlation_significant(r, opts.traces,
+                                          per_sample_confidence)) {
+        continue;
+      }
+      const double attribution = column_acc[m][col][s].correlation();
+      if (std::fabs(attribution) < opts.attribution_threshold) {
+        continue;
+      }
+      if (std::fabs(r) > verdict.max_abs_corr) {
+        verdict.max_abs_corr = std::fabs(r);
+        verdict.peak_sample = s;
+        verdict.detected = true;
+      }
+    }
+    report.verdicts.push_back(std::move(verdict));
+  }
+  return report;
+}
+
+std::vector<benchmark_report>
+leakage_characterizer::characterize_all(const options& opts) const {
+  std::vector<benchmark_report> reports;
+  for (const characterization_benchmark& bench : table2_benchmarks()) {
+    reports.push_back(characterize(bench, opts));
+  }
+  return reports;
+}
+
+} // namespace usca::core

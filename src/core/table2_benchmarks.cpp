@@ -1,0 +1,530 @@
+// The seven leakage-characterization micro-benchmarks of Table 2.
+//
+// Register naming follows the paper (rA, rB, ... rH); the mapping onto
+// physical registers is rA=r1 .. rG=r7 with base addresses in r8..r11.
+// Each benchmark runs its sequence twice — the measured window covers the
+// second pass only, mirroring the paper's "measuring the executions
+// following the first one" cache-warming methodology — and destination
+// registers are pre-charged with the expected results so that register-
+// file write effects cannot masquerade as pipeline leakage.
+//
+// Expected verdicts are the paper's red/black cells; entries flagged
+// border_effect correspond to the paper's dagger: Hamming-weight leakage
+// caused by the flanking nops zeroizing the shared buses.
+#include "core/leakage_characterizer.h"
+
+#include "util/bitops.h"
+
+namespace usca::core {
+
+namespace {
+
+using isa::instruction;
+using isa::opcode;
+using isa::reg;
+namespace mk = isa::ins;
+
+// ---------------------------------------------------------------------------
+// Model helpers
+// ---------------------------------------------------------------------------
+
+std::function<double(const trial_context&)> hw(std::string name) {
+  return [name = std::move(name)](const trial_context& ctx) {
+    return static_cast<double>(util::hamming_weight(ctx.get(name)));
+  };
+}
+
+std::function<double(const trial_context&)> hd(std::string a, std::string b) {
+  return [a = std::move(a), b = std::move(b)](const trial_context& ctx) {
+    return static_cast<double>(
+        util::hamming_distance(ctx.get(a), ctx.get(b)));
+  };
+}
+
+model_spec model(std::string label, table2_column column, bool expected,
+                 std::function<double(const trial_context&)> eval,
+                 bool border = false) {
+  model_spec spec;
+  spec.label = std::move(label);
+  spec.column = column;
+  spec.expected_leak = expected;
+  spec.border_effect = border;
+  spec.eval = std::move(eval);
+  return spec;
+}
+
+// ---------------------------------------------------------------------------
+// Program skeleton
+// ---------------------------------------------------------------------------
+
+constexpr int flush_nops = 12;
+constexpr int border_nops = 6;
+
+bench_program make_program(const std::vector<instruction>& seq,
+                           const std::vector<std::string>& data_cells) {
+  asmx::program_builder b;
+  bench_program out;
+  for (const std::string& name : data_cells) {
+    out.addresses[name] = b.data_word(0);
+  }
+  b.pad_nops(flush_nops);
+  b.emit_all(seq); // warm-up pass (caches, micro-architectural state)
+  b.pad_nops(flush_nops);
+  b.emit(mk::mark(1));
+  b.pad_nops(border_nops);
+  while (b.size() % 2 != 0) {
+    b.pad_nops(1); // 8-byte alignment for the intended dual-issue pairing
+  }
+  b.emit_all(seq); // measured pass
+  b.pad_nops(border_nops);
+  b.emit(mk::mark(2));
+  b.pad_nops(4);
+  out.prog = b.build();
+  return out;
+}
+
+std::uint32_t rand32(util::xoshiro256& rng) { return rng.next_u32(); }
+
+} // namespace
+
+std::vector<characterization_benchmark> table2_benchmarks() {
+  std::vector<characterization_benchmark> out;
+  using col = table2_column;
+
+  // --- 1: mov rA, rB; nop; mov rC, rD -----------------------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.1 mov-nop-mov";
+    b.sequence_text = "mov rA, rB; nop; mov rC, rD";
+    b.build = [] {
+      return make_program(
+          {mk::mov(reg::r1, reg::r2), mk::nop(), mk::mov(reg::r3, reg::r4)},
+          {});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+                 trial_context& ctx) {
+      const std::uint32_t rb = rand32(rng);
+      const std::uint32_t rd = rand32(rng);
+      p.state().set_reg(reg::r2, rb);
+      p.state().set_reg(reg::r4, rd);
+      // Pre-charge destinations with the expected results.
+      p.state().set_reg(reg::r1, rb);
+      p.state().set_reg(reg::r3, rd);
+      ctx.set("rB", rb);
+      ctx.set("rD", rd);
+    };
+    b.models = {
+        model("HW(rB)", col::register_file, false, hw("rB")),
+        model("HW(rD)", col::register_file, false, hw("rD")),
+        model("HD(rB,rD)", col::register_file, false, hd("rB", "rD")),
+        model("HW(rB)", col::is_ex_buffer, true, hw("rB"), true),
+        model("HW(rD)", col::is_ex_buffer, true, hw("rD"), true),
+        model("HD(rB,rD)", col::is_ex_buffer, true, hd("rB", "rD")),
+        model("HW(rB)", col::ex_wb_buffer, true, hw("rB"), true),
+        model("HW(rD)", col::ex_wb_buffer, true, hw("rD"), true),
+        model("HD(rB,rD)", col::ex_wb_buffer, true, hd("rB", "rD")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- 2: add rA,rB,rC; add rD,rE,rF (single-issued) -----------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.2 add-add";
+    b.sequence_text = "add rA, rB, rC; add rD, rE, rF";
+    b.build = [] {
+      return make_program({mk::add(reg::r1, reg::r2, reg::r3),
+                           mk::add(reg::r4, reg::r5, reg::r6)},
+                          {});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+                 trial_context& ctx) {
+      const std::uint32_t rb = rand32(rng);
+      const std::uint32_t rc = rand32(rng);
+      const std::uint32_t re = rand32(rng);
+      const std::uint32_t rf = rand32(rng);
+      p.state().set_reg(reg::r2, rb);
+      p.state().set_reg(reg::r3, rc);
+      p.state().set_reg(reg::r5, re);
+      p.state().set_reg(reg::r6, rf);
+      p.state().set_reg(reg::r1, rb + rc);
+      p.state().set_reg(reg::r4, re + rf);
+      ctx.set("rB", rb);
+      ctx.set("rC", rc);
+      ctx.set("rE", re);
+      ctx.set("rF", rf);
+      ctx.set("X1", rb + rc);
+      ctx.set("X2", re + rf);
+    };
+    b.models = {
+        model("HW(rB)", col::register_file, false, hw("rB")),
+        model("HW(rC)", col::register_file, false, hw("rC")),
+        model("HW(rE)", col::register_file, false, hw("rE")),
+        model("HW(rF)", col::register_file, false, hw("rF")),
+        model("HW(rB)", col::is_ex_buffer, true, hw("rB"), true),
+        model("HW(rC)", col::is_ex_buffer, true, hw("rC"), true),
+        model("HW(rE)", col::is_ex_buffer, true, hw("rE"), true),
+        model("HW(rF)", col::is_ex_buffer, true, hw("rF"), true),
+        model("HD(rB,rE)", col::is_ex_buffer, true, hd("rB", "rE")),
+        model("HD(rC,rF)", col::is_ex_buffer, true, hd("rC", "rF")),
+        model("HW(rA')", col::alu_buffer, true, hw("X1")),
+        model("HW(rD')", col::alu_buffer, true, hw("X2")),
+        model("HW(rA')", col::ex_wb_buffer, true, hw("X1"), true),
+        model("HW(rD')", col::ex_wb_buffer, true, hw("X2"), true),
+        model("HD(rA',rD')", col::ex_wb_buffer, true, hd("X1", "X2")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- 3: add rA,rB,rC; add rD,rE,#n (dual-issued) -------------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.3 add-addimm-dual";
+    b.sequence_text = "add rA, rB, rC; add rD, rE, #9  (dual-issued)";
+    b.expect_dual_issue = true;
+    b.build = [] {
+      return make_program({mk::add(reg::r1, reg::r2, reg::r3),
+                           mk::add_imm(reg::r4, reg::r5, 9)},
+                          {});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+                 trial_context& ctx) {
+      const std::uint32_t rb = rand32(rng);
+      const std::uint32_t rc = rand32(rng);
+      const std::uint32_t re = rand32(rng);
+      p.state().set_reg(reg::r2, rb);
+      p.state().set_reg(reg::r3, rc);
+      p.state().set_reg(reg::r5, re);
+      p.state().set_reg(reg::r1, rb + rc);
+      p.state().set_reg(reg::r4, re + 9);
+      ctx.set("rB", rb);
+      ctx.set("rC", rc);
+      ctx.set("rE", re);
+      ctx.set("X1", rb + rc);
+      ctx.set("X2", re + 9);
+    };
+    b.models = {
+        model("HW(rB)", col::is_ex_buffer, true, hw("rB"), true),
+        model("HW(rC)", col::is_ex_buffer, true, hw("rC"), true),
+        model("HW(rE)", col::is_ex_buffer, false, hw("rE")),
+        model("HD(rB,rE)", col::is_ex_buffer, false, hd("rB", "rE")),
+        model("HD(rC,rE)", col::is_ex_buffer, false, hd("rC", "rE")),
+        model("HW(rA')", col::alu_buffer, true, hw("X1")),
+        model("HW(rD')", col::alu_buffer, true, hw("X2")),
+        model("HW(rA')", col::ex_wb_buffer, true, hw("X1"), true),
+        model("HW(rD')", col::ex_wb_buffer, true, hw("X2"), true),
+        model("HD(rA',rD')", col::ex_wb_buffer, false, hd("X1", "X2")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- 4: add with shifted operand (single-issued) --------------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.4 add-lsl-add-lsl";
+    b.sequence_text = "add rA, rB, rC, lsl #3; add rD, rE, rF, lsl #3";
+    b.build = [] {
+      return make_program(
+          {mk::dp_shift(opcode::add, reg::r1, reg::r2, reg::r3,
+                        isa::shift_kind::lsl, 3),
+           mk::dp_shift(opcode::add, reg::r4, reg::r5, reg::r6,
+                        isa::shift_kind::lsl, 3)},
+          {});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+                 trial_context& ctx) {
+      const std::uint32_t rb = rand32(rng);
+      const std::uint32_t rc = rand32(rng);
+      const std::uint32_t re = rand32(rng);
+      const std::uint32_t rf = rand32(rng);
+      p.state().set_reg(reg::r2, rb);
+      p.state().set_reg(reg::r3, rc);
+      p.state().set_reg(reg::r5, re);
+      p.state().set_reg(reg::r6, rf);
+      p.state().set_reg(reg::r1, rb + (rc << 3));
+      p.state().set_reg(reg::r4, re + (rf << 3));
+      ctx.set("rB", rb);
+      ctx.set("rC", rc);
+      ctx.set("rE", re);
+      ctx.set("rF", rf);
+      ctx.set("rC<<3", rc << 3);
+      ctx.set("rF<<3", rf << 3);
+      ctx.set("X1", rb + (rc << 3));
+      ctx.set("X2", re + (rf << 3));
+    };
+    b.models = {
+        model("HD(rB,rE)", col::is_ex_buffer, true, hd("rB", "rE")),
+        model("HD(rC,rF)", col::is_ex_buffer, true, hd("rC", "rF")),
+        model("HW(rC<<n)", col::shift_buffer, true, hw("rC<<3")),
+        model("HW(rF<<n)", col::shift_buffer, true, hw("rF<<3")),
+        model("HW(rA')", col::alu_buffer, true, hw("X1")),
+        model("HW(rD')", col::alu_buffer, true, hw("X2")),
+        model("HW(rA')", col::ex_wb_buffer, true, hw("X1"), true),
+        model("HW(rD')", col::ex_wb_buffer, true, hw("X2"), true),
+        model("HD(rA',rD')", col::ex_wb_buffer, true, hd("X1", "X2")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- 5: ldr; ldr ------------------------------------------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.5 ldr-ldr";
+    b.sequence_text = "ldr rA, [rB]; ldr rC, [rD]";
+    b.build = [] {
+      return make_program(
+          {mk::ldr(reg::r1, reg::r8), mk::ldr(reg::r4, reg::r9)},
+          {"WA", "WC"});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+                 const bench_program& bp, trial_context& ctx) {
+      const std::uint32_t wa = rand32(rng);
+      const std::uint32_t wc = rand32(rng);
+      p.memory().write32(bp.addresses.at("WA"), wa);
+      p.memory().write32(bp.addresses.at("WC"), wc);
+      p.state().set_reg(reg::r8, bp.addresses.at("WA"));
+      p.state().set_reg(reg::r9, bp.addresses.at("WC"));
+      p.state().set_reg(reg::r1, wa); // pre-charge
+      p.state().set_reg(reg::r4, wc);
+      ctx.set("rA", wa);
+      ctx.set("rC", wc);
+      ctx.set("rB", bp.addresses.at("WA"));
+      ctx.set("rD", bp.addresses.at("WC"));
+    };
+    b.models = {
+        model("HW(rB)", col::register_file, false, hw("rB")),
+        model("HW(rD)", col::register_file, false, hw("rD")),
+        model("HD(rA,rC)", col::is_ex_buffer, false, hd("rA", "rC")),
+        model("HW(rA)", col::ex_wb_buffer, true, hw("rA"), true),
+        model("HW(rC)", col::ex_wb_buffer, true, hw("rC"), true),
+        model("HD(rA,rC)", col::ex_wb_buffer, true, hd("rA", "rC")),
+        model("HD(rA,rC)", col::mdr, true, hd("rA", "rC")),
+        model("HD(rA,rC)", col::align_buffer, false, hd("rA", "rC")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- 6: str; str ------------------------------------------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.6 str-str";
+    b.sequence_text = "str rA, [rB]; str rC, [rD]";
+    b.build = [] {
+      return make_program(
+          {mk::str(reg::r1, reg::r8), mk::str(reg::r4, reg::r9)},
+          {"SA", "SC"});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+                 const bench_program& bp, trial_context& ctx) {
+      const std::uint32_t da = rand32(rng);
+      const std::uint32_t dc = rand32(rng);
+      p.state().set_reg(reg::r1, da);
+      p.state().set_reg(reg::r4, dc);
+      p.state().set_reg(reg::r8, bp.addresses.at("SA"));
+      p.state().set_reg(reg::r9, bp.addresses.at("SC"));
+      ctx.set("rA", da);
+      ctx.set("rC", dc);
+      ctx.set("rB", bp.addresses.at("SA"));
+      ctx.set("rD", bp.addresses.at("SC"));
+    };
+    b.models = {
+        model("HW(rB)", col::register_file, false, hw("rB")),
+        model("HW(rD)", col::register_file, false, hw("rD")),
+        model("HD(rA,rC)", col::is_ex_buffer, true, hd("rA", "rC")),
+        model("HW(rA)", col::ex_wb_buffer, true, hw("rA"), true),
+        model("HW(rC)", col::ex_wb_buffer, true, hw("rC"), true),
+        model("HD(rA,rC)", col::ex_wb_buffer, true, hd("rA", "rC")),
+        model("HD(rA,rC)", col::mdr, true, hd("rA", "rC")),
+        model("HD(rA,rC)", col::align_buffer, false, hd("rA", "rC")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- 7: ldr/ldrb interleave (align buffer) --------------------------------
+  {
+    characterization_benchmark b;
+    b.name = "T2.7 ldr-ldrb-interleave";
+    b.sequence_text =
+        "ldr rA,[rB]; ldrb rC,[rD]; ldr rE,[rF]; ldrb rG,[rH]";
+    b.build = [] {
+      return make_program(
+          {mk::ldr(reg::r1, reg::r8), mk::ldrb(reg::r2, reg::r9),
+           mk::ldr(reg::r3, reg::r10), mk::ldrb(reg::r4, reg::r11)},
+          {"WA", "WC", "WE", "WG"});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+                 const bench_program& bp, trial_context& ctx) {
+      const std::uint32_t wa = rand32(rng);
+      const std::uint32_t wc = rand32(rng);
+      const std::uint32_t we = rand32(rng);
+      const std::uint32_t wg = rand32(rng);
+      p.memory().write32(bp.addresses.at("WA"), wa);
+      p.memory().write32(bp.addresses.at("WC"), wc);
+      p.memory().write32(bp.addresses.at("WE"), we);
+      p.memory().write32(bp.addresses.at("WG"), wg);
+      p.state().set_reg(reg::r8, bp.addresses.at("WA"));
+      p.state().set_reg(reg::r9, bp.addresses.at("WC"));
+      p.state().set_reg(reg::r10, bp.addresses.at("WE"));
+      p.state().set_reg(reg::r11, bp.addresses.at("WG"));
+      p.state().set_reg(reg::r1, wa);
+      p.state().set_reg(reg::r2, wc & 0xffU);
+      p.state().set_reg(reg::r3, we);
+      p.state().set_reg(reg::r4, wg & 0xffU);
+      ctx.set("WA", wa);
+      ctx.set("WC", wc);
+      ctx.set("WE", we);
+      ctx.set("WG", wg);
+      ctx.set("bC", wc & 0xffU);
+      ctx.set("bG", wg & 0xffU);
+    };
+    b.models = {
+        model("HD(WA,WC)", col::mdr, true, hd("WA", "WC")),
+        model("HD(WC,WE)", col::mdr, true, hd("WC", "WE")),
+        model("HD(WE,WG)", col::mdr, true, hd("WE", "WG")),
+        model("HD(bC,bG)", col::align_buffer, true, hd("bC", "bG")),
+        model("HD(WA,bC)", col::align_buffer, false, hd("WA", "bC")),
+        model("HD(bC,WE)", col::align_buffer, false, hd("bC", "WE")),
+        // rA borders the nop-cleared WB bus (dagger), rG transitions back
+        // to it (dagger).  rC (a zero-extended byte) never meets a zeroed
+        // path and exposes no HW; rE *does* leak its HW because the
+        // following byte-wide write-back zeroes the upper 24 bits of the
+        // WB path — a partial zeroization with the same effect the paper
+        // marks as rE-dagger.
+        model("HW(rA)", col::ex_wb_buffer, true, hw("WA"), true),
+        model("HW(rC)", col::ex_wb_buffer, false, hw("bC")),
+        model("HW(rE)", col::ex_wb_buffer, true, hw("WE"), true),
+        model("HW(rG)", col::ex_wb_buffer, true, hw("bG"), true),
+        model("HD(rA,rC)", col::ex_wb_buffer, true, hd("WA", "bC")),
+        model("HD(rC,rE)", col::ex_wb_buffer, true, hd("bC", "WE")),
+        model("HD(rE,rG)", col::ex_wb_buffer, true, hd("WE", "bG")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  return out;
+}
+
+std::vector<characterization_benchmark> extension_benchmarks() {
+  std::vector<characterization_benchmark> out;
+  using col = table2_column;
+
+  // --- E1: mul; mul — the multiplier's operands travel the same IS/EX
+  // buses as ALU operands, and muls never dual-issue: consecutive
+  // multiplications combine their operands and their products.
+  {
+    characterization_benchmark b;
+    b.name = "E1 mul-mul";
+    b.sequence_text = "mul rA, rB, rC; mul rD, rE, rF";
+    b.build = [] {
+      return make_program({mk::mul(reg::r1, reg::r2, reg::r3),
+                           mk::mul(reg::r4, reg::r5, reg::r6)},
+                          {});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+                 trial_context& ctx) {
+      const std::uint32_t rb = rand32(rng);
+      const std::uint32_t rc = rand32(rng);
+      const std::uint32_t re = rand32(rng);
+      const std::uint32_t rf = rand32(rng);
+      p.state().set_reg(reg::r2, rb);
+      p.state().set_reg(reg::r3, rc);
+      p.state().set_reg(reg::r5, re);
+      p.state().set_reg(reg::r6, rf);
+      p.state().set_reg(reg::r1, rb * rc);
+      p.state().set_reg(reg::r4, re * rf);
+      ctx.set("rB", rb);
+      ctx.set("rC", rc);
+      ctx.set("rE", re);
+      ctx.set("rF", rf);
+      ctx.set("P1", rb * rc);
+      ctx.set("P2", re * rf);
+    };
+    b.models = {
+        model("HD(rB,rE)", col::is_ex_buffer, true, hd("rB", "rE")),
+        model("HD(rC,rF)", col::is_ex_buffer, true, hd("rC", "rF")),
+        model("HW(rA')", col::alu_buffer, true, hw("P1")),
+        model("HW(rD')", col::alu_buffer, true, hw("P2")),
+        model("HD(rA',rD')", col::ex_wb_buffer, true, hd("P1", "P2")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- E2: predication failure — a condition-failed mov never executes
+  // or writes back, yet its operand is read and asserted on the IS/EX
+  // bus: predication is not a side-channel barrier.
+  {
+    characterization_benchmark b;
+    b.name = "E2 failed-predication";
+    b.sequence_text = "cmp r7, #0; moveq rA, rB (never taken); mov rC, rD";
+    b.build = [] {
+      return make_program(
+          {mk::cmp_imm(reg::r7, 0),
+           mk::mov(reg::r1, reg::r2, isa::condition::eq),
+           mk::mov(reg::r3, reg::r4)},
+          {});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+                 trial_context& ctx) {
+      const std::uint32_t rb = rand32(rng);
+      const std::uint32_t rd = rand32(rng);
+      p.state().set_reg(reg::r7, 1); // condition eq never passes
+      p.state().set_reg(reg::r2, rb);
+      p.state().set_reg(reg::r4, rd);
+      p.state().set_reg(reg::r3, rd); // pre-charge the executed mov's dest
+      ctx.set("rB", rb);
+      ctx.set("rD", rd);
+    };
+    b.models = {
+        // The squashed mov's operand still transits the bus...
+        model("HW(rB)", col::is_ex_buffer, true, hw("rB"), true),
+        model("HD(rB,rD)", col::is_ex_buffer, true, hd("rB", "rD")),
+        // ...but never reaches the execute/write-back structures.
+        model("HW(rB)", col::alu_buffer, false, hw("rB")),
+        model("HD(rB,rD)", col::ex_wb_buffer, false, hd("rB", "rD")),
+        model("HW(rD)", col::ex_wb_buffer, true, hw("rD"), true),
+    };
+    out.push_back(std::move(b));
+  }
+
+  // --- E3: dual-issued load + ALU-imm — the Table-1 pairing (ld/st row,
+  // ALU-imm column is not needed: ALU-imm older, ld/st younger is the
+  // paired direction) routes the loaded value and the ALU result through
+  // separate write-back lanes: no combination.
+  {
+    characterization_benchmark b;
+    b.name = "E3 aluimm-ldr-dual";
+    b.sequence_text = "add rD, rE, #9; ldr rA, [rB]  (dual-issued)";
+    b.expect_dual_issue = true;
+    b.build = [] {
+      return make_program(
+          {mk::add_imm(reg::r4, reg::r5, 9), mk::ldr(reg::r1, reg::r8)},
+          {"WA"});
+    };
+    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+                 const bench_program& bp, trial_context& ctx) {
+      const std::uint32_t wa = rand32(rng);
+      const std::uint32_t re = rand32(rng);
+      p.memory().write32(bp.addresses.at("WA"), wa);
+      p.state().set_reg(reg::r8, bp.addresses.at("WA"));
+      p.state().set_reg(reg::r5, re);
+      p.state().set_reg(reg::r1, wa);
+      p.state().set_reg(reg::r4, re + 9);
+      ctx.set("WA", wa);
+      ctx.set("rE", re);
+      ctx.set("X", re + 9);
+    };
+    b.models = {
+        model("HW(X)", col::alu_buffer, true, hw("X")),
+        model("HW(X)", col::ex_wb_buffer, true, hw("X"), true),
+        model("HW(rA)", col::ex_wb_buffer, true, hw("WA"), true),
+        model("HD(X,rA)", col::ex_wb_buffer, false, hd("X", "WA")),
+        model("HD(X,rA)", col::mdr, false, hd("X", "WA")),
+        model("HW(rA)", col::mdr, false, hw("WA")),
+    };
+    out.push_back(std::move(b));
+  }
+
+  return out;
+}
+
+} // namespace usca::core

@@ -1,0 +1,215 @@
+#include "crypto/aes_codegen.h"
+
+namespace usca::crypto {
+
+namespace {
+
+using isa::instruction;
+using isa::opcode;
+using isa::reg;
+namespace mk = isa::ins;
+
+// Register convention of the generated program:
+//   r0  state base      r1  round-key base   r2  S-box base
+//   r8  tmp-block base  sp  spill area       r12 xtime argument/result
+//   r3..r7, r9, r10     scratch             lr  xtime return address
+constexpr reg r_state = reg::r0;
+constexpr reg r_rk = reg::r1;
+constexpr reg r_sbox = reg::r2;
+constexpr reg r_tmp = reg::r8;
+constexpr reg r_xt = reg::r12;
+
+class aes_emitter {
+public:
+  aes_emitter() = default;
+
+  aes_program_layout generate() {
+    aes_program_layout layout;
+    layout.sbox_addr = builder_.data_bytes(aes_sbox());
+    layout.state_addr = builder_.data_block(16, 4);
+    layout.rk_addr = builder_.data_block(176, 4);
+    layout.tmp_addr = builder_.data_block(16, 4);
+    layout.stack_addr = builder_.data_block(32, 8);
+
+    // Leading jump over the xtime subroutine (emitted at a fixed index so
+    // every call site knows its offset at emission time).
+    builder_.emit(mk::b(6)); // skip the 6-instruction xtime body
+    xtime_index_ = builder_.size();
+    emit_xtime();
+
+    // Prologue: materialize base addresses.
+    builder_.load_constant(r_state, layout.state_addr);
+    builder_.load_constant(r_rk, layout.rk_addr);
+    builder_.load_constant(r_sbox, layout.sbox_addr);
+    builder_.load_constant(r_tmp, layout.tmp_addr);
+    builder_.load_constant(reg::sp, layout.stack_addr);
+    builder_.pad_nops(8);
+
+    builder_.emit(mk::mark(mark_encrypt_begin));
+    emit_add_round_key(0);
+    builder_.emit(mk::mark(mark_ark0_end));
+    for (int round = 1; round <= 9; ++round) {
+      emit_sub_bytes();
+      if (round == 1) {
+        builder_.emit(mk::mark(mark_sb1_end));
+      }
+      emit_shift_rows();
+      if (round == 1) {
+        builder_.emit(mk::mark(mark_shr1_end));
+      }
+      emit_mix_columns();
+      if (round == 1) {
+        builder_.emit(mk::mark(mark_round1_end));
+      }
+      emit_add_round_key(round);
+    }
+    emit_sub_bytes();
+    emit_shift_rows();
+    emit_add_round_key(10);
+    builder_.emit(mk::mark(mark_encrypt_end));
+    builder_.pad_nops(8);
+
+    layout.prog = builder_.build();
+    return layout;
+  }
+
+private:
+  void emit_xtime() {
+    // r12 <- xtime(r12); clobbers r3 and flags.
+    builder_.emit(mk::lsl(reg::r3, r_xt, 1));
+    builder_.emit(mk::and_imm(reg::r3, reg::r3, 0xff));
+    builder_.emit(mk::dp_imm(opcode::tst, reg::r0, r_xt, 0x80));
+    instruction eorne = mk::dp_imm(opcode::eor, reg::r3, reg::r3, 0x1b);
+    eorne.cond = isa::condition::ne;
+    builder_.emit(eorne);
+    builder_.emit(mk::mov(r_xt, reg::r3));
+    builder_.emit(mk::bx(reg::lr));
+  }
+
+  void call_xtime() {
+    const auto site = static_cast<std::int64_t>(builder_.size());
+    const auto offset = static_cast<std::int32_t>(
+        static_cast<std::int64_t>(xtime_index_) - (site + 1));
+    builder_.emit(mk::bl(offset));
+  }
+
+  void emit_add_round_key(int round) {
+    for (std::uint32_t w = 0; w < 4; ++w) {
+      builder_.emit(mk::ldr(reg::r3, r_state, 4 * w));
+      builder_.emit(mk::ldr(reg::r4, r_rk,
+                            static_cast<std::uint32_t>(16 * round) + 4 * w));
+      builder_.emit(mk::eor(reg::r3, reg::r3, reg::r4));
+      builder_.emit(mk::str(reg::r3, r_state, 4 * w));
+    }
+  }
+
+  void emit_sub_bytes() {
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      builder_.emit(mk::ldrb(reg::r3, r_state, i));
+      builder_.emit(mk::ldrb_reg(reg::r4, r_sbox, reg::r3));
+      builder_.emit(mk::strb(reg::r4, r_state, i));
+    }
+  }
+
+  // State layout: byte index = row + 4*column (FIPS-197).
+  static std::uint32_t state_index(std::uint32_t row, std::uint32_t col) {
+    return row + 4 * col;
+  }
+
+  void emit_shift_rows() {
+    // Compose each rotated row into a register with progressive one-byte
+    // shifts, park it in the tmp block, then scatter it back byte-wise.
+    for (std::uint32_t row = 1; row < 4; ++row) {
+      const auto src = [&](std::uint32_t col) {
+        return state_index(row, (col + row) % 4);
+      };
+      builder_.emit(mk::ldrb(reg::r3, r_state, src(3)));
+      builder_.emit(mk::lsl(reg::r3, reg::r3, 8));
+      builder_.emit(mk::ldrb(reg::r4, r_state, src(2)));
+      builder_.emit(mk::orr(reg::r3, reg::r3, reg::r4));
+      builder_.emit(mk::lsl(reg::r3, reg::r3, 8));
+      builder_.emit(mk::ldrb(reg::r4, r_state, src(1)));
+      builder_.emit(mk::orr(reg::r3, reg::r3, reg::r4));
+      builder_.emit(mk::lsl(reg::r3, reg::r3, 8));
+      builder_.emit(mk::ldrb(reg::r4, r_state, src(0)));
+      builder_.emit(mk::orr(reg::r3, reg::r3, reg::r4));
+      builder_.emit(mk::str(reg::r3, r_tmp, 4 * row));
+    }
+    for (std::uint32_t row = 1; row < 4; ++row) {
+      builder_.emit(mk::ldr(reg::r3, r_tmp, 4 * row));
+      for (std::uint32_t col = 0; col < 4; ++col) {
+        builder_.emit(mk::strb(reg::r3, r_state, state_index(row, col)));
+        if (col != 3) {
+          builder_.emit(mk::lsr(reg::r3, reg::r3, 8));
+        }
+      }
+    }
+  }
+
+  void emit_mix_columns() {
+    // Column bytes in r4..r7; r9 = a0^a1^a2^a3; each output byte is
+    // a_i ^ r9 ^ xtime(a_i ^ a_{i+1 mod 4}).
+    constexpr std::array<reg, 4> col_regs = {reg::r4, reg::r5, reg::r6,
+                                             reg::r7};
+    for (std::uint32_t col = 0; col < 4; ++col) {
+      for (std::uint32_t row = 0; row < 4; ++row) {
+        builder_.emit(mk::ldrb(col_regs[row], r_state, 4 * col + row));
+      }
+      builder_.emit(mk::eor(reg::r9, reg::r4, reg::r5));
+      builder_.emit(mk::eor(reg::r9, reg::r9, reg::r6));
+      builder_.emit(mk::eor(reg::r9, reg::r9, reg::r7));
+      for (std::uint32_t row = 0; row < 4; ++row) {
+        const reg a = col_regs[row];
+        const reg b = col_regs[(row + 1) % 4];
+        builder_.emit(mk::eor(r_xt, a, b));
+        // The xtime call is not inlined; spill the live column byte and
+        // the row sum around it (the compiler-generated spills/fills the
+        // paper observes leaking in MixColumns).
+        builder_.emit(mk::str(a, reg::sp, 0));
+        builder_.emit(mk::str(reg::r9, reg::sp, 4));
+        call_xtime();
+        builder_.emit(mk::ldr(reg::r10, reg::sp, 0));
+        builder_.emit(mk::ldr(reg::r9, reg::sp, 4));
+        builder_.emit(mk::eor(reg::r10, reg::r10, reg::r9));
+        builder_.emit(mk::eor(reg::r10, reg::r10, r_xt));
+        builder_.emit(mk::strb(reg::r10, r_tmp, 4 * col + row));
+      }
+      builder_.emit(mk::ldr(reg::r3, r_tmp, 4 * col));
+      builder_.emit(mk::str(reg::r3, r_state, 4 * col));
+    }
+  }
+
+  asmx::program_builder builder_;
+  std::size_t xtime_index_ = 0;
+};
+
+} // namespace
+
+aes_program_layout generate_aes128_program() {
+  aes_emitter emitter;
+  return emitter.generate();
+}
+
+void install_aes_inputs(mem::memory& memory, const aes_program_layout& layout,
+                        const aes_round_keys& round_keys,
+                        const aes_block& plaintext) {
+  for (std::size_t i = 0; i < round_keys.size(); ++i) {
+    memory.write8(layout.rk_addr + static_cast<std::uint32_t>(i),
+                  round_keys[i]);
+  }
+  for (std::size_t i = 0; i < plaintext.size(); ++i) {
+    memory.write8(layout.state_addr + static_cast<std::uint32_t>(i),
+                  plaintext[i]);
+  }
+}
+
+aes_block read_aes_state(const mem::memory& memory,
+                         const aes_program_layout& layout) {
+  aes_block out{};
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = memory.read8(layout.state_addr + static_cast<std::uint32_t>(i));
+  }
+  return out;
+}
+
+} // namespace usca::crypto

@@ -1,0 +1,68 @@
+// AL32 code generator for AES-128 encryption.
+//
+// Generates the byte-oriented "reference implementation" style of AES that
+// the paper attacks (Section 5): SubBytes as S-box table lookups (byte
+// load + indexed byte load + byte store), ShiftRows composed in registers
+// with progressive one-byte shifts, and MixColumns through a *non-inlined*
+// xtime (shift-reduce) subroutine with register spills/fills around each
+// call — every instruction pattern the paper singles out as a leakage
+// point is present by construction:
+//
+//   * SB:  "load and subsequent store of the value from the AES
+//           substitution table" — ldrb from state, ldrb from the table,
+//           strb back;
+//   * ShR: "the output byte from the SubBytes is loaded into a register,
+//           followed by three leaking time instants where the said
+//           register is shifted progressively by one byte at once";
+//   * MC:  "product over F2^8 through a shift-reduce approach … the
+//           compiler did not inline the said function, additional leakage
+//           takes place due to spills and fills".
+//
+// The S-box lives in the program's data image; the expanded key schedule
+// and the plaintext are installed into simulated memory per run.
+#ifndef USCA_CRYPTO_AES_CODEGEN_H
+#define USCA_CRYPTO_AES_CODEGEN_H
+
+#include <cstdint>
+
+#include "asmx/program.h"
+#include "crypto/aes128.h"
+#include "mem/memory.h"
+
+namespace usca::crypto {
+
+/// Trigger marker ids placed by the generator.
+enum aes_marks : std::uint16_t {
+  mark_encrypt_begin = 1, ///< before the initial AddRoundKey
+  mark_round1_end = 2,    ///< after MixColumns of round 1 (Figure 3 window)
+  mark_encrypt_end = 3,   ///< after the final AddRoundKey
+  // Sub-phase boundaries of the first round (Figure 3 annotations).
+  mark_ark0_end = 10, ///< initial AddRoundKey done
+  mark_sb1_end = 11,  ///< round-1 SubBytes done
+  mark_shr1_end = 12, ///< round-1 ShiftRows done
+};
+
+struct aes_program_layout {
+  asmx::program prog;
+  std::uint32_t state_addr = 0; ///< 16-byte state block
+  std::uint32_t rk_addr = 0;    ///< 176-byte expanded key schedule
+  std::uint32_t sbox_addr = 0;  ///< 256-byte S-box (part of the data image)
+  std::uint32_t tmp_addr = 0;   ///< 16-byte scratch block
+  std::uint32_t stack_addr = 0; ///< spill area used around xtime calls
+};
+
+/// Emits the full (unrolled) AES-128 encryption program.
+aes_program_layout generate_aes128_program();
+
+/// Installs the expanded key schedule and the plaintext into memory.
+void install_aes_inputs(mem::memory& memory, const aes_program_layout& layout,
+                        const aes_round_keys& round_keys,
+                        const aes_block& plaintext);
+
+/// Reads the 16-byte state block back (the ciphertext after a full run).
+aes_block read_aes_state(const mem::memory& memory,
+                         const aes_program_layout& layout);
+
+} // namespace usca::crypto
+
+#endif // USCA_CRYPTO_AES_CODEGEN_H

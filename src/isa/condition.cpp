@@ -1,0 +1,76 @@
+#include "isa/condition.h"
+
+#include <array>
+
+namespace usca::isa {
+
+bool condition_passes(condition cond, const flags& f) noexcept {
+  switch (cond) {
+  case condition::eq:
+    return f.z;
+  case condition::ne:
+    return !f.z;
+  case condition::cs:
+    return f.c;
+  case condition::cc:
+    return !f.c;
+  case condition::mi:
+    return f.n;
+  case condition::pl:
+    return !f.n;
+  case condition::vs:
+    return f.v;
+  case condition::vc:
+    return !f.v;
+  case condition::hi:
+    return f.c && !f.z;
+  case condition::ls:
+    return !f.c || f.z;
+  case condition::ge:
+    return f.n == f.v;
+  case condition::lt:
+    return f.n != f.v;
+  case condition::gt:
+    return !f.z && (f.n == f.v);
+  case condition::le:
+    return f.z || (f.n != f.v);
+  case condition::al:
+    return true;
+  case condition::nv:
+    return false;
+  }
+  return false;
+}
+
+namespace {
+
+constexpr std::array<std::string_view, 16> suffixes = {
+    "eq", "ne", "cs", "cc", "mi", "pl", "vs", "vc",
+    "hi", "ls", "ge", "lt", "gt", "le", "",   "nv"};
+
+} // namespace
+
+std::string_view condition_suffix(condition cond) noexcept {
+  return suffixes[static_cast<std::uint8_t>(cond)];
+}
+
+std::optional<condition> parse_condition(std::string_view text) noexcept {
+  if (text.empty() || text == "al") {
+    return condition::al;
+  }
+  for (std::size_t i = 0; i < suffixes.size(); ++i) {
+    if (!suffixes[i].empty() && text == suffixes[i]) {
+      return static_cast<condition>(i);
+    }
+  }
+  // "hs"/"lo" are the ARM aliases for cs/cc.
+  if (text == "hs") {
+    return condition::cs;
+  }
+  if (text == "lo") {
+    return condition::cc;
+  }
+  return std::nullopt;
+}
+
+} // namespace usca::isa

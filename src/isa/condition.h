@@ -1,0 +1,50 @@
+// AL32 condition codes (identical to the ARM condition field).
+//
+// Every AL32 instruction is predicated.  The `nv` (never) condition is
+// retained deliberately: the DAC'18 paper infers that the Cortex-A7
+// implements `nop` as a condition-never instruction with zero-valued
+// operands, which is the root cause of the nop-related leakage modes the
+// paper reports (bus zeroization adding Hamming-weight leaks while the
+// per-ALU input latches keep the previous operands alive).
+#ifndef USCA_ISA_CONDITION_H
+#define USCA_ISA_CONDITION_H
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "isa/registers.h"
+
+namespace usca::isa {
+
+enum class condition : std::uint8_t {
+  eq = 0,  ///< Z
+  ne = 1,  ///< !Z
+  cs = 2,  ///< C
+  cc = 3,  ///< !C
+  mi = 4,  ///< N
+  pl = 5,  ///< !N
+  vs = 6,  ///< V
+  vc = 7,  ///< !V
+  hi = 8,  ///< C && !Z
+  ls = 9,  ///< !C || Z
+  ge = 10, ///< N == V
+  lt = 11, ///< N != V
+  gt = 12, ///< !Z && N == V
+  le = 13, ///< Z || N != V
+  al = 14, ///< always
+  nv = 15, ///< never (reserved in ARMv7; used here for the nop encoding)
+};
+
+/// Evaluates a condition against the current flags.
+bool condition_passes(condition cond, const flags& f) noexcept;
+
+/// Canonical mnemonic suffix ("", "eq", ... ); `al` renders as empty.
+std::string_view condition_suffix(condition cond) noexcept;
+
+/// Parses a two-letter condition suffix; empty string yields `al`.
+std::optional<condition> parse_condition(std::string_view text) noexcept;
+
+} // namespace usca::isa
+
+#endif // USCA_ISA_CONDITION_H

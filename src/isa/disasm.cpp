@@ -1,0 +1,159 @@
+#include "isa/disasm.h"
+
+#include <string>
+
+namespace usca::isa {
+
+namespace {
+
+std::string imm_str(std::uint32_t value) {
+  std::string out(1, '#');
+  out += std::to_string(value);
+  return out;
+}
+
+std::string shift_str(const shift_spec& spec) {
+  std::string out = ", ";
+  out += shift_name(spec.kind);
+  out += ' ';
+  if (spec.by_register) {
+    out += reg_name(spec.amount_reg);
+  } else {
+    out += imm_str(spec.amount);
+  }
+  return out;
+}
+
+std::string op2_str(const operand2& op2) {
+  if (op2.k == operand2::kind::immediate) {
+    return imm_str(op2.imm);
+  }
+  std::string out(reg_name(op2.rm));
+  if (op2.shift.active()) {
+    out += shift_str(op2.shift);
+  }
+  return out;
+}
+
+std::string mem_str(const mem_operand& mem) {
+  std::string out = "[";
+  out += reg_name(mem.base);
+  if (mem.reg_offset) {
+    out += ", ";
+    if (mem.subtract) {
+      out += '-';
+    }
+    out += reg_name(mem.offset_reg);
+    if (mem.offset_shift != 0) {
+      out += ", lsl ";
+      out += imm_str(mem.offset_shift);
+    }
+  } else if (mem.offset_imm != 0) {
+    out += ", #";
+    if (mem.subtract) {
+      out += '-';
+    }
+    out += std::to_string(mem.offset_imm);
+  }
+  out += ']';
+  return out;
+}
+
+} // namespace
+
+std::string disassemble(const instruction& ins) {
+  if (is_nop(ins)) {
+    return "nop";
+  }
+  std::string out(opcode_mnemonic(ins.op));
+  out += condition_suffix(ins.cond);
+  if (ins.set_flags && !is_compare(ins)) {
+    out += 's';
+  }
+  const std::string_view rd = reg_name(ins.rd);
+  const std::string_view rn = reg_name(ins.rn);
+
+  switch (ins.op) {
+  case opcode::mov:
+  case opcode::mvn:
+    out += ' ';
+    out += rd;
+    out += ", ";
+    out += op2_str(ins.op2);
+    return out;
+  case opcode::cmp:
+  case opcode::cmn:
+  case opcode::tst:
+  case opcode::teq:
+    out += ' ';
+    out += rn;
+    out += ", ";
+    out += op2_str(ins.op2);
+    return out;
+  case opcode::movw:
+  case opcode::movt:
+    out += ' ';
+    out += rd;
+    out += ", #";
+    out += std::to_string(ins.imm16);
+    return out;
+  case opcode::mul:
+    out += ' ';
+    out += rd;
+    out += ", ";
+    out += rn;
+    out += ", ";
+    out += reg_name(ins.op2.rm);
+    return out;
+  case opcode::mla:
+    out += ' ';
+    out += rd;
+    out += ", ";
+    out += rn;
+    out += ", ";
+    out += reg_name(ins.op2.rm);
+    out += ", ";
+    out += reg_name(ins.ra);
+    return out;
+  case opcode::ldr:
+  case opcode::ldrb:
+  case opcode::ldrh:
+  case opcode::str:
+  case opcode::strb:
+  case opcode::strh:
+    out += ' ';
+    out += rd;
+    out += ", ";
+    out += mem_str(ins.mem);
+    return out;
+  case opcode::b:
+  case opcode::bl:
+    out += ' ';
+    out += '#';
+    out += std::to_string(ins.branch_offset);
+    return out;
+  case opcode::bx:
+    out += ' ';
+    out += reg_name(ins.op2.rm);
+    return out;
+  case opcode::mark:
+    out += ' ';
+    out += '#';
+    out += std::to_string(ins.imm16);
+    return out;
+  case opcode::halt:
+    return out;
+  default:
+    break;
+  }
+  // Remaining data-processing: op rd, rn, op2.
+  out += ' ';
+  out += rd;
+  out += ", ";
+  out += rn;
+  out += ", ";
+  out += op2_str(ins.op2);
+  return out;
+}
+
+} // namespace usca::isa

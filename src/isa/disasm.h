@@ -1,0 +1,21 @@
+// Textual rendering of AL32 instructions.
+//
+// The output is valid input for the usca::asmx assembler, which the
+// round-trip tests (assemble ∘ disassemble == identity) rely on.
+#ifndef USCA_ISA_DISASM_H
+#define USCA_ISA_DISASM_H
+
+#include <string>
+
+#include "isa/instruction.h"
+
+namespace usca::isa {
+
+/// Renders one instruction, e.g. "addeqs r0, r1, r2, lsl #3".
+/// Branch targets are rendered as "#<offset>" relative to the next
+/// instruction, which the assembler accepts as a numeric target.
+std::string disassemble(const instruction& ins);
+
+} // namespace usca::isa
+
+#endif // USCA_ISA_DISASM_H

@@ -1,0 +1,212 @@
+#include "isa/encoding.h"
+
+#include "util/bitops.h"
+#include "util/error.h"
+
+namespace usca::isa {
+
+namespace {
+
+constexpr std::uint32_t bits(std::uint32_t value, unsigned width) noexcept {
+  return value & ((width >= 32) ? 0xffffffffU : ((1U << width) - 1U));
+}
+
+constexpr std::uint8_t opcode_field(opcode op) noexcept {
+  return static_cast<std::uint8_t>(op);
+}
+
+constexpr std::uint8_t max_opcode = static_cast<std::uint8_t>(opcode::halt);
+
+bool is_dp(opcode op) noexcept {
+  return op >= opcode::mov && op <= opcode::teq;
+}
+
+} // namespace
+
+bool encodable(const instruction& ins) noexcept {
+  if (is_dp(ins.op) && ins.op2.k == operand2::kind::immediate) {
+    return util::is_arm_immediate(ins.op2.imm);
+  }
+  if (is_memory(ins) && !ins.mem.reg_offset) {
+    return ins.mem.offset_imm <= 0xfffU;
+  }
+  if (ins.op == opcode::b || ins.op == opcode::bl) {
+    return ins.branch_offset >= -(1 << 21) && ins.branch_offset < (1 << 21);
+  }
+  return true;
+}
+
+std::uint32_t encode(const instruction& ins) {
+  if (!encodable(ins)) {
+    throw util::usca_error("instruction not encodable: " +
+                           std::string(opcode_mnemonic(ins.op)));
+  }
+  std::uint32_t word = 0;
+  word |= bits(static_cast<std::uint32_t>(ins.cond), 4) << 28;
+  word |= bits(opcode_field(ins.op), 6) << 22;
+
+  switch (ins.op) {
+  case opcode::movw:
+  case opcode::movt:
+    word |= bits(index_of(ins.rd), 4) << 16;
+    word |= bits(ins.imm16, 16);
+    return word;
+  case opcode::b:
+  case opcode::bl:
+    word |= bits(static_cast<std::uint32_t>(ins.branch_offset), 22);
+    return word;
+  case opcode::bx:
+    word |= bits(index_of(ins.op2.rm), 4);
+    return word;
+  case opcode::mark:
+    word |= bits(ins.imm16, 16);
+    return word;
+  case opcode::halt:
+    return word;
+  case opcode::mul:
+  case opcode::mla:
+    word |= bits(index_of(ins.rd), 4) << 16;
+    word |= bits(index_of(ins.rn), 4) << 12;
+    word |= bits(index_of(ins.op2.rm), 4) << 8;
+    word |= bits(index_of(ins.ra), 4) << 4;
+    if (ins.set_flags) {
+      word |= 1U << 21;
+    }
+    return word;
+  case opcode::ldr:
+  case opcode::ldrb:
+  case opcode::ldrh:
+  case opcode::str:
+  case opcode::strb:
+  case opcode::strh: {
+    word |= bits(index_of(ins.rd), 4) << 16;
+    word |= bits(index_of(ins.mem.base), 4) << 12;
+    if (ins.mem.subtract) {
+      word |= 1U << 21;
+    }
+    if (ins.mem.reg_offset) {
+      word |= 1U << 20;
+      word |= bits(index_of(ins.mem.offset_reg), 4) << 8;
+      word |= bits(ins.mem.offset_shift, 5) << 3;
+    } else {
+      word |= bits(ins.mem.offset_imm, 12);
+    }
+    return word;
+  }
+  default:
+    break;
+  }
+
+  // Data-processing family.
+  if (ins.set_flags || is_compare(ins)) {
+    word |= 1U << 21;
+  }
+  word |= bits(index_of(ins.rd), 4) << 16;
+  word |= bits(index_of(ins.rn), 4) << 12;
+  if (ins.op2.k == operand2::kind::immediate) {
+    word |= 1U << 20;
+    const util::arm_immediate enc = util::encode_arm_immediate(ins.op2.imm);
+    word |= bits(enc.rot4, 4) << 8;
+    word |= bits(enc.imm8, 8);
+  } else if (ins.op2.k == operand2::kind::reg_shifted) {
+    word |= bits(index_of(ins.op2.rm), 4) << 8;
+    word |= bits(static_cast<std::uint32_t>(ins.op2.shift.kind), 2) << 6;
+    if (ins.op2.shift.by_register) {
+      word |= 1U << 5;
+      word |= bits(index_of(ins.op2.shift.amount_reg), 4) << 1;
+    } else {
+      word |= bits(ins.op2.shift.amount, 5);
+    }
+  }
+  return word;
+}
+
+std::optional<instruction> decode(std::uint32_t word) noexcept {
+  const auto op_field = static_cast<std::uint8_t>((word >> 22) & 0x3fU);
+  if (op_field > max_opcode) {
+    return std::nullopt;
+  }
+  instruction ins;
+  ins.op = static_cast<opcode>(op_field);
+  ins.cond = static_cast<condition>((word >> 28) & 0xfU);
+
+  const auto rd = reg_from_index(static_cast<std::uint8_t>((word >> 16) & 0xfU));
+  const auto rn = reg_from_index(static_cast<std::uint8_t>((word >> 12) & 0xfU));
+  const bool bit21 = ((word >> 21) & 1U) != 0;
+  const bool bit20 = ((word >> 20) & 1U) != 0;
+
+  switch (ins.op) {
+  case opcode::movw:
+  case opcode::movt:
+    ins.rd = rd;
+    ins.imm16 = static_cast<std::uint16_t>(word & 0xffffU);
+    return ins;
+  case opcode::b:
+  case opcode::bl:
+    ins.branch_offset = util::sign_extend(word & 0x3fffffU, 22);
+    return ins;
+  case opcode::bx:
+    ins.op2 = operand2::make_reg(
+        reg_from_index(static_cast<std::uint8_t>(word & 0xfU)));
+    return ins;
+  case opcode::mark:
+    ins.imm16 = static_cast<std::uint16_t>(word & 0xffffU);
+    return ins;
+  case opcode::halt:
+    return ins;
+  case opcode::mul:
+  case opcode::mla:
+    ins.rd = rd;
+    ins.rn = rn;
+    ins.op2 = operand2::make_reg(
+        reg_from_index(static_cast<std::uint8_t>((word >> 8) & 0xfU)));
+    ins.ra = reg_from_index(static_cast<std::uint8_t>((word >> 4) & 0xfU));
+    ins.set_flags = bit21;
+    return ins;
+  case opcode::ldr:
+  case opcode::ldrb:
+  case opcode::ldrh:
+  case opcode::str:
+  case opcode::strb:
+  case opcode::strh:
+    ins.rd = rd;
+    ins.mem.base = rn;
+    ins.mem.subtract = bit21;
+    if (bit20) {
+      ins.mem.reg_offset = true;
+      ins.mem.offset_reg =
+          reg_from_index(static_cast<std::uint8_t>((word >> 8) & 0xfU));
+      ins.mem.offset_shift = static_cast<std::uint8_t>((word >> 3) & 0x1fU);
+    } else {
+      ins.mem.offset_imm = word & 0xfffU;
+    }
+    return ins;
+  default:
+    break;
+  }
+
+  // Data-processing family.
+  ins.rd = rd;
+  ins.rn = rn;
+  ins.set_flags = bit21;
+  if (bit20) {
+    const auto rot4 = static_cast<std::uint8_t>((word >> 8) & 0xfU);
+    const auto imm8 = static_cast<std::uint8_t>(word & 0xffU);
+    ins.op2 = operand2::make_imm(util::decode_arm_immediate(rot4, imm8));
+  } else {
+    shift_spec spec;
+    spec.kind = static_cast<shift_kind>((word >> 6) & 0x3U);
+    if ((word >> 5) & 1U) {
+      spec.by_register = true;
+      spec.amount_reg =
+          reg_from_index(static_cast<std::uint8_t>((word >> 1) & 0xfU));
+    } else {
+      spec.amount = static_cast<std::uint8_t>(word & 0x1fU);
+    }
+    ins.op2 = operand2::make_reg(
+        reg_from_index(static_cast<std::uint8_t>((word >> 8) & 0xfU)), spec);
+  }
+  return ins;
+}
+
+} // namespace usca::isa

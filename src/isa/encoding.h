@@ -1,0 +1,46 @@
+// Binary encoding of AL32 instructions.
+//
+// AL32 uses a fixed 32-bit instruction word.  The layout is ARM-inspired
+// but regular:
+//
+//   generic    [31:28] cond  [27:22] opcode  [21] S/U  [20] I  [19:16] rd
+//              [15:12] rn    [11:0]  payload
+//   dp-imm     I=1, payload = rot4[11:8] | imm8[7:0]      (ARM modified imm)
+//   dp-reg     I=0, payload = rm[11:8] | kind[7:6] | byreg[5]
+//                              | amount[4:0]  (or amount_reg in [4:1])
+//   mul/mla    payload = rm[11:8] | ra[7:4]
+//   movw/movt  [15:0] imm16
+//   memory     I = register-offset flag, bit21 = subtract flag,
+//              payload = offset_imm[11:0]  or  rm[11:8] | lsl[7:3]
+//   b/bl       [21:0] signed instruction offset (relative to next insn)
+//   bx         rm[3:0]
+//   mark       imm16[15:0]
+//   halt       payload 0
+//
+// The encoder rejects data-processing immediates that do not fit the ARM
+// rotated-imm8 scheme; the assembler legalizes larger constants through
+// movw/movt.  Round-trip (encode ∘ decode == identity) is tested for the
+// whole instruction space exercised by the library.
+#ifndef USCA_ISA_ENCODING_H
+#define USCA_ISA_ENCODING_H
+
+#include <cstdint>
+#include <optional>
+
+#include "isa/instruction.h"
+
+namespace usca::isa {
+
+/// Encodes an instruction; throws util::usca_error if a field does not fit
+/// (immediate not encodable, offset out of range).
+std::uint32_t encode(const instruction& ins);
+
+/// True when `encode` would succeed.
+bool encodable(const instruction& ins) noexcept;
+
+/// Decodes a 32-bit word; returns nullopt for an undefined opcode field.
+std::optional<instruction> decode(std::uint32_t word) noexcept;
+
+} // namespace usca::isa
+
+#endif // USCA_ISA_ENCODING_H

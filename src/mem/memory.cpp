@@ -1,0 +1,89 @@
+#include "mem/memory.h"
+
+#include "util/error.h"
+
+namespace usca::mem {
+
+namespace {
+
+constexpr std::uint32_t page_number(std::uint32_t address) noexcept {
+  return address >> memory::page_bits;
+}
+
+constexpr std::size_t page_offset(std::uint32_t address) noexcept {
+  return address & (memory::page_size - 1);
+}
+
+} // namespace
+
+const memory::page* memory::find_page(std::uint32_t address) const noexcept {
+  const auto it = pages_.find(page_number(address));
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+memory::page& memory::touch_page(std::uint32_t address) {
+  page& p = pages_[page_number(address)];
+  if (p.empty()) {
+    p.resize(page_size, 0);
+  }
+  return p;
+}
+
+std::uint8_t memory::read8(std::uint32_t address) const noexcept {
+  const page* p = find_page(address);
+  return p ? (*p)[page_offset(address)] : 0;
+}
+
+std::uint16_t memory::read16(std::uint32_t address) const {
+  if (address % 2 != 0) {
+    throw util::simulation_error("unaligned halfword read");
+  }
+  return static_cast<std::uint16_t>(read8(address) |
+                                    (read8(address + 1) << 8));
+}
+
+std::uint32_t memory::read32(std::uint32_t address) const {
+  if (address % 4 != 0) {
+    throw util::simulation_error("unaligned word read");
+  }
+  return static_cast<std::uint32_t>(read8(address)) |
+         (static_cast<std::uint32_t>(read8(address + 1)) << 8) |
+         (static_cast<std::uint32_t>(read8(address + 2)) << 16) |
+         (static_cast<std::uint32_t>(read8(address + 3)) << 24);
+}
+
+void memory::write8(std::uint32_t address, std::uint8_t value) {
+  touch_page(address)[page_offset(address)] = value;
+}
+
+void memory::write16(std::uint32_t address, std::uint16_t value) {
+  if (address % 2 != 0) {
+    throw util::simulation_error("unaligned halfword write");
+  }
+  write8(address, static_cast<std::uint8_t>(value));
+  write8(address + 1, static_cast<std::uint8_t>(value >> 8));
+}
+
+void memory::write32(std::uint32_t address, std::uint32_t value) {
+  if (address % 4 != 0) {
+    throw util::simulation_error("unaligned word write");
+  }
+  for (int i = 0; i < 4; ++i) {
+    write8(address + static_cast<std::uint32_t>(i),
+           static_cast<std::uint8_t>(value >> (8 * i)));
+  }
+}
+
+void memory::load(std::uint32_t base, const std::vector<std::uint8_t>& bytes) {
+  for (std::size_t i = 0; i < bytes.size(); ++i) {
+    write8(base + static_cast<std::uint32_t>(i), bytes[i]);
+  }
+}
+
+std::uint32_t memory::containing_word(std::uint32_t address) const {
+  return read32(address & ~3U);
+}
+
+void memory::clear() noexcept { pages_.clear(); }
+
+} // namespace usca::mem

@@ -1,0 +1,54 @@
+// Flat byte-addressable memory with sparse page allocation.
+//
+// The simulated system is single-address-space, little-endian.  Pages are
+// allocated on first touch so that programs with a high data base (default
+// 0x10000) do not cost memory for the unused gap.  Sub-word accesses are
+// supported directly; word accesses must be 4-byte aligned (the pipeline
+// model does not split unaligned accesses, matching the deterministic
+// micro-benchmarks of the paper).
+#ifndef USCA_MEM_MEMORY_H
+#define USCA_MEM_MEMORY_H
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+namespace usca::mem {
+
+class memory {
+public:
+  static constexpr std::size_t page_bits = 12;
+  static constexpr std::size_t page_size = std::size_t{1} << page_bits;
+
+  std::uint8_t read8(std::uint32_t address) const noexcept;
+  std::uint16_t read16(std::uint32_t address) const;
+  std::uint32_t read32(std::uint32_t address) const;
+
+  void write8(std::uint32_t address, std::uint8_t value);
+  void write16(std::uint32_t address, std::uint16_t value);
+  void write32(std::uint32_t address, std::uint32_t value);
+
+  /// Bulk load (used to install a program's data image).
+  void load(std::uint32_t base, const std::vector<std::uint8_t>& bytes);
+
+  /// Reads the aligned 32-bit word containing `address` — the value the
+  /// memory data register (MDR) observes on any access, including
+  /// sub-word ones; central to the paper's MDR leakage model.
+  std::uint32_t containing_word(std::uint32_t address) const;
+
+  /// Drops all pages.
+  void clear() noexcept;
+
+private:
+  using page = std::vector<std::uint8_t>;
+
+  const page* find_page(std::uint32_t address) const noexcept;
+  page& touch_page(std::uint32_t address);
+
+  std::unordered_map<std::uint32_t, page> pages_;
+};
+
+} // namespace usca::mem
+
+#endif // USCA_MEM_MEMORY_H

@@ -1,0 +1,32 @@
+#include "power/noise.h"
+
+#include <algorithm>
+
+namespace usca::power {
+
+os_noise_process::os_noise_process(const os_noise_config& config,
+                                   util::xoshiro256& rng)
+    : config_(config), rng_(rng), level_(config.second_core_mean) {}
+
+double os_noise_process::step() {
+  if (!config_.enabled) {
+    return 0.0;
+  }
+  // Second-core activity: mean-reverting random walk clamped to
+  // [0, second_core_max].
+  level_ += config_.second_core_sigma * rng_.next_gaussian() +
+            0.05 * (config_.second_core_mean - level_);
+  level_ = std::clamp(level_, 0.0, config_.second_core_max);
+
+  double burst = 0.0;
+  if (burst_remaining_ > 0) {
+    --burst_remaining_;
+    burst = config_.preemption_amplitude;
+  } else if (rng_.next_double() < config_.preemption_probability) {
+    burst_remaining_ = config_.preemption_duration;
+    burst = config_.preemption_amplitude;
+  }
+  return level_ + burst;
+}
+
+} // namespace usca::power

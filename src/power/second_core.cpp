@@ -1,0 +1,82 @@
+#include "power/second_core.h"
+
+#include "asmx/program.h"
+#include "power/synthesizer.h"
+#include "sim/pipeline.h"
+
+namespace usca::power {
+
+namespace {
+
+using isa::reg;
+namespace mk = isa::ins;
+
+/// A webserver-ish busy loop: pointer chasing, table lookups, arithmetic
+/// on the loaded data, and stores — enough unit diversity to toggle every
+/// leakage structure of the interfering core.
+asmx::program make_workload(util::xoshiro256& rng) {
+  asmx::program_builder b;
+  constexpr std::size_t table_words = 64;
+  const std::uint32_t table = b.data_block(4 * table_words, 4);
+  b.load_constant(reg::r8, table);
+  b.load_constant(reg::r0, rng.next_u32());
+  b.load_constant(reg::r1, rng.next_u32());
+  b.load_constant(reg::r7, 0); // loop counter
+
+  const auto loop_start = b.size();
+  // Index derivation keeps the accesses inside the table.
+  b.emit(mk::and_imm(reg::r2, reg::r0, 0xfc));
+  b.emit(mk::ldr_reg(reg::r3, reg::r8, reg::r2));
+  b.emit(mk::eor(reg::r0, reg::r0, reg::r3));
+  b.emit(mk::dp_shift(isa::opcode::add, reg::r1, reg::r1, reg::r0,
+                      isa::shift_kind::ror, 7));
+  b.emit(mk::mul(reg::r4, reg::r0, reg::r1));
+  b.emit(mk::strb(reg::r4, reg::r8, 4));
+  b.emit(mk::add_imm(reg::r0, reg::r0, 0x35));
+  b.emit(mk::str_reg(reg::r1, reg::r8, reg::r2));
+  b.emit(mk::add_imm(reg::r7, reg::r7, 1));
+  // Infinite loop: the caller bounds execution by cycle count.
+  b.emit(mk::b(static_cast<std::int32_t>(loop_start) -
+               static_cast<std::int32_t>(b.size()) - 1));
+  return b.build(false);
+}
+
+} // namespace
+
+second_core_noise::second_core_noise(const sim::micro_arch_config& config,
+                                     const leakage_weights& weights,
+                                     std::uint64_t seed, std::size_t cycles,
+                                     double coupling) {
+  util::xoshiro256 rng(seed);
+  sim::pipeline pipe(make_workload(rng), config);
+  pipe.warm_caches();
+  while (pipe.cycles() < cycles && pipe.step_cycle()) {
+  }
+
+  power_.assign(cycles, 0.0);
+  for (const sim::activity_event& ev : pipe.activity()) {
+    if (ev.cycle < cycles) {
+      power_[ev.cycle] +=
+          coupling * weights[ev.comp] * static_cast<double>(ev.toggles);
+    }
+  }
+  double sum = 0.0;
+  for (const double p : power_) {
+    sum += p;
+  }
+  mean_ = power_.empty() ? 0.0 : sum / static_cast<double>(power_.size());
+}
+
+void second_core_noise::add_window(std::vector<double>& accumulator,
+                                   util::xoshiro256& rng) const {
+  if (power_.empty()) {
+    return;
+  }
+  std::size_t phase = rng.bounded(power_.size());
+  for (double& sample : accumulator) {
+    sample += power_[phase];
+    phase = phase + 1 == power_.size() ? 0 : phase + 1;
+  }
+}
+
+} // namespace usca::power

@@ -1,0 +1,57 @@
+#include "power/trace.h"
+
+#include "util/error.h"
+
+namespace usca::power {
+
+trace_matrix::trace_matrix(std::size_t traces, std::size_t samples)
+    : traces_(traces), samples_(samples), data_(traces * samples, 0.0) {}
+
+std::span<double> trace_matrix::row(std::size_t i) noexcept {
+  return {data_.data() + i * samples_, samples_};
+}
+
+std::span<const double> trace_matrix::row(std::size_t i) const noexcept {
+  return {data_.data() + i * samples_, samples_};
+}
+
+void trace_matrix::set_row(std::size_t i, std::span<const double> values) {
+  if (values.size() != samples_) {
+    throw util::analysis_error("trace length mismatch in set_row");
+  }
+  std::copy(values.begin(), values.end(), data_.begin() +
+            static_cast<std::ptrdiff_t>(i * samples_));
+}
+
+void trace_matrix::push_row(std::span<const double> values) {
+  if (traces_ == 0 && samples_ == 0) {
+    samples_ = values.size();
+  }
+  if (values.size() != samples_) {
+    throw util::analysis_error("trace length mismatch in push_row");
+  }
+  data_.insert(data_.end(), values.begin(), values.end());
+  ++traces_;
+}
+
+trace average_traces(std::span<const trace> group) {
+  if (group.empty()) {
+    throw util::analysis_error("average_traces: empty group");
+  }
+  trace out(group.front().size(), 0.0);
+  for (const trace& t : group) {
+    if (t.size() != out.size()) {
+      throw util::analysis_error("average_traces: length mismatch");
+    }
+    for (std::size_t i = 0; i < out.size(); ++i) {
+      out[i] += t[i];
+    }
+  }
+  const double scale = 1.0 / static_cast<double>(group.size());
+  for (double& v : out) {
+    v *= scale;
+  }
+  return out;
+}
+
+} // namespace usca::power

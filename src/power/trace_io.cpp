@@ -1,0 +1,103 @@
+#include "power/trace_io.h"
+
+#include <cstring>
+#include <fstream>
+#include <ostream>
+
+#include "util/error.h"
+
+namespace usca::power {
+
+namespace {
+
+constexpr char magic[4] = {'U', 'S', 'C', 'A'};
+constexpr std::uint32_t format_version = 1;
+
+template <typename T> void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof value);
+}
+
+template <typename T> T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof value);
+  if (!in) {
+    throw util::analysis_error("trace file truncated");
+  }
+  return value;
+}
+
+} // namespace
+
+void save_traces(const trace_matrix& traces, std::ostream& out) {
+  out.write(magic, sizeof magic);
+  write_pod(out, format_version);
+  write_pod(out, static_cast<std::uint64_t>(traces.traces()));
+  write_pod(out, static_cast<std::uint64_t>(traces.samples()));
+  for (std::size_t i = 0; i < traces.traces(); ++i) {
+    const auto row = traces.row(i);
+    out.write(reinterpret_cast<const char*>(row.data()),
+              static_cast<std::streamsize>(row.size() * sizeof(double)));
+  }
+  if (!out) {
+    throw util::analysis_error("trace write failed");
+  }
+}
+
+void save_traces(const trace_matrix& traces, const std::string& path) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw util::analysis_error("cannot open '" + path + "' for writing");
+  }
+  save_traces(traces, out);
+}
+
+trace_matrix load_traces(std::istream& in) {
+  char header[4] = {};
+  in.read(header, sizeof header);
+  if (!in || std::memcmp(header, magic, sizeof magic) != 0) {
+    throw util::analysis_error("not a usca trace file");
+  }
+  const auto version = read_pod<std::uint32_t>(in);
+  if (version != format_version) {
+    throw util::analysis_error("unsupported trace file version");
+  }
+  const auto n_traces = read_pod<std::uint64_t>(in);
+  const auto n_samples = read_pod<std::uint64_t>(in);
+  if (n_traces > (1ULL << 32) || n_samples > (1ULL << 32)) {
+    throw util::analysis_error("trace file dimensions implausible");
+  }
+  trace_matrix out(static_cast<std::size_t>(n_traces),
+                   static_cast<std::size_t>(n_samples));
+  for (std::size_t i = 0; i < out.traces(); ++i) {
+    auto row = out.row(i);
+    in.read(reinterpret_cast<char*>(row.data()),
+            static_cast<std::streamsize>(row.size() * sizeof(double)));
+    if (!in) {
+      throw util::analysis_error("trace file truncated");
+    }
+  }
+  return out;
+}
+
+trace_matrix load_traces(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw util::analysis_error("cannot open '" + path + "'");
+  }
+  return load_traces(in);
+}
+
+void export_csv(const trace_matrix& traces, std::ostream& out) {
+  for (std::size_t i = 0; i < traces.traces(); ++i) {
+    const auto row = traces.row(i);
+    for (std::size_t s = 0; s < row.size(); ++s) {
+      if (s != 0) {
+        out << ',';
+      }
+      out << row[s];
+    }
+    out << '\n';
+  }
+}
+
+} // namespace usca::power

@@ -1,0 +1,32 @@
+// Trace persistence: a simple binary container plus CSV export.
+//
+// Campaigns that take minutes to simulate (100k-trace Table-2 runs) can be
+// captured once and re-analysed offline; CSV export feeds external
+// plotting of the Figure-3/4 series.
+//
+// Binary layout (little endian): magic "USCA", u32 version, u64 traces,
+// u64 samples, traces*samples float64 row-major.
+#ifndef USCA_POWER_TRACE_IO_H
+#define USCA_POWER_TRACE_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "power/trace.h"
+
+namespace usca::power {
+
+/// Writes a trace matrix; throws util::analysis_error on I/O failure.
+void save_traces(const trace_matrix& traces, std::ostream& out);
+void save_traces(const trace_matrix& traces, const std::string& path);
+
+/// Reads a trace matrix; throws util::analysis_error on a malformed file.
+trace_matrix load_traces(std::istream& in);
+trace_matrix load_traces(const std::string& path);
+
+/// CSV export: one row per trace, samples comma-separated.
+void export_csv(const trace_matrix& traces, std::ostream& out);
+
+} // namespace usca::power
+
+#endif // USCA_POWER_TRACE_IO_H

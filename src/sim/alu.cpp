@@ -1,0 +1,190 @@
+#include "sim/alu.h"
+
+namespace usca::sim {
+
+shift_result apply_shift(std::uint32_t value, isa::shift_kind kind,
+                         std::uint32_t amount, bool carry_in) noexcept {
+  shift_result out;
+  if (amount == 0) {
+    out.value = value;
+    out.carry = carry_in;
+    return out;
+  }
+  switch (kind) {
+  case isa::shift_kind::lsl:
+    if (amount < 32) {
+      out.value = value << amount;
+      out.carry = ((value >> (32 - amount)) & 1U) != 0;
+    } else if (amount == 32) {
+      out.value = 0;
+      out.carry = (value & 1U) != 0;
+    } else {
+      out.value = 0;
+      out.carry = false;
+    }
+    return out;
+  case isa::shift_kind::lsr:
+    if (amount < 32) {
+      out.value = value >> amount;
+      out.carry = ((value >> (amount - 1)) & 1U) != 0;
+    } else if (amount == 32) {
+      out.value = 0;
+      out.carry = (value >> 31) != 0;
+    } else {
+      out.value = 0;
+      out.carry = false;
+    }
+    return out;
+  case isa::shift_kind::asr:
+    if (amount < 32) {
+      out.value =
+          static_cast<std::uint32_t>(static_cast<std::int32_t>(value) >>
+                                     amount);
+      out.carry = ((value >> (amount - 1)) & 1U) != 0;
+    } else {
+      out.value = (value >> 31) != 0 ? 0xffffffffU : 0U;
+      out.carry = (value >> 31) != 0;
+    }
+    return out;
+  case isa::shift_kind::ror: {
+    const std::uint32_t eff = amount & 31U;
+    if (eff == 0) {
+      // ROR by a multiple of 32: value unchanged, carry = msb.
+      out.value = value;
+      out.carry = (value >> 31) != 0;
+    } else {
+      out.value = (value >> eff) | (value << (32 - eff));
+      out.carry = ((out.value >> 31) & 1U) != 0;
+    }
+    return out;
+  }
+  }
+  out.value = value;
+  out.carry = carry_in;
+  return out;
+}
+
+namespace {
+
+isa::flags nz_flags(std::uint32_t result, const isa::flags& current) noexcept {
+  isa::flags f = current;
+  f.n = (result >> 31) != 0;
+  f.z = result == 0;
+  return f;
+}
+
+struct add_outcome {
+  std::uint32_t value;
+  bool carry;
+  bool overflow;
+};
+
+add_outcome add_with_carry(std::uint32_t a, std::uint32_t b,
+                           bool carry_in) noexcept {
+  const std::uint64_t wide = static_cast<std::uint64_t>(a) +
+                             static_cast<std::uint64_t>(b) +
+                             (carry_in ? 1U : 0U);
+  const auto value = static_cast<std::uint32_t>(wide);
+  add_outcome out{};
+  out.value = value;
+  out.carry = (wide >> 32) != 0;
+  // Signed overflow: inputs share a sign that differs from the result's.
+  out.overflow = (~(a ^ b) & (a ^ value) & 0x8000'0000U) != 0;
+  return out;
+}
+
+} // namespace
+
+alu_result execute_dp(isa::opcode op, std::uint32_t rn, std::uint32_t op2,
+                      bool shifter_carry, const isa::flags& current) noexcept {
+  alu_result out;
+  using isa::opcode;
+  switch (op) {
+  case opcode::mov:
+    out.value = op2;
+    out.f = nz_flags(out.value, current);
+    out.f.c = shifter_carry;
+    return out;
+  case opcode::mvn:
+    out.value = ~op2;
+    out.f = nz_flags(out.value, current);
+    out.f.c = shifter_carry;
+    return out;
+  case opcode::and_:
+  case opcode::tst: {
+    out.value = rn & op2;
+    out.f = nz_flags(out.value, current);
+    out.f.c = shifter_carry;
+    out.writes_result = op == opcode::and_;
+    return out;
+  }
+  case opcode::eor:
+  case opcode::teq: {
+    out.value = rn ^ op2;
+    out.f = nz_flags(out.value, current);
+    out.f.c = shifter_carry;
+    out.writes_result = op == opcode::eor;
+    return out;
+  }
+  case opcode::orr:
+    out.value = rn | op2;
+    out.f = nz_flags(out.value, current);
+    out.f.c = shifter_carry;
+    return out;
+  case opcode::bic:
+    out.value = rn & ~op2;
+    out.f = nz_flags(out.value, current);
+    out.f.c = shifter_carry;
+    return out;
+  case opcode::add:
+  case opcode::cmn: {
+    const add_outcome sum = add_with_carry(rn, op2, false);
+    out.value = sum.value;
+    out.f = nz_flags(sum.value, current);
+    out.f.c = sum.carry;
+    out.f.v = sum.overflow;
+    out.writes_result = op == opcode::add;
+    return out;
+  }
+  case opcode::adc: {
+    const add_outcome sum = add_with_carry(rn, op2, current.c);
+    out.value = sum.value;
+    out.f = nz_flags(sum.value, current);
+    out.f.c = sum.carry;
+    out.f.v = sum.overflow;
+    return out;
+  }
+  case opcode::sub:
+  case opcode::cmp: {
+    const add_outcome diff = add_with_carry(rn, ~op2, true);
+    out.value = diff.value;
+    out.f = nz_flags(diff.value, current);
+    out.f.c = diff.carry;
+    out.f.v = diff.overflow;
+    out.writes_result = op == opcode::sub;
+    return out;
+  }
+  case opcode::sbc: {
+    const add_outcome diff = add_with_carry(rn, ~op2, current.c);
+    out.value = diff.value;
+    out.f = nz_flags(diff.value, current);
+    out.f.c = diff.carry;
+    out.f.v = diff.overflow;
+    return out;
+  }
+  case opcode::rsb: {
+    const add_outcome diff = add_with_carry(op2, ~rn, true);
+    out.value = diff.value;
+    out.f = nz_flags(diff.value, current);
+    out.f.c = diff.carry;
+    out.f.v = diff.overflow;
+    return out;
+  }
+  default:
+    // Non data-processing opcodes never reach execute_dp.
+    out.writes_result = false;
+    return out;
+  }
+}
+
+} // namespace usca::sim

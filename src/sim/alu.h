@@ -1,0 +1,91 @@
+// Shared arithmetic/logic semantics of the AL32 ISA.
+//
+// Both the functional executor (reference ISS) and the pipeline model call
+// into these helpers, so the two simulators cannot diverge on instruction
+// semantics — the differential test suite relies on this single source of
+// truth only for *catching* timing-model bugs, not semantic ones.
+//
+// Shift semantics follow ARM operand-2 rules with one documented
+// simplification: immediate shift amounts are restricted to 0..31 and an
+// amount of zero is the identity for every shift kind (ARM's special
+// "LSR #0 means #32" encodings are not used by this ISA).  Register shift
+// amounts use the low byte of the register, with amounts >= 32 saturating
+// as in ARM (LSL/LSR -> 0, ASR -> sign fill, ROR -> amount mod 32).
+#ifndef USCA_SIM_ALU_H
+#define USCA_SIM_ALU_H
+
+#include <cstdint>
+
+#include "isa/instruction.h"
+
+namespace usca::sim {
+
+/// Result of evaluating a shift: the value plus the shifter carry-out.
+struct shift_result {
+  std::uint32_t value = 0;
+  bool carry = false;
+};
+
+/// Applies a barrel-shift.  `carry_in` is the current C flag (returned
+/// unchanged when the shift is the identity).
+shift_result apply_shift(std::uint32_t value, isa::shift_kind kind,
+                         std::uint32_t amount, bool carry_in) noexcept;
+
+/// Evaluated operand-2: final value, the pre-shift register value (what the
+/// IS/EX operand bus carries), shifter engagement and carry.
+struct operand2_value {
+  std::uint32_t value = 0;      ///< post-shift value entering the ALU
+  std::uint32_t pre_shift = 0;  ///< raw register value (bus value)
+  bool used_shifter = false;
+  bool carry = false;
+};
+
+/// Evaluates operand-2 given a register-read callback.
+template <typename RegRead>
+operand2_value eval_operand2(const isa::instruction& ins, RegRead&& read_reg,
+                             bool carry_in) {
+  operand2_value out;
+  out.carry = carry_in;
+  if (ins.op2.k == isa::operand2::kind::immediate) {
+    out.value = ins.op2.imm;
+    out.pre_shift = ins.op2.imm;
+    return out;
+  }
+  if (ins.op2.k == isa::operand2::kind::none) {
+    return out;
+  }
+  const std::uint32_t rm = read_reg(ins.op2.rm);
+  out.pre_shift = rm;
+  if (!ins.op2.shift.active()) {
+    out.value = rm;
+    return out;
+  }
+  out.used_shifter = true;
+  const std::uint32_t amount =
+      ins.op2.shift.by_register
+          ? (read_reg(ins.op2.shift.amount_reg) & 0xffU)
+          : ins.op2.shift.amount;
+  const shift_result shifted =
+      apply_shift(rm, ins.op2.shift.kind, amount, carry_in);
+  out.value = shifted.value;
+  out.carry = shifted.carry;
+  return out;
+}
+
+/// Data-processing outcome: the result plus the flags that an S-suffixed
+/// instruction would write.
+struct alu_result {
+  std::uint32_t value = 0;
+  isa::flags f;
+  bool writes_result = true; ///< false for cmp/cmn/tst/teq
+};
+
+/// Executes the data-processing operation `op` (mov..teq) on evaluated
+/// inputs.  `shifter_carry` is the carry produced by operand-2 evaluation;
+/// `current` supplies flags for adc/sbc and preserved bits.
+alu_result execute_dp(isa::opcode op, std::uint32_t rn, std::uint32_t op2,
+                      bool shifter_carry, const isa::flags& current) noexcept;
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_ALU_H

@@ -1,0 +1,30 @@
+// Architectural CPU state shared by the functional executor and the
+// pipeline model.  `pc` is an instruction *index* into the program's code
+// section; byte addresses are derived through asmx::program::address_of.
+#ifndef USCA_SIM_CPU_STATE_H
+#define USCA_SIM_CPU_STATE_H
+
+#include <array>
+#include <cstdint>
+
+#include "isa/registers.h"
+
+namespace usca::sim {
+
+struct cpu_state {
+  std::array<std::uint32_t, isa::num_registers> regs{};
+  isa::flags f;
+  std::size_t pc = 0;
+  bool halted = false;
+
+  std::uint32_t reg(isa::reg r) const noexcept {
+    return regs[isa::index_of(r)];
+  }
+  void set_reg(isa::reg r, std::uint32_t value) noexcept {
+    regs[isa::index_of(r)] = value;
+  }
+};
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_CPU_STATE_H

@@ -1,0 +1,157 @@
+#include "sim/functional_executor.h"
+
+#include "sim/alu.h"
+#include "util/error.h"
+
+namespace usca::sim {
+
+namespace {
+
+using isa::opcode;
+using isa::reg;
+
+std::uint32_t effective_address(const isa::instruction& ins,
+                                const cpu_state& state) {
+  const std::uint32_t base = state.reg(ins.mem.base);
+  std::uint32_t offset;
+  if (ins.mem.reg_offset) {
+    offset = state.reg(ins.mem.offset_reg) << ins.mem.offset_shift;
+  } else {
+    offset = ins.mem.offset_imm;
+  }
+  return ins.mem.subtract ? base - offset : base + offset;
+}
+
+} // namespace
+
+functional_executor::functional_executor(asmx::program prog)
+    : prog_(std::move(prog)) {
+  memory_.load(prog_.data_base, prog_.data);
+}
+
+void functional_executor::step() {
+  if (state_.halted) {
+    return;
+  }
+  if (state_.pc >= prog_.code.size()) {
+    state_.halted = true;
+    return;
+  }
+  const isa::instruction& ins = prog_.code[state_.pc];
+  ++executed_;
+  if (!isa::condition_passes(ins.cond, state_.f)) {
+    ++state_.pc;
+    return;
+  }
+  execute(ins);
+}
+
+void functional_executor::run(std::uint64_t max_steps) {
+  for (std::uint64_t i = 0; i < max_steps; ++i) {
+    if (state_.halted) {
+      return;
+    }
+    step();
+  }
+  if (!state_.halted) {
+    throw util::simulation_error(
+        "functional executor exceeded the step budget");
+  }
+}
+
+void functional_executor::execute(const isa::instruction& ins) {
+  const auto read = [this](reg r) { return state_.reg(r); };
+  std::size_t next_pc = state_.pc + 1;
+
+  switch (ins.op) {
+  case opcode::movw:
+    state_.set_reg(ins.rd, ins.imm16);
+    break;
+  case opcode::movt:
+    state_.set_reg(ins.rd, (state_.reg(ins.rd) & 0xffffU) |
+                               (static_cast<std::uint32_t>(ins.imm16) << 16));
+    break;
+  case opcode::mul: {
+    const std::uint32_t value = read(ins.rn) * read(ins.op2.rm);
+    state_.set_reg(ins.rd, value);
+    if (ins.set_flags) {
+      state_.f.n = (value >> 31) != 0;
+      state_.f.z = value == 0;
+    }
+    break;
+  }
+  case opcode::mla: {
+    const std::uint32_t value =
+        read(ins.rn) * read(ins.op2.rm) + read(ins.ra);
+    state_.set_reg(ins.rd, value);
+    if (ins.set_flags) {
+      state_.f.n = (value >> 31) != 0;
+      state_.f.z = value == 0;
+    }
+    break;
+  }
+  case opcode::ldr:
+    state_.set_reg(ins.rd, memory_.read32(effective_address(ins, state_)));
+    break;
+  case opcode::ldrb:
+    state_.set_reg(ins.rd, memory_.read8(effective_address(ins, state_)));
+    break;
+  case opcode::ldrh:
+    state_.set_reg(ins.rd, memory_.read16(effective_address(ins, state_)));
+    break;
+  case opcode::str:
+    memory_.write32(effective_address(ins, state_), state_.reg(ins.rd));
+    break;
+  case opcode::strb:
+    memory_.write8(effective_address(ins, state_),
+                   static_cast<std::uint8_t>(state_.reg(ins.rd)));
+    break;
+  case opcode::strh:
+    memory_.write16(effective_address(ins, state_),
+                    static_cast<std::uint16_t>(state_.reg(ins.rd)));
+    break;
+  case opcode::b:
+    next_pc = static_cast<std::size_t>(
+        static_cast<std::int64_t>(state_.pc) + 1 + ins.branch_offset);
+    break;
+  case opcode::bl:
+    state_.set_reg(reg::lr, prog_.address_of(state_.pc + 1));
+    next_pc = static_cast<std::size_t>(
+        static_cast<std::int64_t>(state_.pc) + 1 + ins.branch_offset);
+    break;
+  case opcode::bx: {
+    const std::uint32_t target = state_.reg(ins.op2.rm);
+    const auto index = prog_.index_of_address(target);
+    if (!index) {
+      state_.halted = true; // returning past the top-level frame
+      return;
+    }
+    next_pc = *index;
+    break;
+  }
+  case opcode::mark:
+    break; // timing marker: architecturally a no-op
+  case opcode::halt:
+    state_.halted = true;
+    return;
+  default: { // data-processing family
+    const operand2_value op2 = eval_operand2(ins, read, state_.f.c);
+    const std::uint32_t rn_value = read(ins.rn);
+    const alu_result result =
+        execute_dp(ins.op, rn_value, op2.value, op2.carry, state_.f);
+    if (result.writes_result) {
+      state_.set_reg(ins.rd, result.value);
+    }
+    if (ins.set_flags || isa::is_compare(ins)) {
+      state_.f = result.f;
+    }
+    break;
+  }
+  }
+  state_.pc = next_pc;
+  if (state_.pc >= prog_.code.size()) {
+    state_.halted = true;
+  }
+}
+
+} // namespace usca::sim

@@ -1,0 +1,50 @@
+// Functional (architectural) executor: the reference ISS.
+//
+// Executes AL32 programs with exact instruction semantics and *no* timing
+// model.  It serves three purposes: a golden reference for differential
+// testing of the pipeline model, a fast engine for validating generated
+// code (e.g. the AES program against FIPS-197 vectors), and the semantic
+// baseline the paper's leakage discussion contrasts against ("an assembly
+// representation of the program" cannot reveal micro-architectural leaks).
+#ifndef USCA_SIM_FUNCTIONAL_EXECUTOR_H
+#define USCA_SIM_FUNCTIONAL_EXECUTOR_H
+
+#include <cstdint>
+
+#include "asmx/program.h"
+#include "mem/memory.h"
+#include "sim/cpu_state.h"
+
+namespace usca::sim {
+
+class functional_executor {
+public:
+  /// Loads `prog` (code + data image) into a fresh machine.
+  explicit functional_executor(asmx::program prog);
+
+  /// Executes one instruction; no-op when halted.
+  void step();
+
+  /// Runs until halt; throws util::simulation_error after `max_steps`.
+  void run(std::uint64_t max_steps = 10'000'000);
+
+  cpu_state& state() noexcept { return state_; }
+  const cpu_state& state() const noexcept { return state_; }
+  mem::memory& memory() noexcept { return memory_; }
+  const mem::memory& memory() const noexcept { return memory_; }
+  const asmx::program& program() const noexcept { return prog_; }
+
+  std::uint64_t instructions_executed() const noexcept { return executed_; }
+
+private:
+  void execute(const isa::instruction& ins);
+
+  asmx::program prog_;
+  mem::memory memory_;
+  cpu_state state_;
+  std::uint64_t executed_ = 0;
+};
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_FUNCTIONAL_EXECUTOR_H

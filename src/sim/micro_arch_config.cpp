@@ -1,0 +1,65 @@
+#include "sim/micro_arch_config.h"
+
+namespace usca::sim {
+
+std::size_t pair_class_index(isa::issue_class cls) noexcept {
+  using isa::issue_class;
+  switch (cls) {
+  case issue_class::mov_like:
+    return 0;
+  case issue_class::alu_reg:
+    return 1;
+  case issue_class::alu_imm:
+    return 2;
+  case issue_class::mul_like:
+    return 3;
+  case issue_class::shift_like:
+    return 4;
+  case issue_class::branch_like:
+    return 5;
+  case issue_class::load_store:
+    return 6;
+  case issue_class::nop_like:
+  case issue_class::other:
+    break;
+  }
+  return num_pair_classes;
+}
+
+pairing_table cortex_a7_pairing_table() noexcept {
+  // Rows: older instruction; columns: younger instruction.
+  // Order: mov, ALU, ALU-imm, mul, shifts, branch, ld/st (Table 1).
+  constexpr bool T = true;
+  constexpr bool F = false;
+  return pairing_table{{
+      //           mov  ALU  ALUi mul  shft br   ld/st
+      /* mov   */ {{T, T, T, F, T, T, F}},
+      /* ALU   */ {{T, F, T, F, F, T, F}},
+      /* ALUi  */ {{T, T, T, F, T, T, T}},
+      /* mul   */ {{F, F, F, F, F, T, F}},
+      /* shift */ {{F, F, T, F, F, T, F}},
+      /* br    */ {{T, T, T, T, T, F, T}},
+      /* ld/st */ {{T, F, T, F, F, T, F}},
+  }};
+}
+
+micro_arch_config cortex_a7() noexcept {
+  micro_arch_config config;
+  // Cortex-A7 L1 caches: 32 KiB, 4-way, 64-byte lines (reference manual).
+  config.icache.size_bytes = 32 * 1024;
+  config.icache.ways = 2; // instruction side is 2-way on the A7
+  config.icache.line_bytes = 64;
+  config.dcache.size_bytes = 32 * 1024;
+  config.dcache.ways = 4;
+  config.dcache.line_bytes = 64;
+  return config;
+}
+
+micro_arch_config cortex_a7_scalar() noexcept {
+  micro_arch_config config = cortex_a7();
+  config.issue_width = 1;
+  config.fetch_width = 1;
+  return config;
+}
+
+} // namespace usca::sim

@@ -1,0 +1,142 @@
+// Cycle-level model of a Cortex-A7-like superscalar in-order pipeline.
+//
+// The model implements the micro-architecture deduced in Section 3 of the
+// paper (Figure 2): a two-wide in-order issue stage fed by a fetch/decode
+// front end, a register file with 3 read / 2 write ports, two asymmetric
+// ALUs (shifter and multiplier on ALU0 only), a 3-stage pipelined LSU with
+// address generation in the issue stage, and full forwarding.  Alongside
+// timing (CPI, dual-issue statistics) it tracks the switching activity of
+// every leakage-relevant structure and emits sim::activity_event records
+// consumed by the power model.
+//
+// Execution strategy: instructions execute *architecturally* at issue time
+// (in program order, so values are exact), while a scoreboard models when
+// results become forwardable.  This keeps the model fast enough for the
+// 100k-trace experiments of the paper while preserving cycle-accurate
+// issue behaviour — the property both the CPI exploration and the leakage
+// characterization depend on.
+#ifndef USCA_SIM_PIPELINE_H
+#define USCA_SIM_PIPELINE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "asmx/program.h"
+#include "mem/cache.h"
+#include "mem/memory.h"
+#include "sim/cpu_state.h"
+#include "sim/micro_arch_config.h"
+#include "sim/uarch_activity.h"
+
+namespace usca::sim {
+
+class pipeline {
+public:
+  explicit pipeline(asmx::program prog,
+                    micro_arch_config config = cortex_a7());
+
+  /// Touches every instruction line and the whole data image so that the
+  /// measured region runs entirely from L1 — the paper's warm-up loops.
+  void warm_caches();
+
+  /// Runs until halt (or the cycle budget is exhausted, which throws).
+  void run(std::uint64_t max_cycles = 50'000'000);
+
+  /// Advances one cycle; returns false once halted.
+  bool step_cycle();
+
+  cpu_state& state() noexcept { return state_; }
+  const cpu_state& state() const noexcept { return state_; }
+  mem::memory& memory() noexcept { return memory_; }
+  const mem::memory& memory() const noexcept { return memory_; }
+  const micro_arch_config& config() const noexcept { return config_; }
+
+  std::uint64_t cycles() const noexcept { return cycle_; }
+  /// Instructions issued, nops and condition-failed instructions included.
+  std::uint64_t instructions_issued() const noexcept { return issued_; }
+  /// Number of cycles in which two instructions were issued together.
+  std::uint64_t dual_issue_pairs() const noexcept { return dual_pairs_; }
+
+  struct mark_stamp {
+    std::uint16_t id = 0;
+    std::uint64_t cycle = 0;
+    std::uint64_t dual_pairs = 0; ///< dual-issue pairs retired so far
+  };
+  const std::vector<mark_stamp>& marks() const noexcept { return marks_; }
+
+  const activity_trace& activity() const noexcept { return activity_; }
+
+  /// Disables activity recording (pure timing runs are ~2x faster).
+  void set_record_activity(bool record) noexcept { record_activity_ = record; }
+
+  const mem::cache& icache() const noexcept { return icache_; }
+  const mem::cache& dcache() const noexcept { return dcache_; }
+
+  /// Dual-issue legality of an (older, younger) pair under this
+  /// configuration, ignoring dynamic operand readiness.  Exposed so the
+  /// CPI explorer can cross-check inferred against configured behaviour.
+  bool statically_pairable(const isa::instruction& older,
+                           const isa::instruction& younger) const noexcept;
+
+private:
+  struct issue_outcome {
+    bool issued = false;
+    bool redirect = false; ///< taken branch to a non-fall-through target
+    bool serialize = false; ///< mark/halt: nothing may pair or follow
+  };
+
+  bool operands_ready(const isa::instruction& ins) const noexcept;
+  bool unit_available(const isa::instruction& ins) const noexcept;
+  issue_outcome issue(const isa::instruction& ins, int slot);
+
+  void emit(component comp, std::uint8_t lane, std::uint32_t before,
+            std::uint32_t after, std::uint64_t at_cycle);
+  void emit_weight(component comp, std::uint8_t lane, std::uint32_t value,
+                   std::uint64_t at_cycle);
+  void drive_rf_port(std::uint32_t value);
+  void drive_is_ex_bus(std::uint8_t lane, std::uint32_t value);
+  void write_back(int slot, std::uint32_t value, std::uint64_t at_cycle);
+
+  std::uint32_t read_reg(isa::reg r) const noexcept {
+    return state_.reg(r);
+  }
+  void retire_write(isa::reg r, std::uint32_t value,
+                    std::uint64_t ready_at) noexcept;
+
+  asmx::program prog_;
+  micro_arch_config config_;
+  mem::memory memory_;
+  mem::cache icache_;
+  mem::cache dcache_;
+  cpu_state state_;
+
+  // Scoreboard.
+  std::array<std::uint64_t, isa::num_registers> reg_ready_{};
+  std::uint64_t flags_ready_ = 0;
+  std::uint64_t lsu_free_ = 0;
+  std::uint64_t mul_free_ = 0;
+  std::uint64_t fetch_ready_ = 0;
+
+  // Micro-architectural state registers (leakage sources).
+  std::array<std::uint32_t, 3> rf_port_state_{};
+  std::array<std::uint32_t, 3> is_ex_bus_state_{};
+  std::array<std::uint32_t, 4> alu_latch_state_{};
+  std::array<std::uint32_t, 2> ex_wb_latch_state_{};
+  std::array<std::uint32_t, 2> wb_bus_state_{};
+  std::uint32_t mdr_state_ = 0;
+  std::uint32_t align_buffer_state_ = 0;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t issued_ = 0;
+  std::uint64_t dual_pairs_ = 0;
+  int rf_ports_used_this_cycle_ = 0;
+  bool record_activity_ = true;
+
+  std::vector<mark_stamp> marks_;
+  activity_trace activity_;
+};
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_PIPELINE_H

@@ -1,0 +1,66 @@
+// Micro-architectural activity events: the pipeline's side-channel output.
+//
+// Each cycle, the pipeline model updates the state of the structures that
+// the DAC'18 paper identifies as (potential) leakage sources and emits one
+// event per state transition.  The power model (usca::power) turns these
+// events into synthetic traces by weighting the switching counts; the
+// leakage characterizer correlates hypothesis models against those traces.
+//
+// Components and their lanes:
+//   rf_read_port   lanes 0..2   values asserted on the RF read ports
+//   is_ex_bus      lanes 0..2   IS->EX operand buses: lane0 = slot-0 first
+//                               operand, lane1 = slot-0 second operand /
+//                               store data, lane2 = slot-1 operand path
+//   alu_in_latch   lanes 0..3   per-ALU input operand latches
+//                               (lane = alu*2 + operand position); updated
+//                               only when a real instruction executes on
+//                               that ALU — stale data survives nops
+//   alu_out        lanes 0..1   ALU result asserted on a zero-precharged
+//                               network (toggles = Hamming weight)
+//   shift_buffer   lane 0       barrel-shifter output buffer (HW, small)
+//   ex_wb_latch    lanes 0..1   EX->WB buffer output gates; updated by
+//                               real results only (loads and store data
+//                               included)
+//   wb_bus         lanes 0..1   write-back buses; nop resets them to zero
+//   mdr            lane 0       memory data register: full 32-bit word for
+//                               every access, sub-word included
+//   align_buffer   lane 0       LSU sub-word realignment buffer; updated
+//                               only by byte/halfword accesses
+#ifndef USCA_SIM_UARCH_ACTIVITY_H
+#define USCA_SIM_UARCH_ACTIVITY_H
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+namespace usca::sim {
+
+enum class component : std::uint8_t {
+  rf_read_port,
+  is_ex_bus,
+  alu_in_latch,
+  alu_out,
+  shift_buffer,
+  ex_wb_latch,
+  wb_bus,
+  mdr,
+  align_buffer,
+};
+
+constexpr std::size_t component_count = 9;
+
+std::string_view component_name(component c) noexcept;
+
+/// One switching event: `toggles` bits changed on `comp`/`lane` at `cycle`.
+struct activity_event {
+  std::uint32_t cycle = 0;
+  component comp = component::is_ex_bus;
+  std::uint8_t lane = 0;
+  std::uint8_t toggles = 0;
+};
+
+using activity_trace = std::vector<activity_event>;
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_UARCH_ACTIVITY_H

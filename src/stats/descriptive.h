@@ -1,0 +1,40 @@
+// Numerically stable descriptive statistics (Welford accumulators).
+#ifndef USCA_STATS_DESCRIPTIVE_H
+#define USCA_STATS_DESCRIPTIVE_H
+
+#include <cstdint>
+
+namespace usca::stats {
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+class running_stats {
+public:
+  void add(double value) noexcept;
+
+  std::uint64_t count() const noexcept { return count_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 when fewer than two samples.
+  double variance() const noexcept;
+  /// Population variance (n denominator).
+  double variance_population() const noexcept;
+  double stddev() const noexcept;
+
+  /// Merges another accumulator (parallel reduction; Chan et al.).
+  void merge(const running_stats& other) noexcept;
+
+private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Standard normal cumulative distribution function.
+double normal_cdf(double z) noexcept;
+
+/// Inverse standard normal CDF (Acklam's rational approximation,
+/// |error| < 1.15e-9 — ample for the confidence thresholds used here).
+double normal_quantile(double p) noexcept;
+
+} // namespace usca::stats
+
+#endif // USCA_STATS_DESCRIPTIVE_H

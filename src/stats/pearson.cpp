@@ -1,0 +1,83 @@
+#include "stats/pearson.h"
+
+#include <cmath>
+
+#include "stats/descriptive.h"
+#include "util/error.h"
+
+namespace usca::stats {
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw util::analysis_error("pearson: length mismatch");
+  }
+  pearson_accumulator acc;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc.add(x[i], y[i]);
+  }
+  return acc.correlation();
+}
+
+void pearson_accumulator::add(double x, double y) noexcept {
+  ++count_;
+  const auto n = static_cast<double>(count_);
+  const double dx = x - mean_x_;
+  mean_x_ += dx / n;
+  m2_x_ += dx * (x - mean_x_);
+  const double dy = y - mean_y_;
+  mean_y_ += dy / n;
+  m2_y_ += dy * (y - mean_y_);
+  co_ += dx * (y - mean_y_);
+}
+
+double pearson_accumulator::correlation() const noexcept {
+  if (count_ < 2 || m2_x_ <= 0.0 || m2_y_ <= 0.0) {
+    return 0.0;
+  }
+  return co_ / std::sqrt(m2_x_ * m2_y_);
+}
+
+double fisher_z(double r) noexcept {
+  // Clamp to the open interval to keep atanh finite.
+  constexpr double limit = 1.0 - 1e-12;
+  if (r > limit) {
+    r = limit;
+  }
+  if (r < -limit) {
+    r = -limit;
+  }
+  return std::atanh(r);
+}
+
+double correlation_z_score(double r, std::uint64_t n) noexcept {
+  if (n < 4) {
+    return 0.0;
+  }
+  return std::fabs(fisher_z(r)) * std::sqrt(static_cast<double>(n - 3));
+}
+
+bool correlation_significant(double r, std::uint64_t n,
+                             double confidence) noexcept {
+  // Two-sided test: P(|Z| > z) < 1 - confidence.
+  const double z_needed = normal_quantile(0.5 + confidence / 2.0);
+  return correlation_z_score(r, n) > z_needed;
+}
+
+double significance_threshold(std::uint64_t n, double confidence) noexcept {
+  if (n < 4) {
+    return 1.0;
+  }
+  const double z_needed = normal_quantile(0.5 + confidence / 2.0);
+  return std::tanh(z_needed / std::sqrt(static_cast<double>(n - 3)));
+}
+
+double correlation_difference_z(double r1, double r2,
+                                std::uint64_t n) noexcept {
+  if (n < 4) {
+    return 0.0;
+  }
+  const double se = std::sqrt(2.0 / static_cast<double>(n - 3));
+  return (fisher_z(r1) - fisher_z(r2)) / se;
+}
+
+} // namespace usca::stats

@@ -1,0 +1,62 @@
+// Pearson correlation and its significance testing.
+//
+// The paper's detection criterion: a component model leaks when its
+// predicted values correlate with the measured power "in the correct clock
+// cycle" with statistical confidence > 99.5%; the Figure 4 success
+// criterion distinguishes the correct key from the best wrong guess at
+// > 99%.  Both criteria are implemented here through the Fisher
+// z-transform of the correlation coefficient.
+#ifndef USCA_STATS_PEARSON_H
+#define USCA_STATS_PEARSON_H
+
+#include <cstdint>
+#include <span>
+
+namespace usca::stats {
+
+/// Two-pass Pearson correlation of two equal-length series.
+/// Returns 0 when either series is constant.
+double pearson(std::span<const double> x, std::span<const double> y);
+
+/// Incremental correlation accumulator (one pass, co-moment form).
+class pearson_accumulator {
+public:
+  void add(double x, double y) noexcept;
+  std::uint64_t count() const noexcept { return count_; }
+  /// Correlation of the samples seen so far (0 if degenerate).
+  double correlation() const noexcept;
+
+private:
+  std::uint64_t count_ = 0;
+  double mean_x_ = 0.0;
+  double mean_y_ = 0.0;
+  double m2_x_ = 0.0;
+  double m2_y_ = 0.0;
+  double co_ = 0.0;
+};
+
+/// Fisher z-transform: atanh(r).
+double fisher_z(double r) noexcept;
+
+/// Two-sided z-score of H0: rho = 0 given sample correlation `r` over `n`
+/// samples: |atanh(r)| * sqrt(n - 3).
+double correlation_z_score(double r, std::uint64_t n) noexcept;
+
+/// True when rho != 0 can be asserted with the given confidence
+/// (e.g. 0.995 for the paper's leakage detection threshold).
+bool correlation_significant(double r, std::uint64_t n,
+                             double confidence) noexcept;
+
+/// Smallest |r| that is significant at `confidence` with `n` samples —
+/// used to report detection thresholds next to measured correlations.
+double significance_threshold(std::uint64_t n, double confidence) noexcept;
+
+/// z-score that correlation r1 exceeds r2 (independent-sample comparison
+/// through Fisher z; the paper's "correct key distinguishable from the
+/// best wrong guess" criterion).
+double correlation_difference_z(double r1, double r2,
+                                std::uint64_t n) noexcept;
+
+} // namespace usca::stats
+
+#endif // USCA_STATS_PEARSON_H

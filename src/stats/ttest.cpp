@@ -1,0 +1,76 @@
+#include "stats/ttest.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/error.h"
+
+namespace usca::stats {
+
+welch_result welch_t(const running_stats& a, const running_stats& b) noexcept {
+  welch_result out;
+  if (a.count() < 2 || b.count() < 2) {
+    return out;
+  }
+  const double va = a.variance() / static_cast<double>(a.count());
+  const double vb = b.variance() / static_cast<double>(b.count());
+  const double denom = std::sqrt(va + vb);
+  if (denom == 0.0) {
+    return out;
+  }
+  out.t = (a.mean() - b.mean()) / denom;
+  const double num = (va + vb) * (va + vb);
+  const double da =
+      va * va / static_cast<double>(a.count() - 1);
+  const double db =
+      vb * vb / static_cast<double>(b.count() - 1);
+  out.dof = (da + db) > 0.0 ? num / (da + db) : 0.0;
+  return out;
+}
+
+tvla_accumulator::tvla_accumulator(std::size_t samples)
+    : fixed_(samples), random_(samples) {}
+
+void tvla_accumulator::add(std::vector<running_stats>& group,
+                           std::span<const double> trace) {
+  if (trace.size() != fixed_.size()) {
+    throw util::analysis_error("tvla: trace length mismatch");
+  }
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    group[i].add(trace[i]);
+  }
+}
+
+void tvla_accumulator::add_fixed(std::span<const double> trace) {
+  add(fixed_, trace);
+}
+
+void tvla_accumulator::add_random(std::span<const double> trace) {
+  add(random_, trace);
+}
+
+welch_result tvla_accumulator::at(std::size_t sample) const noexcept {
+  return welch_t(fixed_[sample], random_[sample]);
+}
+
+std::vector<double> tvla_accumulator::abs_t() const {
+  std::vector<double> out(fixed_.size());
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    out[i] = std::fabs(at(i).t);
+  }
+  return out;
+}
+
+std::size_t tvla_accumulator::leaking_samples(double threshold) const {
+  const std::vector<double> t = abs_t();
+  return static_cast<std::size_t>(
+      std::count_if(t.begin(), t.end(),
+                    [threshold](double v) { return v > threshold; }));
+}
+
+double tvla_accumulator::max_abs_t() const {
+  const std::vector<double> t = abs_t();
+  return t.empty() ? 0.0 : *std::max_element(t.begin(), t.end());
+}
+
+} // namespace usca::stats

@@ -1,0 +1,57 @@
+// Welch's t-test and the TVLA (fixed-vs-random) leakage assessment.
+//
+// The paper detects leakage through model correlation; the t-test variant
+// is the standard complementary, model-free assessment (Goodwill et al.'s
+// Test Vector Leakage Assessment) and is included as the `bench_tvla`
+// experiment: two trace populations (fixed input vs. random input) are
+// compared sample-wise, and |t| > 4.5 flags a leak.
+#ifndef USCA_STATS_TTEST_H
+#define USCA_STATS_TTEST_H
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "stats/descriptive.h"
+
+namespace usca::stats {
+
+struct welch_result {
+  double t = 0.0;   ///< Welch's t statistic
+  double dof = 0.0; ///< Welch–Satterthwaite degrees of freedom
+};
+
+/// Welch's unequal-variance t-test from two accumulated populations.
+welch_result welch_t(const running_stats& a, const running_stats& b) noexcept;
+
+/// Sample-wise TVLA accumulator: feed traces labelled fixed or random,
+/// read back the per-sample t statistics.
+class tvla_accumulator {
+public:
+  explicit tvla_accumulator(std::size_t samples);
+
+  void add_fixed(std::span<const double> trace);
+  void add_random(std::span<const double> trace);
+
+  std::size_t samples() const noexcept { return fixed_.size(); }
+  welch_result at(std::size_t sample) const noexcept;
+
+  /// Per-sample |t| values.
+  std::vector<double> abs_t() const;
+
+  /// Count of samples with |t| above the threshold (TVLA default 4.5).
+  std::size_t leaking_samples(double threshold = 4.5) const;
+
+  /// Largest |t| over all samples.
+  double max_abs_t() const;
+
+private:
+  void add(std::vector<running_stats>& group, std::span<const double> trace);
+
+  std::vector<running_stats> fixed_;
+  std::vector<running_stats> random_;
+};
+
+} // namespace usca::stats
+
+#endif // USCA_STATS_TTEST_H

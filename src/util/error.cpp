@@ -1,0 +1,19 @@
+#include "util/error.h"
+
+namespace usca::util {
+
+namespace {
+
+std::string format_location(const std::string& message, int line, int column) {
+  return "line " + std::to_string(line) + ", col " + std::to_string(column) +
+         ": " + message;
+}
+
+} // namespace
+
+assembly_error::assembly_error(std::string message, int line, int column)
+    : usca_error(format_location(message, line, column)),
+      line_(line),
+      column_(column) {}
+
+} // namespace usca::util

@@ -1,0 +1,51 @@
+// Error reporting for the library.
+//
+// Following the project convention (C++ Core Guidelines E.2/E.14), errors
+// that indicate misuse of the public API or malformed user input throw a
+// dedicated exception type carrying a formatted message; programming
+// errors inside the library are guarded by assertions.
+#ifndef USCA_UTIL_ERROR_H
+#define USCA_UTIL_ERROR_H
+
+#include <stdexcept>
+#include <string>
+
+namespace usca::util {
+
+/// Base class for all errors thrown by the usca libraries.
+class usca_error : public std::runtime_error {
+public:
+  explicit usca_error(const std::string& message)
+      : std::runtime_error(message) {}
+};
+
+/// Thrown by the assembler on malformed source (carries line/column info).
+class assembly_error : public usca_error {
+public:
+  assembly_error(std::string message, int line, int column);
+
+  int line() const noexcept { return line_; }
+  int column() const noexcept { return column_; }
+
+private:
+  int line_;
+  int column_;
+};
+
+/// Thrown by the simulator on illegal execution (unmapped memory access,
+/// undefined instruction, runaway execution past the cycle budget).
+class simulation_error : public usca_error {
+public:
+  using usca_error::usca_error;
+};
+
+/// Thrown by analysis components on invalid configuration (e.g. an empty
+/// trace set handed to the CPA engine).
+class analysis_error : public usca_error {
+public:
+  using usca_error::usca_error;
+};
+
+} // namespace usca::util
+
+#endif // USCA_UTIL_ERROR_H

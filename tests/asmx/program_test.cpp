@@ -1,0 +1,81 @@
+#include "asmx/program.h"
+
+#include <gtest/gtest.h>
+
+namespace usca::asmx {
+namespace {
+
+using isa::reg;
+namespace mk = isa::ins;
+
+TEST(Program, AddressIndexMapping) {
+  program_builder b;
+  b.emit(mk::nop());
+  b.emit(mk::nop());
+  const program p = b.build();
+  EXPECT_EQ(p.address_of(0), p.code_base);
+  EXPECT_EQ(p.address_of(1), p.code_base + 4);
+  EXPECT_EQ(p.index_of_address(p.code_base + 4), 1u);
+  EXPECT_FALSE(p.index_of_address(p.code_base + 2).has_value());
+  EXPECT_FALSE(p.index_of_address(p.code_base + 400).has_value());
+}
+
+TEST(ProgramBuilder, BuildAppendsHalt) {
+  program_builder b;
+  b.emit(mk::nop());
+  const program p = b.build();
+  ASSERT_EQ(p.code.size(), 2u);
+  EXPECT_EQ(p.code.back().op, isa::opcode::halt);
+}
+
+TEST(ProgramBuilder, BuildWithoutHalt) {
+  program_builder b;
+  b.emit(mk::nop());
+  const program p = b.build(false);
+  EXPECT_EQ(p.code.size(), 1u);
+}
+
+TEST(ProgramBuilder, RepeatEmitsCopies) {
+  program_builder b;
+  b.repeat({mk::mov(reg::r1, reg::r2), mk::mov(reg::r3, reg::r4)}, 5);
+  EXPECT_EQ(b.size(), 10u);
+}
+
+TEST(ProgramBuilder, DataWordLayout) {
+  program_builder b;
+  const std::uint32_t a = b.data_word(0x11223344);
+  const std::uint32_t c = b.data_word(0xdeadbeef);
+  const program p = b.build();
+  EXPECT_EQ(a, p.data_base);
+  EXPECT_EQ(c, p.data_base + 4);
+  EXPECT_EQ(p.data[0], 0x44);
+  EXPECT_EQ(p.data[4], 0xef);
+  EXPECT_EQ(p.data[7], 0xde);
+}
+
+TEST(ProgramBuilder, DataBlockAlignment) {
+  program_builder b;
+  b.data_bytes(std::array<std::uint8_t, 3>{1, 2, 3});
+  const std::uint32_t aligned = b.data_block(16, 8);
+  EXPECT_EQ(aligned % 8, 0u);
+}
+
+TEST(ProgramBuilder, LoadConstantEmitsPair) {
+  program_builder b;
+  b.load_constant(reg::r5, 0xcafe1234);
+  const program p = b.build(false);
+  ASSERT_EQ(p.code.size(), 2u);
+  EXPECT_EQ(p.code[0], mk::movw(reg::r5, 0x1234));
+  EXPECT_EQ(p.code[1], mk::movt(reg::r5, 0xcafe));
+}
+
+TEST(ProgramBuilder, Symbols) {
+  program_builder b;
+  b.define_symbol("entry", 0x40);
+  const program p = b.build();
+  EXPECT_EQ(*p.symbol("entry"), 0x40u);
+  EXPECT_FALSE(p.symbol("missing").has_value());
+}
+
+} // namespace
+} // namespace usca::asmx

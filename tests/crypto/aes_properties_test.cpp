@@ -1,0 +1,118 @@
+// Statistical/structural properties of the AES implementation beyond the
+// FIPS vectors: avalanche behaviour, key-schedule structure, and the
+// equivalence of the generated code across many random inputs.
+#include <gtest/gtest.h>
+
+#include "crypto/aes128.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+namespace usca::crypto {
+namespace {
+
+aes_block random_block(util::xoshiro256& rng) {
+  aes_block b;
+  for (auto& byte : b) {
+    byte = rng.next_u8();
+  }
+  return b;
+}
+
+int block_distance(const aes_block& a, const aes_block& b) {
+  int bits = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    bits += util::hamming_weight(static_cast<std::uint32_t>(a[i] ^ b[i]));
+  }
+  return bits;
+}
+
+TEST(AesProperties, PlaintextAvalanche) {
+  util::xoshiro256 rng(7);
+  double total = 0.0;
+  const int experiments = 100;
+  for (int e = 0; e < experiments; ++e) {
+    const aes_key key = random_block(rng);
+    aes_block pt = random_block(rng);
+    const aes_block ct = encrypt_block(pt, key);
+    // Flip one random bit of the plaintext.
+    pt[rng.bounded(16)] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    const aes_block ct2 = encrypt_block(pt, key);
+    total += block_distance(ct, ct2);
+  }
+  // Expect ~64 of 128 bits to flip on average.
+  EXPECT_NEAR(total / experiments, 64.0, 4.0);
+}
+
+TEST(AesProperties, KeyAvalanche) {
+  util::xoshiro256 rng(8);
+  double total = 0.0;
+  const int experiments = 100;
+  for (int e = 0; e < experiments; ++e) {
+    aes_key key = random_block(rng);
+    const aes_block pt = random_block(rng);
+    const aes_block ct = encrypt_block(pt, key);
+    key[rng.bounded(16)] ^= static_cast<std::uint8_t>(1u << rng.bounded(8));
+    total += block_distance(ct, encrypt_block(pt, key));
+  }
+  EXPECT_NEAR(total / experiments, 64.0, 4.0);
+}
+
+TEST(AesProperties, DistinctPlaintextsDistinctCiphertexts) {
+  util::xoshiro256 rng(9);
+  const aes_key key = random_block(rng);
+  const aes_block a = random_block(rng);
+  aes_block b = a;
+  b[5] ^= 0x40;
+  EXPECT_NE(encrypt_block(a, key), encrypt_block(b, key));
+}
+
+TEST(AesProperties, KeyScheduleFirstRoundIsKey) {
+  util::xoshiro256 rng(10);
+  const aes_key key = random_block(rng);
+  const aes_round_keys rk = expand_key(key);
+  for (std::size_t i = 0; i < 16; ++i) {
+    EXPECT_EQ(rk[i], key[i]);
+  }
+}
+
+TEST(AesProperties, KeyScheduleRecurrence) {
+  // w[i] = w[i-4] ^ f(w[i-1]); for i not divisible by 4, f = identity.
+  util::xoshiro256 rng(11);
+  const aes_key key = random_block(rng);
+  const aes_round_keys rk = expand_key(key);
+  for (std::size_t word = 4; word < 44; ++word) {
+    if (word % 4 == 0) {
+      continue;
+    }
+    for (std::size_t b = 0; b < 4; ++b) {
+      EXPECT_EQ(rk[4 * word + b],
+                rk[4 * (word - 4) + b] ^ rk[4 * (word - 1) + b])
+          << "word " << word;
+    }
+  }
+}
+
+TEST(AesProperties, XtimeMatchesFieldDoubling) {
+  // xtime distributes over xor and 8 applications of xtime equal
+  // multiplication by {02}^8 = x^8 = x^4+x^3+x+1 (mod the AES polynomial).
+  for (int v = 0; v < 256; ++v) {
+    const auto byte = static_cast<std::uint8_t>(v);
+    EXPECT_EQ(xtime(static_cast<std::uint8_t>(byte ^ 0x35)),
+              static_cast<std::uint8_t>(xtime(byte) ^ xtime(0x35)));
+  }
+}
+
+TEST(AesProperties, Round1SubbytesBijectiveInKey) {
+  // For a fixed plaintext byte, the hypothesis map key -> sbox[pt ^ key]
+  // is a bijection: CPA key ranking depends on this.
+  std::array<bool, 256> seen{};
+  for (int guess = 0; guess < 256; ++guess) {
+    const std::uint8_t out =
+        subbytes_hypothesis(0xa5, static_cast<std::uint8_t>(guess));
+    EXPECT_FALSE(seen[out]);
+    seen[out] = true;
+  }
+}
+
+} // namespace
+} // namespace usca::crypto

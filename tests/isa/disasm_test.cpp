@@ -1,0 +1,92 @@
+#include "isa/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include "asmx/assembler.h"
+
+namespace usca::isa {
+namespace {
+
+namespace mk = ins;
+
+TEST(Disasm, BasicForms) {
+  EXPECT_EQ(disassemble(mk::mov(reg::r1, reg::r2)), "mov r1, r2");
+  EXPECT_EQ(disassemble(mk::add(reg::r1, reg::r2, reg::r3)),
+            "add r1, r2, r3");
+  EXPECT_EQ(disassemble(mk::add_imm(reg::r1, reg::r2, 7)), "add r1, r2, #7");
+  EXPECT_EQ(disassemble(mk::cmp(reg::r1, reg::r2)), "cmp r1, r2");
+  EXPECT_EQ(disassemble(mk::nop()), "nop");
+  EXPECT_EQ(disassemble(mk::halt()), "halt");
+  EXPECT_EQ(disassemble(mk::mark(3)), "mark #3");
+}
+
+TEST(Disasm, ConditionAndFlags) {
+  instruction i = mk::add(reg::r1, reg::r2, reg::r3);
+  i.cond = condition::ne;
+  i.set_flags = true;
+  EXPECT_EQ(disassemble(i), "addnes r1, r2, r3");
+}
+
+TEST(Disasm, ShiftedOperand) {
+  EXPECT_EQ(disassemble(mk::dp_shift(opcode::add, reg::r1, reg::r2, reg::r3,
+                                     shift_kind::lsl, 3)),
+            "add r1, r2, r3, lsl #3");
+  EXPECT_EQ(disassemble(mk::lsr(reg::r4, reg::r5, 2)),
+            "mov r4, r5, lsr #2");
+}
+
+TEST(Disasm, Memory) {
+  EXPECT_EQ(disassemble(mk::ldr(reg::r1, reg::r2)), "ldr r1, [r2]");
+  EXPECT_EQ(disassemble(mk::ldr(reg::r1, reg::r2, 4)), "ldr r1, [r2, #4]");
+  EXPECT_EQ(disassemble(mk::ldrb_reg(reg::r1, reg::r2, reg::r3)),
+            "ldrb r1, [r2, r3]");
+  EXPECT_EQ(disassemble(mk::str_reg(reg::r1, reg::r2, reg::r3, 2)),
+            "str r1, [r2, r3, lsl #2]");
+}
+
+TEST(Disasm, WideMovesAndMultiply) {
+  EXPECT_EQ(disassemble(mk::movw(reg::r1, 0x1234)), "movw r1, #4660");
+  EXPECT_EQ(disassemble(mk::mul(reg::r1, reg::r2, reg::r3)),
+            "mul r1, r2, r3");
+  EXPECT_EQ(disassemble(mk::mla(reg::r1, reg::r2, reg::r3, reg::r4)),
+            "mla r1, r2, r3, r4");
+}
+
+TEST(Disasm, Branches) {
+  EXPECT_EQ(disassemble(mk::b(0)), "b #0");
+  EXPECT_EQ(disassemble(mk::b(-5, condition::eq)), "beq #-5");
+  EXPECT_EQ(disassemble(mk::bx(reg::lr)), "bx lr");
+}
+
+// Property: disassembled text re-assembles to the identical instruction.
+class DisasmRoundTrip : public ::testing::TestWithParam<instruction> {};
+
+TEST_P(DisasmRoundTrip, ReassemblesIdentically) {
+  const instruction original = GetParam();
+  const std::string text = disassemble(original);
+  const asmx::program prog = asmx::assemble(text);
+  ASSERT_EQ(prog.code.size(), 1u) << text;
+  EXPECT_EQ(prog.code.front(), original) << text;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DisasmRoundTrip,
+    ::testing::Values(
+        mk::nop(), mk::mov(reg::r1, reg::r2), mk::mvn(reg::r9, reg::r10),
+        mk::add(reg::r1, reg::r2, reg::r3), mk::add_imm(reg::r1, reg::r2, 7),
+        mk::sub(reg::r4, reg::r5, reg::r6), mk::eor(reg::r1, reg::r2, reg::r3),
+        mk::cmp(reg::r1, reg::r2), mk::cmp_imm(reg::r3, 255),
+        mk::lsl(reg::r1, reg::r2, 3), mk::ror(reg::r1, reg::r2, 31),
+        mk::dp_shift(opcode::orr, reg::r1, reg::r2, reg::r3, shift_kind::asr,
+                     5),
+        mk::mul(reg::r1, reg::r2, reg::r3),
+        mk::mla(reg::r1, reg::r2, reg::r3, reg::r4),
+        mk::movw(reg::r1, 65535), mk::movt(reg::r2, 4660),
+        mk::ldr(reg::r1, reg::r2, 4), mk::strb(reg::r1, reg::r2, 255),
+        mk::ldrh(reg::r1, reg::r2, 2),
+        mk::ldrb_reg(reg::r1, reg::r2, reg::r3),
+        mk::str_reg(reg::r1, reg::r2, reg::r3, 2), mk::b(0), mk::b(-5),
+        mk::bl(7), mk::bx(reg::lr), mk::mark(42), mk::halt()));
+
+} // namespace
+} // namespace usca::isa

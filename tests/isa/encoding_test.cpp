@@ -1,0 +1,146 @@
+#include "isa/encoding.h"
+
+#include <gtest/gtest.h>
+
+#include "util/bitops.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace usca::isa {
+namespace {
+
+namespace mk = ins;
+
+void expect_round_trip(const instruction& ins) {
+  ASSERT_TRUE(encodable(ins));
+  const std::uint32_t word = encode(ins);
+  const auto decoded = decode(word);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, ins) << "word=0x" << std::hex << word;
+}
+
+TEST(Encoding, RoundTripDataProcessingReg) {
+  expect_round_trip(mk::mov(reg::r1, reg::r2));
+  expect_round_trip(mk::mvn(reg::r3, reg::r4));
+  expect_round_trip(mk::add(reg::r1, reg::r2, reg::r3));
+  expect_round_trip(mk::eor(reg::r12, reg::lr, reg::sp));
+  expect_round_trip(mk::cmp(reg::r1, reg::r2));
+}
+
+TEST(Encoding, RoundTripShiftedOperands) {
+  expect_round_trip(mk::lsl(reg::r1, reg::r2, 31));
+  expect_round_trip(mk::dp_shift(opcode::add, reg::r1, reg::r2, reg::r3,
+                                 shift_kind::ror, 7));
+  instruction by_reg = mk::add(reg::r1, reg::r2, reg::r3);
+  by_reg.op2.shift.by_register = true;
+  by_reg.op2.shift.kind = shift_kind::lsr;
+  by_reg.op2.shift.amount_reg = reg::r4;
+  expect_round_trip(by_reg);
+}
+
+TEST(Encoding, RoundTripImmediates) {
+  expect_round_trip(mk::add_imm(reg::r1, reg::r2, 0xff));
+  expect_round_trip(mk::add_imm(reg::r1, reg::r2, 0xff00));
+  expect_round_trip(mk::mov_imm(reg::r1, 0x3f0000));
+  expect_round_trip(mk::cmp_imm(reg::r9, 0xab));
+}
+
+TEST(Encoding, RejectsNonEncodableImmediate) {
+  const instruction bad = mk::add_imm(reg::r1, reg::r2, 0x12345678);
+  EXPECT_FALSE(encodable(bad));
+  EXPECT_THROW(encode(bad), util::usca_error);
+}
+
+TEST(Encoding, RoundTripWideMoves) {
+  expect_round_trip(mk::movw(reg::r7, 0xffff));
+  expect_round_trip(mk::movt(reg::r7, 0x1234));
+}
+
+TEST(Encoding, RoundTripMultiply) {
+  expect_round_trip(mk::mul(reg::r1, reg::r2, reg::r3));
+  expect_round_trip(mk::mla(reg::r4, reg::r5, reg::r6, reg::r7));
+}
+
+TEST(Encoding, RoundTripMemory) {
+  expect_round_trip(mk::ldr(reg::r1, reg::r2, 0));
+  expect_round_trip(mk::ldr(reg::r1, reg::r2, 0xfff));
+  expect_round_trip(mk::strb(reg::r3, reg::r4, 17));
+  expect_round_trip(mk::ldrh(reg::r5, reg::r6, 2));
+  expect_round_trip(mk::ldrb_reg(reg::r1, reg::r2, reg::r3, 4));
+  expect_round_trip(mk::str_reg(reg::r1, reg::r2, reg::r3, 2));
+  instruction neg = mk::ldr(reg::r1, reg::r2, 8);
+  neg.mem.subtract = true;
+  expect_round_trip(neg);
+}
+
+TEST(Encoding, RejectsOversizedMemoryOffset) {
+  const instruction bad = mk::ldr(reg::r1, reg::r2, 0x1000);
+  EXPECT_FALSE(encodable(bad));
+}
+
+TEST(Encoding, RoundTripBranches) {
+  expect_round_trip(mk::b(0));
+  expect_round_trip(mk::b(-200));
+  expect_round_trip(mk::b(200, condition::ne));
+  expect_round_trip(mk::bl(12345));
+  expect_round_trip(mk::bx(reg::lr));
+}
+
+TEST(Encoding, BranchOffsetRange) {
+  EXPECT_TRUE(encodable(mk::b((1 << 21) - 1)));
+  EXPECT_TRUE(encodable(mk::b(-(1 << 21))));
+  EXPECT_FALSE(encodable(mk::b(1 << 21)));
+}
+
+TEST(Encoding, RoundTripPseudoOps) {
+  expect_round_trip(mk::nop());
+  expect_round_trip(mk::mark(0xbeef));
+  expect_round_trip(mk::halt());
+}
+
+TEST(Encoding, RoundTripConditions) {
+  for (int c = 0; c < 16; ++c) {
+    instruction ins = mk::add(reg::r1, reg::r2, reg::r3);
+    ins.cond = static_cast<condition>(c);
+    expect_round_trip(ins);
+  }
+}
+
+TEST(Encoding, UndefinedOpcodeFieldDecodesToNothing) {
+  // Opcode field value above the last defined opcode.
+  const std::uint32_t word = (0x3fU << 22);
+  EXPECT_FALSE(decode(word).has_value());
+}
+
+TEST(Encoding, FuzzRoundTripRandomDataProcessing) {
+  util::xoshiro256 rng(2024);
+  for (int i = 0; i < 2000; ++i) {
+    instruction ins;
+    ins.op = static_cast<opcode>(rng.bounded(11)); // mov..bic
+    ins.cond = static_cast<condition>(rng.bounded(16));
+    ins.set_flags = rng.bounded(2) != 0;
+    ins.rd = reg_from_index(static_cast<std::uint8_t>(rng.bounded(16)));
+    ins.rn = reg_from_index(static_cast<std::uint8_t>(rng.bounded(16)));
+    if (rng.bounded(2) != 0) {
+      shift_spec spec;
+      spec.kind = static_cast<shift_kind>(rng.bounded(4));
+      if (rng.bounded(2) != 0) {
+        spec.by_register = true;
+        spec.amount_reg =
+            reg_from_index(static_cast<std::uint8_t>(rng.bounded(16)));
+      } else {
+        spec.amount = static_cast<std::uint8_t>(rng.bounded(32));
+      }
+      ins.op2 = operand2::make_reg(
+          reg_from_index(static_cast<std::uint8_t>(rng.bounded(16))), spec);
+    } else {
+      const auto imm8 = static_cast<std::uint32_t>(rng.bounded(256));
+      const auto rot = 2 * static_cast<unsigned>(rng.bounded(16));
+      ins.op2 = operand2::make_imm(util::rotate_right(imm8, rot));
+    }
+    expect_round_trip(ins);
+  }
+}
+
+} // namespace
+} // namespace usca::isa

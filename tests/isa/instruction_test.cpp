@@ -1,0 +1,157 @@
+#include "isa/instruction.h"
+
+#include <gtest/gtest.h>
+
+namespace usca::isa {
+namespace {
+
+namespace mk = ins;
+
+TEST(Instruction, NopIsConditionNeverWithZeroOperands) {
+  const instruction nop = mk::nop();
+  EXPECT_TRUE(is_nop(nop));
+  EXPECT_EQ(nop.cond, condition::nv);
+  EXPECT_EQ(nop.op, opcode::mov);
+  EXPECT_EQ(classify(nop), issue_class::nop_like);
+}
+
+TEST(Instruction, MovRegIsNotNop) {
+  EXPECT_FALSE(is_nop(mk::mov(reg::r1, reg::r2)));
+  // A conditional mov that is not the canonical encoding is not a nop.
+  EXPECT_FALSE(is_nop(mk::mov(reg::r1, reg::r1, condition::nv)));
+}
+
+TEST(Instruction, ClassificationMatchesTable1Taxonomy) {
+  EXPECT_EQ(classify(mk::mov(reg::r1, reg::r2)), issue_class::mov_like);
+  EXPECT_EQ(classify(mk::mvn(reg::r1, reg::r2)), issue_class::mov_like);
+  EXPECT_EQ(classify(mk::add(reg::r1, reg::r2, reg::r3)),
+            issue_class::alu_reg);
+  EXPECT_EQ(classify(mk::add_imm(reg::r1, reg::r2, 4)),
+            issue_class::alu_imm);
+  EXPECT_EQ(classify(mk::mov_imm(reg::r1, 4)), issue_class::alu_imm);
+  EXPECT_EQ(classify(mk::movw(reg::r1, 4)), issue_class::alu_imm);
+  EXPECT_EQ(classify(mk::mul(reg::r1, reg::r2, reg::r3)),
+            issue_class::mul_like);
+  EXPECT_EQ(classify(mk::mla(reg::r1, reg::r2, reg::r3, reg::r4)),
+            issue_class::mul_like);
+  EXPECT_EQ(classify(mk::lsl(reg::r1, reg::r2, 3)), issue_class::shift_like);
+  EXPECT_EQ(classify(mk::dp_shift(opcode::add, reg::r1, reg::r2, reg::r3,
+                                  shift_kind::lsl, 2)),
+            issue_class::shift_like);
+  EXPECT_EQ(classify(mk::b(0)), issue_class::branch_like);
+  EXPECT_EQ(classify(mk::bl(3)), issue_class::branch_like);
+  EXPECT_EQ(classify(mk::bx(reg::lr)), issue_class::branch_like);
+  EXPECT_EQ(classify(mk::ldr(reg::r1, reg::r2)), issue_class::load_store);
+  EXPECT_EQ(classify(mk::strb(reg::r1, reg::r2)), issue_class::load_store);
+  EXPECT_EQ(classify(mk::mark(1)), issue_class::other);
+  EXPECT_EQ(classify(mk::halt()), issue_class::other);
+}
+
+TEST(Instruction, ShiftByZeroLslIsNotShiftClass) {
+  // "mov r1, r2" has an inactive shifter and stays mov-class.
+  const instruction m = mk::mov(reg::r1, reg::r2);
+  EXPECT_FALSE(m.op2.shift.active());
+  EXPECT_EQ(classify(m), issue_class::mov_like);
+}
+
+TEST(Instruction, SourceRegistersDataProcessing) {
+  const reg_list srcs = source_registers(mk::add(reg::r1, reg::r2, reg::r3));
+  EXPECT_EQ(srcs.size(), 2u);
+  EXPECT_TRUE(srcs.contains(reg::r2));
+  EXPECT_TRUE(srcs.contains(reg::r3));
+  EXPECT_FALSE(srcs.contains(reg::r1));
+}
+
+TEST(Instruction, SourceRegistersShiftByRegister) {
+  instruction i = mk::add(reg::r1, reg::r2, reg::r3);
+  i.op2.shift.by_register = true;
+  i.op2.shift.amount_reg = reg::r4;
+  const reg_list srcs = source_registers(i);
+  EXPECT_EQ(srcs.size(), 3u);
+  EXPECT_TRUE(srcs.contains(reg::r4));
+}
+
+TEST(Instruction, SourceRegistersStoreIncludesData) {
+  const reg_list srcs = source_registers(mk::str(reg::r1, reg::r2, 4));
+  EXPECT_EQ(srcs.size(), 2u);
+  EXPECT_TRUE(srcs.contains(reg::r1)); // store data
+  EXPECT_TRUE(srcs.contains(reg::r2)); // base
+}
+
+TEST(Instruction, SourceRegistersLoadRegOffset) {
+  const reg_list srcs =
+      source_registers(mk::ldr_reg(reg::r1, reg::r2, reg::r3));
+  EXPECT_EQ(srcs.size(), 2u);
+  EXPECT_TRUE(srcs.contains(reg::r2));
+  EXPECT_TRUE(srcs.contains(reg::r3));
+}
+
+TEST(Instruction, SourceRegistersMla) {
+  const reg_list srcs =
+      source_registers(mk::mla(reg::r1, reg::r2, reg::r3, reg::r4));
+  EXPECT_EQ(srcs.size(), 3u);
+  EXPECT_TRUE(srcs.contains(reg::r4));
+}
+
+TEST(Instruction, DestinationRegisters) {
+  EXPECT_TRUE(destination_registers(mk::add(reg::r1, reg::r2, reg::r3))
+                  .contains(reg::r1));
+  EXPECT_EQ(destination_registers(mk::cmp(reg::r1, reg::r2)).size(), 0u);
+  EXPECT_EQ(destination_registers(mk::str(reg::r1, reg::r2)).size(), 0u);
+  EXPECT_TRUE(destination_registers(mk::ldr(reg::r1, reg::r2))
+                  .contains(reg::r1));
+  EXPECT_TRUE(destination_registers(mk::bl(0)).contains(reg::lr));
+  EXPECT_EQ(destination_registers(mk::b(0)).size(), 0u);
+}
+
+TEST(Instruction, MovtReadsItsDestination) {
+  const reg_list srcs = source_registers(mk::movt(reg::r5, 0x1234));
+  EXPECT_TRUE(srcs.contains(reg::r5));
+}
+
+TEST(Instruction, ReadPortAccounting) {
+  EXPECT_EQ(read_ports_needed(mk::mov(reg::r1, reg::r2)), 1);
+  EXPECT_EQ(read_ports_needed(mk::add(reg::r1, reg::r2, reg::r3)), 2);
+  EXPECT_EQ(read_ports_needed(mk::add_imm(reg::r1, reg::r2, 4)), 1);
+  EXPECT_EQ(read_ports_needed(mk::mov_imm(reg::r1, 4)), 0);
+  EXPECT_EQ(read_ports_needed(mk::b(0)), 0);
+  // Memory operations reserve two ports (base + data/offset).
+  EXPECT_EQ(read_ports_needed(mk::ldr(reg::r1, reg::r2)), 2);
+  EXPECT_EQ(read_ports_needed(mk::str(reg::r1, reg::r2)), 2);
+}
+
+TEST(Instruction, WritePortAccounting) {
+  EXPECT_EQ(write_ports_needed(mk::add(reg::r1, reg::r2, reg::r3)), 1);
+  EXPECT_EQ(write_ports_needed(mk::cmp(reg::r1, reg::r2)), 0);
+  EXPECT_EQ(write_ports_needed(mk::str(reg::r1, reg::r2)), 0);
+  EXPECT_EQ(write_ports_needed(mk::b(0)), 0);
+}
+
+TEST(Instruction, NeedsAlu0) {
+  EXPECT_TRUE(needs_alu0(mk::mul(reg::r1, reg::r2, reg::r3)));
+  EXPECT_TRUE(needs_alu0(mk::lsl(reg::r1, reg::r2, 3)));
+  EXPECT_TRUE(needs_alu0(mk::dp_shift(opcode::eor, reg::r1, reg::r2, reg::r3,
+                                      shift_kind::ror, 8)));
+  EXPECT_FALSE(needs_alu0(mk::add(reg::r1, reg::r2, reg::r3)));
+  EXPECT_FALSE(needs_alu0(mk::mov(reg::r1, reg::r2)));
+  EXPECT_FALSE(needs_alu0(mk::ldr(reg::r1, reg::r2)));
+}
+
+TEST(Instruction, MemoryPredicates) {
+  EXPECT_TRUE(is_load(mk::ldrb(reg::r1, reg::r2)));
+  EXPECT_TRUE(is_store(mk::strh(reg::r1, reg::r2)));
+  EXPECT_TRUE(is_subword(mk::ldrb(reg::r1, reg::r2)));
+  EXPECT_TRUE(is_subword(mk::strh(reg::r1, reg::r2)));
+  EXPECT_FALSE(is_subword(mk::ldr(reg::r1, reg::r2)));
+  EXPECT_TRUE(is_memory(mk::str(reg::r1, reg::r2)));
+  EXPECT_FALSE(is_memory(mk::add(reg::r1, reg::r2, reg::r3)));
+}
+
+TEST(Instruction, CompareSetsFlagsByConstruction) {
+  EXPECT_TRUE(mk::cmp(reg::r1, reg::r2).set_flags);
+  EXPECT_TRUE(mk::cmp_imm(reg::r1, 5).set_flags);
+  EXPECT_TRUE(mk::dp(opcode::tst, reg::r0, reg::r1, reg::r2).set_flags);
+}
+
+} // namespace
+} // namespace usca::isa

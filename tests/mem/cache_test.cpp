@@ -1,0 +1,98 @@
+#include "mem/cache.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace usca::mem {
+namespace {
+
+cache_config small_config() {
+  cache_config c;
+  c.size_bytes = 256;
+  c.line_bytes = 32;
+  c.ways = 2;
+  c.miss_penalty = 10;
+  return c;
+}
+
+TEST(Cache, FirstAccessMissesThenHits) {
+  cache c(small_config());
+  EXPECT_EQ(c.access(0x100), 10);
+  EXPECT_EQ(c.access(0x100), 0);
+  EXPECT_EQ(c.access(0x11f), 0); // same 32-byte line
+  EXPECT_EQ(c.misses(), 1u);
+  EXPECT_EQ(c.hits(), 2u);
+}
+
+TEST(Cache, LruEviction) {
+  cache c(small_config()); // 4 sets x 2 ways
+  // Three lines mapping to the same set (stride = line * sets = 128).
+  c.access(0x000);
+  c.access(0x080);
+  c.access(0x100); // evicts 0x000 (LRU)
+  EXPECT_EQ(c.access(0x080), 0);
+  EXPECT_EQ(c.access(0x000), 10); // was evicted
+}
+
+TEST(Cache, LruUpdatedOnHit) {
+  cache c(small_config());
+  c.access(0x000);
+  c.access(0x080);
+  c.access(0x000);  // refresh 0x000
+  c.access(0x100);  // evicts 0x080 now
+  EXPECT_EQ(c.access(0x000), 0);
+  EXPECT_EQ(c.access(0x080), 10);
+}
+
+TEST(Cache, WarmMakesRegionHit) {
+  cache c(small_config());
+  c.warm(0x40, 64);
+  EXPECT_TRUE(c.would_hit(0x40));
+  EXPECT_TRUE(c.would_hit(0x7f));
+  EXPECT_EQ(c.access(0x40), 0);
+}
+
+TEST(Cache, WouldHitDoesNotMutate) {
+  cache c(small_config());
+  EXPECT_FALSE(c.would_hit(0x40));
+  EXPECT_FALSE(c.would_hit(0x40));
+  EXPECT_EQ(c.hits() + c.misses(), 0u);
+}
+
+TEST(Cache, DisabledCacheIsFree) {
+  cache_config cfg = small_config();
+  cfg.enabled = false;
+  cache c(cfg);
+  EXPECT_EQ(c.access(0x123), 0);
+  EXPECT_TRUE(c.would_hit(0x5555));
+}
+
+TEST(Cache, ResetClearsState) {
+  cache c(small_config());
+  c.access(0x100);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_EQ(c.misses(), 0u);
+  EXPECT_FALSE(c.would_hit(0x100));
+}
+
+TEST(Cache, RejectsBadGeometry) {
+  cache_config cfg;
+  cfg.line_bytes = 48; // not a power of two
+  EXPECT_THROW(cache{cfg}, util::usca_error);
+  cache_config zero_ways;
+  zero_ways.ways = 0;
+  EXPECT_THROW(cache{zero_ways}, util::usca_error);
+}
+
+TEST(Cache, CortexA7GeometryWorks) {
+  cache_config cfg; // defaults: 32 KiB, 4-way, 64 B lines
+  cache c(cfg);
+  c.warm(0, 32 * 1024);
+  EXPECT_TRUE(c.would_hit(16 * 1024));
+  EXPECT_EQ(c.misses(), 512u); // 32 KiB / 64 B
+}
+
+} // namespace
+} // namespace usca::mem

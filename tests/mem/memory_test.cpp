@@ -1,0 +1,77 @@
+#include "mem/memory.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace usca::mem {
+namespace {
+
+TEST(Memory, ZeroInitialized) {
+  memory m;
+  EXPECT_EQ(m.read8(0), 0);
+  EXPECT_EQ(m.read32(0x10000), 0u);
+}
+
+TEST(Memory, ByteRoundTrip) {
+  memory m;
+  m.write8(100, 0xab);
+  EXPECT_EQ(m.read8(100), 0xab);
+  EXPECT_EQ(m.read8(101), 0);
+}
+
+TEST(Memory, WordLittleEndian) {
+  memory m;
+  m.write32(0x1000, 0x11223344);
+  EXPECT_EQ(m.read8(0x1000), 0x44);
+  EXPECT_EQ(m.read8(0x1003), 0x11);
+  EXPECT_EQ(m.read32(0x1000), 0x11223344u);
+}
+
+TEST(Memory, HalfwordRoundTrip) {
+  memory m;
+  m.write16(0x2000, 0xbeef);
+  EXPECT_EQ(m.read16(0x2000), 0xbeef);
+  EXPECT_EQ(m.read8(0x2000), 0xef);
+}
+
+TEST(Memory, UnalignedAccessesThrow) {
+  memory m;
+  EXPECT_THROW(m.read32(2), util::simulation_error);
+  EXPECT_THROW(m.write32(1, 0), util::simulation_error);
+  EXPECT_THROW(m.read16(1), util::simulation_error);
+  EXPECT_THROW(m.write16(3, 0), util::simulation_error);
+}
+
+TEST(Memory, CrossPageAccess) {
+  memory m;
+  const std::uint32_t boundary = memory::page_size - 2;
+  m.write32(boundary - 2, 0xa1b2c3d4); // fully inside page 0
+  m.write8(memory::page_size, 0x99);   // first byte of page 1
+  EXPECT_EQ(m.read32(boundary - 2), 0xa1b2c3d4u);
+  EXPECT_EQ(m.read8(memory::page_size), 0x99);
+}
+
+TEST(Memory, BulkLoad) {
+  memory m;
+  m.load(0x10000, {1, 2, 3, 4});
+  EXPECT_EQ(m.read32(0x10000), 0x04030201u);
+}
+
+TEST(Memory, ContainingWordForSubwordAccess) {
+  memory m;
+  m.write32(0x3000, 0xaabbccdd);
+  // The MDR observes the full word regardless of which byte is addressed.
+  EXPECT_EQ(m.containing_word(0x3001), 0xaabbccddu);
+  EXPECT_EQ(m.containing_word(0x3003), 0xaabbccddu);
+}
+
+TEST(Memory, ClearDropsContents) {
+  memory m;
+  m.write32(0x1000, 5);
+  m.clear();
+  EXPECT_EQ(m.read32(0x1000), 0u);
+}
+
+} // namespace
+} // namespace usca::mem

@@ -1,0 +1,75 @@
+#include "power/second_core.h"
+
+#include <gtest/gtest.h>
+
+#include "power/synthesizer.h"
+#include "stats/descriptive.h"
+
+namespace usca::power {
+namespace {
+
+TEST(SecondCore, ProducesNonTrivialActivity) {
+  const second_core_noise core(sim::cortex_a7(),
+                               leakage_weights::cortex_a7_like(), 1, 4096);
+  EXPECT_EQ(core.cycles(), 4096u);
+  EXPECT_GT(core.mean_power(), 1.0); // a busy loop toggles real structures
+}
+
+TEST(SecondCore, WindowsAddPower) {
+  const second_core_noise core(sim::cortex_a7(),
+                               leakage_weights::cortex_a7_like(), 2, 2048);
+  util::xoshiro256 rng(3);
+  std::vector<double> accumulator(64, 0.0);
+  core.add_window(accumulator, rng);
+  double total = 0.0;
+  for (const double v : accumulator) {
+    total += v;
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(SecondCore, RandomPhaseDecorrelatesAcquisitions) {
+  const second_core_noise core(sim::cortex_a7(),
+                               leakage_weights::cortex_a7_like(), 4, 2048);
+  util::xoshiro256 rng(5);
+  std::vector<double> a(32, 0.0);
+  std::vector<double> b(32, 0.0);
+  core.add_window(a, rng);
+  core.add_window(b, rng);
+  EXPECT_NE(a, b); // different phases virtually surely differ
+}
+
+TEST(SecondCore, AttachedToSynthesizerRaisesNoiseFloor) {
+  synthesis_config config;
+  config.baseline = 0.0;
+  config.gaussian_sigma = 0.0;
+  trace_synthesizer with_core(config, 11);
+  with_core.attach_second_core(std::make_shared<second_core_noise>(
+      sim::cortex_a7(), config.weights, 12, 2048));
+  trace_synthesizer without(config, 11);
+
+  const sim::activity_trace empty;
+  stats::running_stats noisy;
+  stats::running_stats quiet;
+  for (int i = 0; i < 50; ++i) {
+    for (const double v : with_core.synthesize(empty, 0, 64)) {
+      noisy.add(v);
+    }
+    for (const double v : without.synthesize(empty, 0, 64)) {
+      quiet.add(v);
+    }
+  }
+  EXPECT_GT(noisy.mean(), quiet.mean() + 1.0);
+  EXPECT_GT(noisy.stddev(), quiet.stddev());
+}
+
+TEST(SecondCore, DeterministicForSeed) {
+  const second_core_noise a(sim::cortex_a7(),
+                            leakage_weights::cortex_a7_like(), 7, 1024);
+  const second_core_noise b(sim::cortex_a7(),
+                            leakage_weights::cortex_a7_like(), 7, 1024);
+  EXPECT_EQ(a.mean_power(), b.mean_power());
+}
+
+} // namespace
+} // namespace usca::power

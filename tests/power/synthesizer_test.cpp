@@ -1,0 +1,151 @@
+#include "power/synthesizer.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "stats/descriptive.h"
+
+namespace usca::power {
+namespace {
+
+sim::activity_trace sample_activity() {
+  sim::activity_trace activity;
+  activity.push_back({5, sim::component::is_ex_bus, 0, 8});
+  activity.push_back({5, sim::component::mdr, 0, 4});
+  activity.push_back({7, sim::component::shift_buffer, 0, 10});
+  activity.push_back({9, sim::component::rf_read_port, 0, 16});
+  return activity;
+}
+
+TEST(Synthesizer, CleanTraceSumsWeightedToggles) {
+  synthesis_config config;
+  config.baseline = 1.0;
+  config.gaussian_sigma = 0.0;
+  trace_synthesizer synth(config, 1);
+  const trace t = synth.synthesize_clean(sample_activity(), 0, 12);
+  ASSERT_EQ(t.size(), 12u);
+  const auto& w = config.weights;
+  EXPECT_DOUBLE_EQ(t[5], 1.0 + w[sim::component::is_ex_bus] * 8 +
+                             w[sim::component::mdr] * 4);
+  EXPECT_DOUBLE_EQ(t[7], 1.0 + w[sim::component::shift_buffer] * 10);
+  // RF read ports carry weight zero on the characterized core.
+  EXPECT_DOUBLE_EQ(t[9], 1.0);
+  EXPECT_DOUBLE_EQ(t[0], 1.0);
+}
+
+TEST(Synthesizer, WindowClipsEvents) {
+  synthesis_config config;
+  config.baseline = 0.0;
+  trace_synthesizer synth(config, 1);
+  const trace t = synth.synthesize_clean(sample_activity(), 6, 10);
+  ASSERT_EQ(t.size(), 4u);
+  EXPECT_DOUBLE_EQ(t[0], 0.0); // cycle 6
+  EXPECT_GT(t[1], 0.0);        // cycle 7: shift buffer event
+}
+
+TEST(Synthesizer, NoiseHasConfiguredSigma) {
+  synthesis_config config;
+  config.baseline = 0.0;
+  config.gaussian_sigma = 3.0;
+  trace_synthesizer synth(config, 77);
+  stats::running_stats st;
+  const sim::activity_trace empty;
+  for (int i = 0; i < 300; ++i) {
+    for (const double v : synth.synthesize(empty, 0, 64)) {
+      st.add(v);
+    }
+  }
+  EXPECT_NEAR(st.mean(), 0.0, 0.1);
+  EXPECT_NEAR(st.stddev(), 3.0, 0.1);
+}
+
+TEST(Synthesizer, AveragingReducesNoise) {
+  synthesis_config config;
+  config.baseline = 0.0;
+  config.gaussian_sigma = 4.0;
+  trace_synthesizer synth(config, 99);
+  const sim::activity_trace empty;
+  stats::running_stats single;
+  stats::running_stats averaged;
+  for (int i = 0; i < 200; ++i) {
+    for (const double v : synth.synthesize(empty, 0, 32)) {
+      single.add(v);
+    }
+    for (const double v : synth.synthesize_averaged(empty, 0, 32, 16)) {
+      averaged.add(v);
+    }
+  }
+  // 16-fold averaging shrinks sigma by 4x.
+  EXPECT_NEAR(averaged.stddev(), single.stddev() / 4.0, 0.25);
+}
+
+TEST(Synthesizer, DeterministicForSameSeed) {
+  synthesis_config config;
+  trace_synthesizer a(config, 5);
+  trace_synthesizer b(config, 5);
+  const auto activity = sample_activity();
+  EXPECT_EQ(a.synthesize(activity, 0, 16), b.synthesize(activity, 0, 16));
+}
+
+TEST(OsNoise, DisabledContributesNothing) {
+  os_noise_config config; // disabled by default
+  util::xoshiro256 rng(3);
+  os_noise_process p(config, rng);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(p.step(), 0.0);
+  }
+}
+
+TEST(OsNoise, EnabledProducesPositiveStructuredLoad) {
+  os_noise_config config;
+  config.enabled = true;
+  util::xoshiro256 rng(3);
+  os_noise_process p(config, rng);
+  stats::running_stats st;
+  for (int i = 0; i < 20'000; ++i) {
+    const double v = p.step();
+    EXPECT_GE(v, 0.0);
+    st.add(v);
+  }
+  // Mean close to the configured second-core activity plus burst share.
+  EXPECT_GT(st.mean(), config.second_core_mean * 0.5);
+  EXPECT_GT(st.stddev(), 1.0);
+}
+
+TEST(OsNoise, BurstsLastConfiguredDuration) {
+  os_noise_config config;
+  config.enabled = true;
+  config.second_core_mean = 0.0;
+  config.second_core_sigma = 0.0;
+  config.second_core_max = 0.0;
+  config.preemption_probability = 0.01;
+  config.preemption_amplitude = 50.0;
+  config.preemption_duration = 10;
+  util::xoshiro256 rng(11);
+  os_noise_process p(config, rng);
+  int consecutive = 0;
+  int max_consecutive = 0;
+  for (int i = 0; i < 50'000; ++i) {
+    if (p.step() >= 50.0) {
+      ++consecutive;
+      max_consecutive = std::max(max_consecutive, consecutive);
+    } else {
+      consecutive = 0;
+    }
+  }
+  EXPECT_GE(max_consecutive, 10);
+}
+
+TEST(LeakageWeights, CortexA7RelativeMagnitudes) {
+  const leakage_weights w = leakage_weights::cortex_a7_like();
+  EXPECT_EQ(w[sim::component::rf_read_port], 0.0);
+  // Shift buffer far below the main sources (paper Section 4.1 reports
+  // its correlation at ~1/10 of the other leakages').
+  EXPECT_LT(w[sim::component::shift_buffer], 0.2);
+  EXPECT_GT(w[sim::component::shift_buffer], 0.0);
+  EXPECT_GT(w[sim::component::mdr], w[sim::component::is_ex_bus]);
+}
+
+} // namespace
+} // namespace usca::power

@@ -1,0 +1,87 @@
+#include "power/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace usca::power {
+namespace {
+
+trace_matrix sample_matrix() {
+  trace_matrix m(3, 5);
+  util::xoshiro256 rng(9);
+  for (std::size_t i = 0; i < m.traces(); ++i) {
+    for (std::size_t s = 0; s < m.samples(); ++s) {
+      m.at(i, s) = rng.next_gaussian();
+    }
+  }
+  return m;
+}
+
+TEST(TraceIo, BinaryRoundTrip) {
+  const trace_matrix original = sample_matrix();
+  std::stringstream buffer;
+  save_traces(original, buffer);
+  const trace_matrix loaded = load_traces(buffer);
+  ASSERT_EQ(loaded.traces(), original.traces());
+  ASSERT_EQ(loaded.samples(), original.samples());
+  for (std::size_t i = 0; i < original.traces(); ++i) {
+    for (std::size_t s = 0; s < original.samples(); ++s) {
+      EXPECT_EQ(loaded.at(i, s), original.at(i, s));
+    }
+  }
+}
+
+TEST(TraceIo, EmptyMatrixRoundTrips) {
+  trace_matrix empty;
+  std::stringstream buffer;
+  save_traces(empty, buffer);
+  const trace_matrix loaded = load_traces(buffer);
+  EXPECT_EQ(loaded.traces(), 0u);
+}
+
+TEST(TraceIo, RejectsBadMagic) {
+  std::stringstream buffer;
+  buffer << "NOPE.......................";
+  EXPECT_THROW(load_traces(buffer), util::analysis_error);
+}
+
+TEST(TraceIo, RejectsTruncatedFile) {
+  const trace_matrix original = sample_matrix();
+  std::stringstream buffer;
+  save_traces(original, buffer);
+  const std::string full = buffer.str();
+  std::stringstream truncated(full.substr(0, full.size() - 9));
+  EXPECT_THROW(load_traces(truncated), util::analysis_error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  const trace_matrix original = sample_matrix();
+  const std::string path = "/tmp/usca_trace_io_test.bin";
+  save_traces(original, path);
+  const trace_matrix loaded = load_traces(path);
+  EXPECT_EQ(loaded.at(2, 4), original.at(2, 4));
+}
+
+TEST(TraceIo, MissingFileThrows) {
+  EXPECT_THROW(load_traces("/nonexistent/usca.bin"), util::analysis_error);
+}
+
+TEST(TraceIo, CsvExportShape) {
+  const trace_matrix m = sample_matrix();
+  std::stringstream out;
+  export_csv(m, out);
+  std::string line;
+  int lines = 0;
+  while (std::getline(out, line)) {
+    ++lines;
+    EXPECT_EQ(std::count(line.begin(), line.end(), ','), 4);
+  }
+  EXPECT_EQ(lines, 3);
+}
+
+} // namespace
+} // namespace usca::power

@@ -1,0 +1,58 @@
+#include "power/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "util/error.h"
+
+namespace usca::power {
+namespace {
+
+TEST(TraceMatrix, Dimensions) {
+  trace_matrix m(3, 5);
+  EXPECT_EQ(m.traces(), 3u);
+  EXPECT_EQ(m.samples(), 5u);
+  EXPECT_FALSE(m.empty());
+  EXPECT_EQ(m.at(2, 4), 0.0);
+}
+
+TEST(TraceMatrix, RowAccess) {
+  trace_matrix m(2, 3);
+  m.at(1, 0) = 1.5;
+  m.at(1, 2) = 2.5;
+  const auto row = m.row(1);
+  EXPECT_EQ(row[0], 1.5);
+  EXPECT_EQ(row[2], 2.5);
+}
+
+TEST(TraceMatrix, PushRowGrows) {
+  trace_matrix m;
+  EXPECT_TRUE(m.empty());
+  const trace t1 = {1.0, 2.0};
+  m.push_row(t1);
+  const trace t2 = {3.0, 4.0};
+  m.push_row(t2);
+  EXPECT_EQ(m.traces(), 2u);
+  EXPECT_EQ(m.at(1, 1), 4.0);
+}
+
+TEST(TraceMatrix, MismatchedRowThrows) {
+  trace_matrix m(1, 3);
+  const trace wrong = {1.0};
+  EXPECT_THROW(m.set_row(0, wrong), util::analysis_error);
+  EXPECT_THROW(m.push_row(wrong), util::analysis_error);
+}
+
+TEST(AverageTraces, ComputesElementwiseMean) {
+  const std::vector<trace> group = {{1.0, 2.0}, {3.0, 6.0}};
+  const trace avg = average_traces(group);
+  EXPECT_DOUBLE_EQ(avg[0], 2.0);
+  EXPECT_DOUBLE_EQ(avg[1], 4.0);
+}
+
+TEST(AverageTraces, EmptyGroupThrows) {
+  const std::vector<trace> none;
+  EXPECT_THROW(average_traces(none), util::analysis_error);
+}
+
+} // namespace
+} // namespace usca::power

@@ -1,0 +1,154 @@
+#include "sim/alu.h"
+
+#include <gtest/gtest.h>
+
+namespace usca::sim {
+namespace {
+
+using isa::opcode;
+using isa::shift_kind;
+
+TEST(AluShift, LslBasics) {
+  EXPECT_EQ(apply_shift(1, shift_kind::lsl, 4, false).value, 16u);
+  EXPECT_EQ(apply_shift(0x80000000, shift_kind::lsl, 1, false).value, 0u);
+  EXPECT_TRUE(apply_shift(0x80000000, shift_kind::lsl, 1, false).carry);
+  EXPECT_FALSE(apply_shift(1, shift_kind::lsl, 1, false).carry);
+}
+
+TEST(AluShift, AmountZeroIsIdentityAndKeepsCarry) {
+  for (const auto kind : {shift_kind::lsl, shift_kind::lsr, shift_kind::asr,
+                          shift_kind::ror}) {
+    const shift_result r = apply_shift(0xdeadbeef, kind, 0, true);
+    EXPECT_EQ(r.value, 0xdeadbeefu);
+    EXPECT_TRUE(r.carry);
+  }
+}
+
+TEST(AluShift, LsrBasics) {
+  EXPECT_EQ(apply_shift(16, shift_kind::lsr, 4, false).value, 1u);
+  EXPECT_TRUE(apply_shift(0x10, shift_kind::lsr, 5, false).carry);
+  EXPECT_EQ(apply_shift(0xffffffff, shift_kind::lsr, 32, false).value, 0u);
+  EXPECT_TRUE(apply_shift(0x80000000, shift_kind::lsr, 32, false).carry);
+}
+
+TEST(AluShift, AsrPropagatesSign) {
+  EXPECT_EQ(apply_shift(0x80000000, shift_kind::asr, 4, false).value,
+            0xf8000000u);
+  EXPECT_EQ(apply_shift(0x80000000, shift_kind::asr, 40, false).value,
+            0xffffffffu);
+  EXPECT_EQ(apply_shift(0x40000000, shift_kind::asr, 40, false).value, 0u);
+}
+
+TEST(AluShift, RorRotates) {
+  EXPECT_EQ(apply_shift(0x000000f0, shift_kind::ror, 4, false).value,
+            0x0000000fu);
+  EXPECT_EQ(apply_shift(1, shift_kind::ror, 1, false).value, 0x80000000u);
+  EXPECT_EQ(apply_shift(0x12345678, shift_kind::ror, 32, false).value,
+            0x12345678u);
+}
+
+isa::flags no_flags() { return isa::flags{}; }
+
+TEST(AluExec, AddCarryOverflow) {
+  // 0x7fffffff + 1 = signed overflow, no carry.
+  alu_result r = execute_dp(opcode::add, 0x7fffffff, 1, false, no_flags());
+  EXPECT_EQ(r.value, 0x80000000u);
+  EXPECT_TRUE(r.f.v);
+  EXPECT_FALSE(r.f.c);
+  EXPECT_TRUE(r.f.n);
+  // 0xffffffff + 1 = carry out, no overflow.
+  r = execute_dp(opcode::add, 0xffffffff, 1, false, no_flags());
+  EXPECT_EQ(r.value, 0u);
+  EXPECT_TRUE(r.f.c);
+  EXPECT_FALSE(r.f.v);
+  EXPECT_TRUE(r.f.z);
+}
+
+TEST(AluExec, SubBorrowSemantics) {
+  // ARM: C is NOT-borrow.
+  alu_result r = execute_dp(opcode::sub, 5, 3, false, no_flags());
+  EXPECT_EQ(r.value, 2u);
+  EXPECT_TRUE(r.f.c);
+  r = execute_dp(opcode::sub, 3, 5, false, no_flags());
+  EXPECT_EQ(r.value, 0xfffffffeu);
+  EXPECT_FALSE(r.f.c);
+  EXPECT_TRUE(r.f.n);
+}
+
+TEST(AluExec, AdcSbcUseCarry) {
+  isa::flags f;
+  f.c = true;
+  EXPECT_EQ(execute_dp(opcode::adc, 1, 2, false, f).value, 4u);
+  f.c = false;
+  EXPECT_EQ(execute_dp(opcode::adc, 1, 2, false, f).value, 3u);
+  f.c = true;
+  EXPECT_EQ(execute_dp(opcode::sbc, 5, 3, false, f).value, 2u);
+  f.c = false;
+  EXPECT_EQ(execute_dp(opcode::sbc, 5, 3, false, f).value, 1u);
+}
+
+TEST(AluExec, RsbReverses) {
+  EXPECT_EQ(execute_dp(opcode::rsb, 3, 10, false, no_flags()).value, 7u);
+}
+
+TEST(AluExec, LogicalOpsSetCarryFromShifter) {
+  alu_result r = execute_dp(opcode::and_, 0xf0f0, 0x0ff0, true, no_flags());
+  EXPECT_EQ(r.value, 0x00f0u);
+  EXPECT_TRUE(r.f.c); // carried in from the shifter
+  r = execute_dp(opcode::eor, 0xff00, 0x0ff0, false, no_flags());
+  EXPECT_EQ(r.value, 0xf0f0u);
+  EXPECT_FALSE(r.f.c);
+}
+
+TEST(AluExec, MovMvn) {
+  EXPECT_EQ(execute_dp(opcode::mov, 0, 0x1234, false, no_flags()).value,
+            0x1234u);
+  EXPECT_EQ(execute_dp(opcode::mvn, 0, 0, false, no_flags()).value,
+            0xffffffffu);
+}
+
+TEST(AluExec, ComparesDontWriteResult) {
+  EXPECT_FALSE(execute_dp(opcode::cmp, 1, 1, false, no_flags()).writes_result);
+  EXPECT_FALSE(execute_dp(opcode::tst, 1, 1, false, no_flags()).writes_result);
+  EXPECT_TRUE(execute_dp(opcode::cmp, 1, 1, false, no_flags()).f.z);
+}
+
+TEST(AluExec, Operand2Evaluation) {
+  auto ins = isa::ins::dp_shift(opcode::add, isa::reg::r0, isa::reg::r1,
+                                isa::reg::r2, shift_kind::lsl, 4);
+  const auto read = [](isa::reg r) {
+    return r == isa::reg::r2 ? 0x10u : 0u;
+  };
+  const operand2_value v = eval_operand2(ins, read, false);
+  EXPECT_EQ(v.pre_shift, 0x10u);
+  EXPECT_EQ(v.value, 0x100u);
+  EXPECT_TRUE(v.used_shifter);
+}
+
+TEST(AluExec, Operand2ImmediateBypassesShifter) {
+  const auto ins = isa::ins::add_imm(isa::reg::r0, isa::reg::r1, 42);
+  const auto read = [](isa::reg) { return 0u; };
+  const operand2_value v = eval_operand2(ins, read, false);
+  EXPECT_EQ(v.value, 42u);
+  EXPECT_FALSE(v.used_shifter);
+}
+
+TEST(AluExec, RegisterShiftUsesLowByte) {
+  auto ins = isa::ins::add(isa::reg::r0, isa::reg::r1, isa::reg::r2);
+  ins.op2.shift.by_register = true;
+  ins.op2.shift.kind = shift_kind::lsl;
+  ins.op2.shift.amount_reg = isa::reg::r3;
+  const auto read = [](isa::reg r) {
+    if (r == isa::reg::r2) {
+      return 1u;
+    }
+    if (r == isa::reg::r3) {
+      return 0x104u; // low byte = 4
+    }
+    return 0u;
+  };
+  EXPECT_EQ(eval_operand2(ins, read, false).value, 16u);
+}
+
+} // namespace
+} // namespace usca::sim

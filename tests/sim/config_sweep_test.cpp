@@ -1,0 +1,155 @@
+// Parameterized sweeps over micro-architecture configurations: semantics
+// must be invariant (differential vs the reference executor) while timing
+// must order sensibly (more resources never slow execution down).
+#include <gtest/gtest.h>
+
+#include "asmx/program.h"
+#include "crypto/aes_codegen.h"
+#include "sim/functional_executor.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+
+namespace usca::sim {
+namespace {
+
+using isa::reg;
+namespace mk = isa::ins;
+
+struct config_case {
+  const char* name;
+  micro_arch_config config;
+};
+
+std::vector<config_case> sweep_configs() {
+  std::vector<config_case> out;
+  out.push_back({"cortex_a7", cortex_a7()});
+  out.push_back({"scalar", cortex_a7_scalar()});
+  {
+    micro_arch_config c = cortex_a7();
+    c.policy = issue_policy::structural;
+    out.push_back({"structural_policy", c});
+  }
+  {
+    micro_arch_config c = cortex_a7();
+    c.lsu_pipelined = false;
+    c.mul_pipelined = false;
+    out.push_back({"unpipelined_units", c});
+  }
+  {
+    micro_arch_config c = cortex_a7();
+    c.perfect_branch_prediction = false;
+    c.branch_mispredict_penalty = 7;
+    out.push_back({"mispredicting", c});
+  }
+  {
+    micro_arch_config c = cortex_a7();
+    c.nop_drives_zero_operands = false;
+    c.nop_zeroes_wb_bus = false;
+    c.alu_latch_holds_on_idle = false;
+    c.has_align_buffer = false;
+    out.push_back({"leakage_features_off", c});
+  }
+  {
+    micro_arch_config c = cortex_a7();
+    c.pair_aligned_fetch_only = false;
+    out.push_back({"unaligned_pairing", c});
+  }
+  return out;
+}
+
+class ConfigSweep : public ::testing::TestWithParam<config_case> {};
+
+TEST_P(ConfigSweep, AesSemanticsInvariant) {
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  util::xoshiro256 rng(99);
+  crypto::aes_key key;
+  crypto::aes_block pt;
+  for (auto& b : key) {
+    b = rng.next_u8();
+  }
+  for (auto& b : pt) {
+    b = rng.next_u8();
+  }
+  pipeline pipe(layout.prog, GetParam().config);
+  pipe.set_record_activity(false);
+  crypto::install_aes_inputs(pipe.memory(), layout, crypto::expand_key(key),
+                             pt);
+  pipe.warm_caches();
+  pipe.run();
+  EXPECT_EQ(crypto::read_aes_state(pipe.memory(), layout),
+            crypto::encrypt_block(pt, key))
+      << GetParam().name;
+}
+
+TEST_P(ConfigSweep, MixedWorkloadMatchesReferenceExecutor) {
+  asmx::program_builder b;
+  const std::uint32_t buffer = b.data_block(64, 4);
+  b.load_constant(reg::r10, buffer);
+  b.load_constant(reg::r0, 0x1234abcd);
+  b.load_constant(reg::r1, 17);
+  const auto loop = b.size();
+  b.emit(mk::eor(reg::r2, reg::r0, reg::r1));
+  b.emit(mk::dp_shift(isa::opcode::add, reg::r0, reg::r0, reg::r2,
+                      isa::shift_kind::ror, 5));
+  b.emit(mk::and_imm(reg::r3, reg::r0, 0x3c));
+  b.emit(mk::str_reg(reg::r0, reg::r10, reg::r3));
+  b.emit(mk::ldrb_reg(reg::r4, reg::r10, reg::r3));
+  b.emit(mk::mul(reg::r5, reg::r4, reg::r1));
+  isa::instruction dec = mk::sub_imm(reg::r1, reg::r1, 1);
+  dec.set_flags = true;
+  b.emit(dec);
+  b.emit(mk::b(static_cast<std::int32_t>(loop) -
+                   static_cast<std::int32_t>(b.size()) - 1,
+               isa::condition::ne));
+  const asmx::program prog = b.build();
+
+  functional_executor iss(prog);
+  iss.run();
+  pipeline pipe(prog, GetParam().config);
+  pipe.set_record_activity(false);
+  pipe.warm_caches();
+  pipe.run();
+  for (int r = 0; r < 6; ++r) {
+    EXPECT_EQ(iss.state().regs[static_cast<std::size_t>(r)],
+              pipe.state().regs[static_cast<std::size_t>(r)])
+        << GetParam().name << " r" << r;
+  }
+  EXPECT_EQ(iss.state().f, pipe.state().f) << GetParam().name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, ConfigSweep,
+                         ::testing::ValuesIn(sweep_configs()),
+                         [](const ::testing::TestParamInfo<config_case>& i) {
+                           return std::string(i.param.name);
+                         });
+
+TEST(ConfigOrdering, MoreResourcesNeverSlower) {
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  const auto cycles_with = [&](const micro_arch_config& config) {
+    pipeline pipe(layout.prog, config);
+    pipe.set_record_activity(false);
+    crypto::install_aes_inputs(pipe.memory(), layout,
+                               crypto::expand_key(crypto::aes_key{}),
+                               crypto::aes_block{});
+    pipe.warm_caches();
+    pipe.run();
+    return pipe.cycles();
+  };
+  const std::uint64_t dual = cycles_with(cortex_a7());
+  const std::uint64_t scalar = cycles_with(cortex_a7_scalar());
+  micro_arch_config slow_units = cortex_a7();
+  slow_units.lsu_pipelined = false;
+  slow_units.mul_pipelined = false;
+  const std::uint64_t unpipelined = cycles_with(slow_units);
+  micro_arch_config structural = cortex_a7();
+  structural.policy = issue_policy::structural;
+  const std::uint64_t ideal = cycles_with(structural);
+
+  EXPECT_LE(dual, scalar);
+  EXPECT_LE(dual, unpipelined);
+  // A purely structural issue stage can only pair more, never less.
+  EXPECT_LE(ideal, dual);
+}
+
+} // namespace
+} // namespace usca::sim

@@ -1,0 +1,163 @@
+#include "sim/functional_executor.h"
+
+#include <gtest/gtest.h>
+
+#include "asmx/assembler.h"
+#include "util/error.h"
+
+namespace usca::sim {
+namespace {
+
+using isa::reg;
+
+functional_executor run_source(const std::string& source) {
+  functional_executor exec(asmx::assemble(source));
+  exec.run();
+  return exec;
+}
+
+TEST(FunctionalExecutor, ArithmeticChain) {
+  auto exec = run_source("ldi r0, #10\n"
+                         "ldi r1, #32\n"
+                         "add r2, r0, r1\n"
+                         "sub r3, r2, r0\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r2), 42u);
+  EXPECT_EQ(exec.state().reg(reg::r3), 32u);
+}
+
+TEST(FunctionalExecutor, ConditionalExecution) {
+  auto exec = run_source("ldi r0, #5\n"
+                         "cmp r0, #5\n"
+                         "ldieq r1, #1\n"
+                         "ldine r2, #1\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r1), 1u);
+  EXPECT_EQ(exec.state().reg(reg::r2), 0u);
+}
+
+TEST(FunctionalExecutor, LoopSumsOneToTen) {
+  auto exec = run_source("ldi r0, #0\n"   // acc
+                         "ldi r1, #10\n"  // counter
+                         "loop: add r0, r0, r1\n"
+                         "subs r1, r1, #1\n"
+                         "bne loop\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r0), 55u);
+}
+
+TEST(FunctionalExecutor, MemoryLoadStore) {
+  auto exec = run_source(".data\n"
+                         "src: .word 0x11223344\n"
+                         "dst: .word 0\n"
+                         ".text\n"
+                         "lda r0, src\n"
+                         "lda r1, dst\n"
+                         "ldr r2, [r0]\n"
+                         "str r2, [r1]\n"
+                         "ldrb r3, [r0, #1]\n"
+                         "ldrh r4, [r0, #2]\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r2), 0x11223344u);
+  EXPECT_EQ(exec.state().reg(reg::r3), 0x33u);
+  EXPECT_EQ(exec.state().reg(reg::r4), 0x1122u);
+  EXPECT_EQ(exec.memory().read32(*exec.program().symbol("dst")),
+            0x11223344u);
+}
+
+TEST(FunctionalExecutor, SubwordStores) {
+  auto exec = run_source(".data\n"
+                         "buf: .word 0xffffffff\n"
+                         ".text\n"
+                         "lda r0, buf\n"
+                         "ldi r1, #0xab\n"
+                         "strb r1, [r0]\n"
+                         "ldi r2, #0x1234\n"
+                         "strh r2, [r0, #2]\n"
+                         "halt\n");
+  EXPECT_EQ(exec.memory().read32(*exec.program().symbol("buf")),
+            0x1234ffabu);
+}
+
+TEST(FunctionalExecutor, FunctionCallAndReturn) {
+  auto exec = run_source("b main\n"
+                         "double: add r0, r0, r0\n"
+                         "bx lr\n"
+                         "main: ldi r0, #21\n"
+                         "bl double\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r0), 42u);
+}
+
+TEST(FunctionalExecutor, MulAndMla) {
+  auto exec = run_source("ldi r0, #6\n"
+                         "ldi r1, #7\n"
+                         "mul r2, r0, r1\n"
+                         "mla r3, r0, r1, r2\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r2), 42u);
+  EXPECT_EQ(exec.state().reg(reg::r3), 84u);
+}
+
+TEST(FunctionalExecutor, ShiftedOperand) {
+  auto exec = run_source("ldi r0, #1\n"
+                         "ldi r1, #3\n"
+                         "add r2, r1, r0, lsl #4\n"
+                         "lsr r3, r2, #1\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r2), 19u);
+  EXPECT_EQ(exec.state().reg(reg::r3), 9u);
+}
+
+TEST(FunctionalExecutor, NopAndMarkAreArchitecturallyNeutral) {
+  auto exec = run_source("ldi r0, #9\n"
+                         "nop\n"
+                         "mark #1\n"
+                         "nop\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r0), 9u);
+}
+
+TEST(FunctionalExecutor, RegisterOffsetAddressing) {
+  auto exec = run_source(".data\n"
+                         "tab: .word 10, 20, 30, 40\n"
+                         ".text\n"
+                         "lda r0, tab\n"
+                         "ldi r1, #3\n"
+                         "ldr r2, [r0, r1, lsl #2]\n"
+                         "halt\n");
+  EXPECT_EQ(exec.state().reg(reg::r2), 40u);
+}
+
+TEST(FunctionalExecutor, FallOffEndHalts) {
+  functional_executor exec(asmx::assemble("nop\nnop\n"));
+  exec.run();
+  EXPECT_TRUE(exec.state().halted);
+  EXPECT_EQ(exec.instructions_executed(), 2u);
+}
+
+TEST(FunctionalExecutor, StepBudgetEnforced) {
+  functional_executor exec(asmx::assemble("loop: b loop\n"));
+  EXPECT_THROW(exec.run(1000), util::simulation_error);
+}
+
+TEST(FunctionalExecutor, BxOutsideCodeHalts) {
+  auto exec = run_source("ldi r0, #0xdead0000\n"
+                         "bx r0\n"
+                         "ldi r1, #1\n" // must not execute
+                         "halt\n");
+  EXPECT_TRUE(exec.state().halted);
+  EXPECT_EQ(exec.state().reg(reg::r1), 0u);
+}
+
+TEST(FunctionalExecutor, FlagsAcrossSubtraction) {
+  auto exec = run_source("ldi r0, #3\n"
+                         "subs r1, r0, #3\n"
+                         "halt\n");
+  EXPECT_TRUE(exec.state().f.z);
+  EXPECT_TRUE(exec.state().f.c); // no borrow
+  EXPECT_FALSE(exec.state().f.n);
+}
+
+} // namespace
+} // namespace usca::sim

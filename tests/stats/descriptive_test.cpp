@@ -1,0 +1,81 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace usca::stats {
+namespace {
+
+TEST(RunningStats, MeanAndVariance) {
+  running_stats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    s.add(v);
+  }
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_NEAR(s.variance_population(), 4.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(RunningStats, DegenerateCases) {
+  running_stats s;
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  s.add(3.0);
+  EXPECT_EQ(s.mean(), 3.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  running_stats all;
+  running_stats a;
+  running_stats b;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i * 0.7) * 10 + i * 0.01;
+    all.add(v);
+    (i < 37 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-10);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-10);
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  running_stats a;
+  a.add(1.0);
+  a.add(2.0);
+  running_stats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+  running_stats b;
+  b.merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.mean(), 1.5);
+}
+
+TEST(NormalDistribution, CdfKnownValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.96), 0.975, 1e-3);
+  EXPECT_NEAR(normal_cdf(-1.96), 0.025, 1e-3);
+  EXPECT_NEAR(normal_cdf(3.0), 0.99865, 1e-4);
+}
+
+TEST(NormalDistribution, QuantileKnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.9975), 2.807034, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.99), 2.326348, 1e-5);
+  EXPECT_NEAR(normal_quantile(0.0001), -3.719016, 1e-4);
+}
+
+TEST(NormalDistribution, QuantileInvertsCdf) {
+  for (double p = 0.01; p < 1.0; p += 0.05) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-6) << p;
+  }
+}
+
+} // namespace
+} // namespace usca::stats

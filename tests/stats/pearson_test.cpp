@@ -1,0 +1,127 @@
+#include "stats/pearson.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace usca::stats {
+namespace {
+
+TEST(Pearson, PerfectCorrelation) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  const std::vector<double> neg = {-2, -4, -6, -8, -10};
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, KnownValue) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {1, 3, 2, 5, 4};
+  // Hand-computed: r = 0.8.
+  EXPECT_NEAR(pearson(x, y), 0.8, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesGivesZero) {
+  const std::vector<double> x = {3, 3, 3, 3};
+  const std::vector<double> y = {1, 2, 3, 4};
+  EXPECT_EQ(pearson(x, y), 0.0);
+}
+
+TEST(Pearson, LengthMismatchThrows) {
+  const std::vector<double> x = {1, 2};
+  const std::vector<double> y = {1};
+  EXPECT_THROW(pearson(x, y), util::analysis_error);
+}
+
+TEST(Pearson, AccumulatorMatchesBatch) {
+  util::xoshiro256 rng(12);
+  std::vector<double> x;
+  std::vector<double> y;
+  pearson_accumulator acc;
+  for (int i = 0; i < 1000; ++i) {
+    const double xi = rng.next_gaussian();
+    const double yi = 0.3 * xi + rng.next_gaussian();
+    x.push_back(xi);
+    y.push_back(yi);
+    acc.add(xi, yi);
+  }
+  EXPECT_NEAR(acc.correlation(), pearson(x, y), 1e-12);
+}
+
+TEST(Pearson, AccumulatorIsShiftInvariant) {
+  pearson_accumulator a;
+  pearson_accumulator b;
+  util::xoshiro256 rng(5);
+  for (int i = 0; i < 500; ++i) {
+    const double xi = rng.next_gaussian();
+    const double yi = xi + rng.next_gaussian();
+    a.add(xi, yi);
+    b.add(xi + 1e9, yi - 1e9); // large offsets: catastrophic for naive sums
+  }
+  EXPECT_NEAR(a.correlation(), b.correlation(), 1e-6);
+}
+
+TEST(Fisher, ZTransform) {
+  EXPECT_NEAR(fisher_z(0.0), 0.0, 1e-12);
+  EXPECT_NEAR(fisher_z(0.5), std::atanh(0.5), 1e-12);
+  EXPECT_TRUE(std::isfinite(fisher_z(1.0)));
+  EXPECT_TRUE(std::isfinite(fisher_z(-1.0)));
+}
+
+TEST(Fisher, SignificanceMatchesTheory) {
+  // r = 0.02 over n = 20000: z = atanh(0.02)*sqrt(19997) ~ 2.83,
+  // significant at 99.5% (threshold 2.807) but not at 99.9% (3.29).
+  EXPECT_TRUE(correlation_significant(0.02, 20'000, 0.995));
+  EXPECT_FALSE(correlation_significant(0.02, 20'000, 0.999));
+  // Sign does not matter (two-sided test).
+  EXPECT_TRUE(correlation_significant(-0.02, 20'000, 0.995));
+  // The same correlation over few traces is not significant.
+  EXPECT_FALSE(correlation_significant(0.02, 1'000, 0.995));
+}
+
+TEST(Fisher, ThresholdIsConsistentWithTest) {
+  const std::uint64_t n = 10'000;
+  const double threshold = significance_threshold(n, 0.995);
+  EXPECT_TRUE(correlation_significant(threshold * 1.01, n, 0.995));
+  EXPECT_FALSE(correlation_significant(threshold * 0.99, n, 0.995));
+}
+
+TEST(Fisher, DifferenceZScore) {
+  // Equal correlations: z = 0.
+  EXPECT_NEAR(correlation_difference_z(0.3, 0.3, 1000), 0.0, 1e-12);
+  // Larger first correlation: positive z, growing with n.
+  const double z_small = correlation_difference_z(0.3, 0.1, 100);
+  const double z_large = correlation_difference_z(0.3, 0.1, 10'000);
+  EXPECT_GT(z_small, 0.0);
+  EXPECT_GT(z_large, z_small);
+  // The paper's Figure-4 criterion: >99% one-sided confidence = z > 2.326.
+  EXPECT_GT(correlation_difference_z(0.02, 0.005, 100'000), 2.326);
+}
+
+TEST(Pearson, NullDistributionRespectsSignificanceLevel) {
+  // Property check: under H0 (independent series), the 99.5% test should
+  // reject in roughly 0.5% of cases.
+  util::xoshiro256 rng(321);
+  const int experiments = 2000;
+  const int n = 500;
+  int rejections = 0;
+  for (int e = 0; e < experiments; ++e) {
+    pearson_accumulator acc;
+    for (int i = 0; i < n; ++i) {
+      acc.add(rng.next_gaussian(), rng.next_gaussian());
+    }
+    if (correlation_significant(acc.correlation(), n, 0.995)) {
+      ++rejections;
+    }
+  }
+  const double rate = static_cast<double>(rejections) / experiments;
+  EXPECT_LT(rate, 0.015);
+}
+
+} // namespace
+} // namespace usca::stats

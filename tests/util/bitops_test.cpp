@@ -1,0 +1,64 @@
+#include "util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace usca::util {
+namespace {
+
+TEST(Bitops, HammingWeightBasics) {
+  EXPECT_EQ(hamming_weight(0), 0);
+  EXPECT_EQ(hamming_weight(1), 1);
+  EXPECT_EQ(hamming_weight(0xffffffffU), 32);
+  EXPECT_EQ(hamming_weight(0xa5a5a5a5U), 16);
+}
+
+TEST(Bitops, HammingDistanceIsWeightOfXor) {
+  EXPECT_EQ(hamming_distance(0, 0), 0);
+  EXPECT_EQ(hamming_distance(0xffU, 0), 8);
+  EXPECT_EQ(hamming_distance(0x12345678U, 0x12345678U), 0);
+  EXPECT_EQ(hamming_distance(0xf0f0f0f0U, 0x0f0f0f0fU), 32);
+}
+
+TEST(Bitops, RotateRight) {
+  EXPECT_EQ(rotate_right(0x00000001U, 1), 0x80000000U);
+  EXPECT_EQ(rotate_right(0x12345678U, 0), 0x12345678U);
+  EXPECT_EQ(rotate_right(0x12345678U, 32), 0x12345678U);
+  EXPECT_EQ(rotate_right(0x000000ffU, 8), 0xff000000U);
+}
+
+TEST(Bitops, SignExtend) {
+  EXPECT_EQ(sign_extend(0xff, 8), -1);
+  EXPECT_EQ(sign_extend(0x7f, 8), 127);
+  EXPECT_EQ(sign_extend(0x80, 8), -128);
+  EXPECT_EQ(sign_extend(0x3fffff, 22), -1);
+  EXPECT_EQ(sign_extend(0x1fffff, 22), 0x1fffff);
+}
+
+TEST(Bitops, ByteAndHalfExtraction) {
+  EXPECT_EQ(byte_of(0x12345678U, 0), 0x78);
+  EXPECT_EQ(byte_of(0x12345678U, 3), 0x12);
+  EXPECT_EQ(half_of(0x12345678U, 0), 0x5678);
+  EXPECT_EQ(half_of(0x12345678U, 1), 0x1234);
+}
+
+TEST(Bitops, ArmImmediateRecognition) {
+  EXPECT_TRUE(is_arm_immediate(0));
+  EXPECT_TRUE(is_arm_immediate(0xff));
+  EXPECT_TRUE(is_arm_immediate(0xff000000U));
+  EXPECT_TRUE(is_arm_immediate(0x000003fcU)); // 0xff ror 30
+  EXPECT_FALSE(is_arm_immediate(0x101));
+  EXPECT_FALSE(is_arm_immediate(0x12345678U));
+  EXPECT_FALSE(is_arm_immediate(0xff1));
+}
+
+TEST(Bitops, ArmImmediateRoundTrip) {
+  for (const std::uint32_t value :
+       {0u, 0xffu, 0x3fcu, 0xff00u, 0x1b0000u, 0xff000000u, 0xc000003fu}) {
+    ASSERT_TRUE(is_arm_immediate(value)) << value;
+    const arm_immediate enc = encode_arm_immediate(value);
+    EXPECT_EQ(decode_arm_immediate(enc.rot4, enc.imm8), value);
+  }
+}
+
+} // namespace
+} // namespace usca::util
