@@ -3,9 +3,9 @@
 // stores" in SubBytes.
 //
 // Environment model: the second core runs a saturated webserver (random-
-// walk activity), the scheduler preempts at will (bursts), nothing is
-// clock-gated — usca::power::os_noise_config.  As in the paper, only 100
-// traces are used, each the average of 16 executions of the same input.
+// walk activity), the scheduler preempts at will, nothing is clock-gated
+// — usca::power::os_noise_config.  As in the paper, only 100 traces are
+// used, each the average of 16 executions of the same input.
 //
 // Attack model (micro-architecture aware): the store data of consecutive
 // SubBytes strb instructions shares the IS/EX operand bus and the memory
@@ -13,19 +13,21 @@
 // k0 assuming k1 from the preceding chained attack step (the paper's
 // model likewise combines two consecutive stores).
 //
+// Acquisition runs through core::trace_campaign; the campaign-extension
+// loop exploits its prefix property: extension batches cover disjoint
+// [first_index, first_index+traces) ranges under the same master seed, so
+// growing the campaign never re-simulates (or re-draws) its prefix.
+//
 // Defaults: traces=100, averaging=16 — the paper's exact campaign size.
 #include <cmath>
 #include <cstdio>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/campaign.h"
 #include "crypto/aes_codegen.h"
-#include "power/synthesizer.h"
-#include "sim/pipeline.h"
 #include "stats/cpa.h"
-#include "stats/pearson.h"
 #include "util/bitops.h"
-#include "util/rng.h"
 
 using namespace usca;
 
@@ -34,68 +36,61 @@ int main(int argc, char** argv) {
   const std::size_t traces = args.get_size("traces", 100);
   const int averaging = static_cast<int>(args.get_size("averaging", 16));
   const std::uint64_t seed = args.get_size("seed", 0xf16'4);
+  const unsigned threads =
+      static_cast<unsigned>(args.get_size("threads", 0));
+
+  const crypto::aes_key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                               0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                               0x09, 0xcf, 0x4f, 0x3c};
+
+  core::campaign_config config;
+  config.traces = traces;
+  config.threads = threads;
+  config.seed = seed;
+  config.averaging = averaging;
+  // Window: the SubBytes phase of round 1 (where the byte stores live).
+  config.window = {crypto::mark_ark0_end, crypto::mark_sb1_end};
+  config.power.os_noise.enabled = true; // the loaded-Linux environment
+
+  stats::cpa_engine cpa(0, 0);
+  bool ready = false;
+  const auto sink = [&](core::trace_record&& rec) {
+    if (!ready) {
+      cpa = stats::cpa_engine(rec.samples.size(), 256);
+      ready = true;
+    }
+    std::vector<double> hypotheses(256);
+    const std::uint8_t second =
+        crypto::subbytes_hypothesis(rec.plaintext[1], key[1]);
+    for (std::size_t g = 0; g < 256; ++g) {
+      const std::uint8_t first = crypto::subbytes_hypothesis(
+          rec.plaintext[0], static_cast<std::uint8_t>(g));
+      hypotheses[g] =
+          static_cast<double>(util::hamming_distance(first, second));
+    }
+    cpa.add_trace(rec.samples, hypotheses);
+  };
+
+  // Extends the accumulated campaign with traces [first, first+count).
+  const auto add_traces = [&](std::size_t first, std::size_t count) {
+    core::campaign_config batch = config;
+    batch.first_index = first;
+    batch.traces = count;
+    core::trace_campaign campaign(batch, key);
+    campaign.run(sink);
+    return campaign.resolved_threads();
+  };
+
+  const bench::stopwatch watch;
+  const unsigned used_threads = add_traces(0, traces);
+  const double elapsed = watch.seconds();
 
   std::printf("== Figure 4: CPA on AES under Linux load, model = "
               "HD(two consecutive SubBytes byte stores) ==\n");
   std::printf("   traces=%zu (avg of %d executions each), OS noise "
-              "enabled\n\n",
-              traces, averaging);
+              "enabled, threads=%u (%.2f s)\n\n",
+              traces, averaging, used_threads, elapsed);
 
-  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
-  const crypto::aes_key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
-                               0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
-                               0x09, 0xcf, 0x4f, 0x3c};
-  const crypto::aes_round_keys rk = crypto::expand_key(key);
-
-  power::synthesis_config power_config;
-  power_config.os_noise.enabled = true; // the loaded-Linux environment
-  power::trace_synthesizer synth(power_config, seed);
-  util::xoshiro256 rng(seed ^ 0x7654321);
-
-  // Window: the SubBytes phase of round 1 (where the byte stores live).
-  stats::cpa_engine cpa(0, 0);
-  bool ready = false;
-
-  std::uint64_t sb_begin = 0;
-  std::uint64_t sb_end = 0;
-  const auto add_traces = [&](std::size_t count) {
-    for (std::size_t t = 0; t < count; ++t) {
-      crypto::aes_block pt;
-      for (auto& b : pt) {
-        b = rng.next_u8();
-      }
-      sim::pipeline pipe(layout.prog, sim::cortex_a7());
-      crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
-      pipe.warm_caches();
-      pipe.run();
-      for (const auto& m : pipe.marks()) {
-        if (m.id == crypto::mark_ark0_end) {
-          sb_begin = m.cycle;
-        } else if (m.id == crypto::mark_sb1_end) {
-          sb_end = m.cycle;
-        }
-      }
-      const power::trace trace = synth.synthesize_averaged(
-          pipe.activity(), static_cast<std::uint32_t>(sb_begin),
-          static_cast<std::uint32_t>(sb_end), averaging);
-      if (!ready) {
-        cpa = stats::cpa_engine(trace.size(), 256);
-        ready = true;
-      }
-      std::vector<double> hypotheses(256);
-      for (std::size_t g = 0; g < 256; ++g) {
-        const std::uint8_t first = crypto::subbytes_hypothesis(
-            pt[0], static_cast<std::uint8_t>(g));
-        const std::uint8_t second =
-            crypto::subbytes_hypothesis(pt[1], key[1]);
-        hypotheses[g] =
-            static_cast<double>(util::hamming_distance(first, second));
-      }
-      cpa.add_trace(trace, hypotheses);
-    }
-  };
-
-  add_traces(traces);
   const stats::cpa_result result = cpa.solve();
   const std::vector<double>& correct = result.corr[key[0]];
 
@@ -137,7 +132,7 @@ int main(int argc, char** argv) {
   std::size_t total = traces;
   double z_now = z;
   while (z_now <= 2.326 && total < 6400) {
-    add_traces(total); // double the campaign
+    add_traces(total, total); // double the campaign
     total *= 2;
     z_now = cpa.solve().distinguishing_z(key[0]);
     std::printf("  extended to %4zu traces: distinguishing z = %.2f\n",

@@ -16,21 +16,22 @@
 // Environments: bare metal, loaded Linux (synthetic model), loaded Linux
 // with the *simulated* second core.
 //
-// Defaults: max_traces=3200, averaging=16.
+// Acquisition runs through core::trace_campaign (parallel, per-index
+// seeded); the max_traces acquisitions are collected once per cell and
+// sub-campaign z-scores evaluated on prefixes, so the MTD search costs no
+// extra simulation.
+//
+// Defaults: max_traces=3200, averaging=16, threads=hardware.
 #include <cmath>
 #include <cstdio>
-#include <memory>
 #include <vector>
 
 #include "bench_util.h"
+#include "core/campaign.h"
 #include "crypto/aes_codegen.h"
-#include "power/second_core.h"
-#include "power/synthesizer.h"
-#include "sim/pipeline.h"
 #include "stats/attack_metrics.h"
 #include "stats/cpa.h"
 #include "util/bitops.h"
-#include "util/rng.h"
 
 using namespace usca;
 
@@ -55,51 +56,33 @@ const char* env_name(environment e) {
   return "?";
 }
 
-/// Pre-collects `max_traces` acquisitions once; sub-campaign z-scores are
-/// then evaluated on prefixes, so the MTD search costs no extra simulation.
-class campaign {
+/// Collects `max_traces` acquisitions once through the campaign engine;
+/// sub-campaign z-scores are then evaluated on prefixes, so the MTD
+/// search costs no extra simulation.
+class mtd_campaign {
 public:
-  campaign(attack_model model, environment env, std::size_t max_traces,
-           int averaging, std::uint64_t seed)
+  mtd_campaign(attack_model model, environment env, std::size_t max_traces,
+               int averaging, std::uint64_t seed, unsigned threads)
       : model_(model) {
-    const crypto::aes_program_layout layout =
-        crypto::generate_aes128_program();
     key_ = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae, 0xd2, 0xa6,
             0xab, 0xf7, 0x15, 0x88, 0x09, 0xcf, 0x4f, 0x3c};
-    const crypto::aes_round_keys rk = crypto::expand_key(key_);
 
-    power::synthesis_config config;
-    config.os_noise.enabled = env != environment::bare;
-    power::trace_synthesizer synth(config, seed);
-    if (env == environment::linux_simulated) {
-      synth.attach_second_core(std::make_shared<power::second_core_noise>(
-          sim::cortex_a7(), config.weights, seed ^ 0xc0de, 8192));
-    }
-    util::xoshiro256 rng(seed ^ 0xabc);
+    core::campaign_config config;
+    config.traces = max_traces;
+    config.threads = threads;
+    config.seed = seed;
+    config.averaging = averaging;
+    config.window = {crypto::mark_ark0_end, crypto::mark_sb1_end};
+    config.power.os_noise.enabled = env != environment::bare;
+    config.simulated_second_core = env == environment::linux_simulated;
+    core::trace_campaign campaign(config, key_);
 
-    for (std::size_t t = 0; t < max_traces; ++t) {
-      crypto::aes_block pt;
-      for (auto& b : pt) {
-        b = rng.next_u8();
-      }
-      sim::pipeline pipe(layout.prog, sim::cortex_a7());
-      crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
-      pipe.warm_caches();
-      pipe.run();
-      std::uint64_t begin = 0;
-      std::uint64_t end = 0;
-      for (const auto& m : pipe.marks()) {
-        if (m.id == crypto::mark_ark0_end) {
-          begin = m.cycle;
-        } else if (m.id == crypto::mark_sb1_end) {
-          end = m.cycle;
-        }
-      }
-      traces_.push_back(synth.synthesize_averaged(
-          pipe.activity(), static_cast<std::uint32_t>(begin),
-          static_cast<std::uint32_t>(end), averaging));
-      plaintexts_.push_back(pt);
-    }
+    traces_.reserve(max_traces);
+    plaintexts_.reserve(max_traces);
+    campaign.run([&](core::trace_record&& rec) {
+      plaintexts_.push_back(rec.plaintext);
+      traces_.push_back(std::move(rec.samples));
+    });
   }
 
   double z_at(std::size_t n) const {
@@ -137,6 +120,8 @@ int main(int argc, char** argv) {
   const std::size_t max_traces = args.get_size("max_traces", 3'200);
   const int averaging = static_cast<int>(args.get_size("averaging", 16));
   const std::uint64_t seed = args.get_size("seed", 0x111d);
+  const unsigned threads =
+      static_cast<unsigned>(args.get_size("threads", 0));
 
   std::printf("== A3: measurements-to-disclosure (traces until the correct "
               "key clears 99%%) ==\n");
@@ -150,7 +135,7 @@ int main(int argc, char** argv) {
     for (const environment env :
          {environment::bare, environment::linux_synthetic,
           environment::linux_simulated}) {
-      const campaign c(model, env, max_traces, averaging, seed);
+      const mtd_campaign c(model, env, max_traces, averaging, seed, threads);
       const std::size_t mtd = stats::measurements_to_disclosure(
           [&](std::size_t n) { return c.z_at(n); }, 2.326, 25, max_traces);
       if (mtd >= max_traces && c.z_at(max_traces) <= 2.326) {

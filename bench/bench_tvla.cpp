@@ -6,15 +6,18 @@
 // random plaintexts) are compared sample-wise, |t| > 4.5 flags leakage.
 // The assessment covers the full first round.
 //
-// Defaults: traces=2000 (1000 fixed + 1000 random), averaging=4.
+// Acquisition runs through core::trace_campaign with a fixed-vs-random
+// plaintext policy keyed on the trace index parity; the per-index seeding
+// keeps both populations bit-reproducible at any thread count.
+//
+// Defaults: traces=2000 (1000 fixed + 1000 random), averaging=4,
+// threads=hardware.
 #include <cstdio>
 
 #include "bench_util.h"
+#include "core/campaign.h"
 #include "crypto/aes_codegen.h"
-#include "power/synthesizer.h"
-#include "sim/pipeline.h"
 #include "stats/ttest.h"
-#include "util/rng.h"
 
 using namespace usca;
 
@@ -24,61 +27,55 @@ struct tvla_outcome {
   double max_t = 0.0;
   std::size_t leaking = 0;
   std::size_t samples = 0;
+  double elapsed = 0.0;
 };
 
 tvla_outcome run_tvla(bool os_noise, std::size_t traces, int averaging,
-                      std::uint64_t seed) {
-  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+                      std::uint64_t seed, unsigned threads) {
   const crypto::aes_key key = {0x0f, 0x15, 0x71, 0xc9, 0x47, 0xd9,
                                0xe8, 0x59, 0x0c, 0xb7, 0xad, 0xd6,
                                0xaf, 0x7f, 0x67, 0x98};
-  const crypto::aes_round_keys rk = crypto::expand_key(key);
   const crypto::aes_block fixed_pt = {0xda, 0x39, 0xa3, 0xee, 0x5e, 0x6b,
                                       0x4b, 0x0d, 0x32, 0x55, 0xbf, 0xef,
                                       0x95, 0x60, 0x18, 0x90};
 
-  power::synthesis_config power_config;
-  power_config.os_noise.enabled = os_noise;
-  power::trace_synthesizer synth(power_config, seed);
-  util::xoshiro256 rng(seed ^ 0x55aa55aa);
+  core::campaign_config config;
+  config.traces = traces;
+  config.threads = threads;
+  config.seed = seed;
+  config.averaging = averaging;
+  config.window = {crypto::mark_encrypt_begin, crypto::mark_round1_end};
+  config.power.os_noise.enabled = os_noise;
+  core::trace_campaign campaign(config, key);
+  campaign.set_plaintext_policy(
+      [fixed_pt](std::size_t index, util::xoshiro256& rng) {
+        if (index % 2 == 0) {
+          return fixed_pt;
+        }
+        crypto::aes_block pt;
+        for (auto& b : pt) {
+          b = rng.next_u8();
+        }
+        return pt;
+      });
 
   stats::tvla_accumulator acc(0);
   bool ready = false;
-  for (std::size_t t = 0; t < traces; ++t) {
-    const bool fixed = t % 2 == 0;
-    crypto::aes_block pt = fixed_pt;
-    if (!fixed) {
-      for (auto& b : pt) {
-        b = rng.next_u8();
-      }
-    }
-    sim::pipeline pipe(layout.prog, sim::cortex_a7());
-    crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
-    pipe.warm_caches();
-    pipe.run();
-    std::uint64_t begin = 0;
-    std::uint64_t end = 0;
-    for (const auto& m : pipe.marks()) {
-      if (m.id == crypto::mark_encrypt_begin) {
-        begin = m.cycle;
-      } else if (m.id == crypto::mark_round1_end) {
-        end = m.cycle;
-      }
-    }
-    const power::trace trace = synth.synthesize_averaged(
-        pipe.activity(), static_cast<std::uint32_t>(begin),
-        static_cast<std::uint32_t>(end), averaging);
+  const bench::stopwatch watch;
+  campaign.run([&](core::trace_record&& rec) {
     if (!ready) {
-      acc = stats::tvla_accumulator(trace.size());
+      acc = stats::tvla_accumulator(rec.samples.size());
       ready = true;
     }
-    if (fixed) {
-      acc.add_fixed(trace);
+    if (rec.index % 2 == 0) {
+      acc.add_fixed(rec.samples);
     } else {
-      acc.add_random(trace);
+      acc.add_random(rec.samples);
     }
-  }
+  });
+
   tvla_outcome out;
+  out.elapsed = watch.seconds();
   out.max_t = acc.max_abs_t();
   out.leaking = acc.leaking_samples(4.5);
   out.samples = acc.samples();
@@ -92,19 +89,25 @@ int main(int argc, char** argv) {
   const std::size_t traces = args.get_size("traces", 2'000);
   const int averaging = static_cast<int>(args.get_size("averaging", 4));
   const std::uint64_t seed = args.get_size("seed", 0x7e57);
+  const unsigned threads =
+      static_cast<unsigned>(args.get_size("threads", 0));
 
   std::printf("== A2: TVLA fixed-vs-random t-test on AES round 1 ==\n");
   std::printf("   traces=%zu (half fixed, half random), threshold |t| > "
               "4.5\n\n",
               traces);
 
-  const tvla_outcome bare = run_tvla(false, traces, averaging, seed);
-  std::printf("bare metal : max |t| = %7.2f, leaking samples %zu/%zu\n",
-              bare.max_t, bare.leaking, bare.samples);
+  const tvla_outcome bare = run_tvla(false, traces, averaging, seed, threads);
+  std::printf("bare metal : max |t| = %7.2f, leaking samples %zu/%zu "
+              "(%.2f s)\n",
+              bare.max_t, bare.leaking, bare.samples, bare.elapsed);
 
-  const tvla_outcome linux_env = run_tvla(true, traces, averaging, seed);
-  std::printf("Linux load : max |t| = %7.2f, leaking samples %zu/%zu\n",
-              linux_env.max_t, linux_env.leaking, linux_env.samples);
+  const tvla_outcome linux_env =
+      run_tvla(true, traces, averaging, seed, threads);
+  std::printf("Linux load : max |t| = %7.2f, leaking samples %zu/%zu "
+              "(%.2f s)\n",
+              linux_env.max_t, linux_env.leaking, linux_env.samples,
+              linux_env.elapsed);
 
   std::printf("\nexpected shape: both environments fail TVLA decisively "
               "(unprotected AES); the loaded environment attenuates but "

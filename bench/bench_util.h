@@ -1,9 +1,10 @@
 // Shared helpers for the experiment harnesses: a small key=value command
-// line parser (every bench runs standalone with sensible defaults) and
-// ASCII table rendering.
+// line parser (every bench runs standalone with sensible defaults),
+// wall-clock timing, and ASCII table rendering.
 #ifndef USCA_BENCH_BENCH_UTIL_H
 #define USCA_BENCH_BENCH_UTIL_H
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
@@ -28,18 +29,67 @@ public:
 
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end()
-               ? fallback
-               : static_cast<std::size_t>(std::stoull(it->second));
+    if (it == values_.end()) {
+      return fallback;
+    }
+    // stoull alone is too lenient: it wraps negatives and ignores
+    // trailing garbage, so "traces=-1" would become ~1.8e19.
+    try {
+      std::size_t consumed = 0;
+      const unsigned long long value = std::stoull(it->second, &consumed);
+      if (consumed != it->second.size() ||
+          it->second.find('-') != std::string::npos) {
+        die(key, it->second, "a non-negative integer");
+      }
+      return static_cast<std::size_t>(value);
+    } catch (const std::exception&) {
+      die(key, it->second, "a non-negative integer");
+    }
   }
 
   double get_double(const std::string& key, double fallback) const {
     const auto it = values_.find(key);
-    return it == values_.end() ? fallback : std::stod(it->second);
+    if (it == values_.end()) {
+      return fallback;
+    }
+    try {
+      std::size_t consumed = 0;
+      const double value = std::stod(it->second, &consumed);
+      if (consumed != it->second.size()) {
+        die(key, it->second, "a number");
+      }
+      return value;
+    } catch (const std::exception&) {
+      die(key, it->second, "a number");
+    }
   }
 
 private:
+  [[noreturn]] static void die(const std::string& key,
+                               const std::string& value,
+                               const char* expected) {
+    std::fprintf(stderr, "invalid value '%s' for %s= (expected %s)\n",
+                 value.c_str(), key.c_str(), expected);
+    std::exit(2);
+  }
+
   std::map<std::string, std::string> values_;
+};
+
+/// Wall-clock stopwatch for reporting campaign acquisition cost.
+class stopwatch {
+public:
+  stopwatch() : started_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds elapsed since construction.
+  double seconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         started_)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point started_;
 };
 
 inline void print_rule(int width) {

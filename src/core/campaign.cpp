@@ -1,0 +1,224 @@
+#include "core/campaign.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "util/error.h"
+
+namespace usca::core {
+
+trace_campaign::trace_campaign(campaign_config config, crypto::aes_key key)
+    : config_(config), key_(key),
+      layout_(crypto::generate_aes128_program()),
+      round_keys_(crypto::expand_key(key_)) {
+  if (config_.simulated_second_core) {
+    // One read-only instance shared by every worker; only the window
+    // phase is drawn per acquisition, from the trace's private stream.
+    second_core_ = std::make_shared<power::second_core_noise>(
+        config_.uarch, config_.power.weights, config_.seed ^ 0xc0de,
+        config_.second_core_cycles);
+  }
+  plaintext_ = [](std::size_t, util::xoshiro256& rng) {
+    crypto::aes_block pt;
+    for (auto& b : pt) {
+      b = rng.next_u8();
+    }
+    return pt;
+  };
+}
+
+void trace_campaign::set_plaintext_policy(plaintext_fn policy) {
+  plaintext_ = std::move(policy);
+}
+
+std::uint64_t trace_campaign::trace_seed(std::uint64_t campaign_seed,
+                                         std::size_t index) noexcept {
+  // One splitmix64 step over a golden-ratio-strided state decorrelates
+  // neighbouring indices and neighbouring campaign seeds alike.
+  std::uint64_t state = campaign_seed +
+                        0x9e3779b97f4a7c15ULL *
+                            (static_cast<std::uint64_t>(index) + 1);
+  return util::splitmix64(state);
+}
+
+unsigned trace_campaign::resolved_threads() const noexcept {
+  unsigned threads = config_.threads;
+  if (threads == 0) {
+    threads = std::thread::hardware_concurrency();
+  }
+  if (threads == 0) {
+    threads = 1;
+  }
+  if (config_.traces > 0 &&
+      static_cast<std::size_t>(threads) > config_.traces) {
+    threads = static_cast<unsigned>(config_.traces);
+  }
+  return threads;
+}
+
+trace_record trace_campaign::produce(std::size_t index) const {
+  // Everything random about trace `index` — plaintext, measurement noise,
+  // OS noise, second-core phase — derives from this per-index seed, so
+  // the record is independent of which thread produces it.
+  std::uint64_t stream = trace_seed(config_.seed, index);
+  const std::uint64_t plaintext_seed = util::splitmix64(stream);
+  const std::uint64_t synthesis_seed = util::splitmix64(stream);
+
+  util::xoshiro256 plaintext_rng(plaintext_seed);
+  trace_record rec;
+  rec.index = index;
+  rec.plaintext = plaintext_(index, plaintext_rng);
+
+  sim::pipeline pipe(layout_.prog, config_.uarch);
+  crypto::install_aes_inputs(pipe.memory(), layout_, round_keys_,
+                             rec.plaintext);
+  pipe.warm_caches();
+  pipe.run();
+
+  bool begin_seen = false;
+  bool end_seen = false;
+  for (const auto& m : pipe.marks()) {
+    if (m.id == config_.window.begin_mark) {
+      rec.window_begin = m.cycle;
+      begin_seen = true;
+    } else if (m.id == config_.window.end_mark) {
+      rec.window_end = m.cycle;
+      end_seen = true;
+    }
+  }
+  if (!begin_seen || !end_seen || rec.window_end <= rec.window_begin) {
+    throw util::analysis_error(
+        "campaign window marks not found (or empty window) in the "
+        "simulated program");
+  }
+  rec.marks = pipe.marks();
+
+  power::trace_synthesizer synth(config_.power, synthesis_seed);
+  if (second_core_) {
+    synth.attach_second_core(second_core_);
+  }
+  const auto begin = static_cast<std::uint32_t>(rec.window_begin);
+  const auto end = static_cast<std::uint32_t>(rec.window_end);
+  rec.samples = config_.averaging > 1
+                    ? synth.synthesize_averaged(pipe.activity(), begin, end,
+                                                config_.averaging)
+                    : synth.synthesize(pipe.activity(), begin, end);
+  return rec;
+}
+
+void trace_campaign::run(const sink_fn& sink) {
+  const std::size_t count = config_.traces;
+  if (count == 0) {
+    return;
+  }
+  const std::size_t first = config_.first_index;
+  const unsigned threads = resolved_threads();
+
+  if (threads == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      sink(produce(first + i));
+    }
+    return;
+  }
+
+  // Work distribution: workers claim the next unproduced index; finished
+  // records park in a bounded reorder buffer that the calling thread
+  // drains in index order.  The bound keeps peak memory at O(threads)
+  // traces however unevenly the workers proceed.
+  const std::size_t capacity = static_cast<std::size_t>(threads) * 4;
+
+  std::mutex mutex;
+  std::condition_variable producers_cv;
+  std::condition_variable consumer_cv;
+  std::map<std::size_t, trace_record> reorder;
+  std::size_t next_consumed = 0; // count of records already delivered
+  std::atomic<std::size_t> next_claim{0};
+  bool abort = false;
+  std::exception_ptr error;
+
+  const auto fail = [&](std::exception_ptr e) {
+    std::lock_guard<std::mutex> lock(mutex);
+    if (!error) {
+      error = std::move(e);
+    }
+    abort = true;
+    producers_cv.notify_all();
+    consumer_cv.notify_all();
+  };
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next_claim.fetch_add(1);
+      if (i >= count) {
+        return;
+      }
+      {
+        // Backpressure: stay within `capacity` of the consumer before
+        // paying for the simulation.
+        std::unique_lock<std::mutex> lock(mutex);
+        producers_cv.wait(lock, [&] {
+          return abort || i < next_consumed + capacity;
+        });
+        if (abort) {
+          return;
+        }
+      }
+      try {
+        trace_record rec = produce(first + i);
+        std::lock_guard<std::mutex> lock(mutex);
+        if (abort) {
+          return;
+        }
+        reorder.emplace(i, std::move(rec));
+        consumer_cv.notify_one();
+      } catch (...) {
+        fail(std::current_exception());
+        return;
+      }
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker);
+  }
+
+  while (next_consumed < count) {
+    trace_record rec;
+    {
+      std::unique_lock<std::mutex> lock(mutex);
+      consumer_cv.wait(lock, [&] {
+        return abort || reorder.count(next_consumed) != 0;
+      });
+      if (abort) {
+        break;
+      }
+      auto it = reorder.find(next_consumed);
+      rec = std::move(it->second);
+      reorder.erase(it);
+      ++next_consumed;
+      producers_cv.notify_all();
+    }
+    try {
+      sink(std::move(rec));
+    } catch (...) {
+      fail(std::current_exception());
+      break;
+    }
+  }
+
+  for (std::thread& t : pool) {
+    t.join();
+  }
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+} // namespace usca::core

@@ -1,0 +1,129 @@
+// Parallel trace-campaign engine.
+//
+// Every large experiment in this repository has the same inner loop: draw
+// a plaintext, run the generated AES on the pipeline model, render a power
+// trace of a marker-delimited window, and stream the trace into a
+// statistical accumulator (CPA, TVLA, ...).  The paper's campaigns run to
+// 100k traces, so this loop is the wall-clock bottleneck of the whole
+// reproduction.  The campaign engine shards it across worker threads
+// while keeping the result exactly reproducible.
+//
+// Determinism guarantee:
+//
+//  * Every trace is seeded independently from (campaign seed, trace
+//    index) via splitmix64, so trace i is bit-identical no matter which
+//    worker produces it, how many workers exist, or how the scheduler
+//    interleaves them.  Same seed + same config => bit-identical traces,
+//    at ANY thread count.
+//  * Completed traces are re-ordered and delivered to the sink in strict
+//    index order on the calling thread.  Floating-point accumulation
+//    order is therefore fixed, so downstream statistics (CPA correlation
+//    matrices, t statistics) are also bit-identical across thread counts.
+//
+// The per-index seeding additionally gives campaigns the prefix property:
+// the first N traces of a longer campaign equal the N traces of a shorter
+// one with the same seed, and disjoint [first_index, first_index+traces)
+// ranges extend a campaign without re-simulating its prefix.
+#ifndef USCA_CORE_CAMPAIGN_H
+#define USCA_CORE_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "crypto/aes_codegen.h"
+#include "power/second_core.h"
+#include "power/synthesizer.h"
+#include "sim/micro_arch_config.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+
+namespace usca::core {
+
+/// Marker-delimited acquisition window: the synthesized trace covers the
+/// cycles from `begin_mark` (inclusive) to `end_mark` (exclusive).
+struct campaign_window {
+  std::uint16_t begin_mark = crypto::mark_encrypt_begin;
+  std::uint16_t end_mark = crypto::mark_round1_end;
+};
+
+struct campaign_config {
+  std::size_t traces = 0;       ///< number of traces to acquire
+  std::size_t first_index = 0;  ///< global index of the first trace
+  unsigned threads = 0;         ///< worker count; 0 = hardware concurrency
+  std::uint64_t seed = 0;       ///< campaign master seed
+  int averaging = 16;           ///< executions averaged per acquisition
+  campaign_window window{};
+  power::synthesis_config power{};
+  sim::micro_arch_config uarch = sim::cortex_a7();
+  /// Attach the simulated interfering core (the Figure-4 dual-core
+  /// environment); it is built once and shared read-only by all workers.
+  bool simulated_second_core = false;
+  std::size_t second_core_cycles = 8 * 1024;
+};
+
+/// One completed acquisition, delivered to the sink in index order.
+struct trace_record {
+  std::size_t index = 0;            ///< global trace index
+  crypto::aes_block plaintext{};
+  power::trace samples;             ///< one sample per window cycle
+  std::uint64_t window_begin = 0;   ///< absolute cycle of samples[0]
+  std::uint64_t window_end = 0;
+  /// All trigger marks of the run (phase annotation, e.g. Figure 3).
+  std::vector<sim::pipeline::mark_stamp> marks;
+};
+
+class trace_campaign {
+public:
+  /// Plaintext policy: derives the plaintext of trace `index` from its
+  /// private, index-seeded random stream.  Must be a pure function of its
+  /// arguments — any other state would break the determinism guarantee.
+  using plaintext_fn =
+      std::function<crypto::aes_block(std::size_t index, util::xoshiro256&)>;
+
+  /// Sink: invoked once per trace, in strict index order, on the thread
+  /// that called run().
+  using sink_fn = std::function<void(trace_record&&)>;
+
+  trace_campaign(campaign_config config, crypto::aes_key key);
+
+  /// Replaces the default uniform-random plaintext policy (e.g. the TVLA
+  /// fixed-vs-random split keyed on index parity).
+  void set_plaintext_policy(plaintext_fn policy);
+
+  /// Acquires all traces and streams them into `sink`.  Worker exceptions
+  /// and sink exceptions abort the campaign and rethrow here.
+  void run(const sink_fn& sink);
+
+  /// Produces trace `index` of the campaign synchronously; run() yields
+  /// exactly this record for every index (the determinism contract is
+  /// checked against it in the tests).
+  trace_record produce(std::size_t index) const;
+
+  /// Worker count run() will use after resolving 0 = hardware concurrency.
+  unsigned resolved_threads() const noexcept;
+
+  const campaign_config& config() const noexcept { return config_; }
+  const crypto::aes_key& key() const noexcept { return key_; }
+  const crypto::aes_program_layout& layout() const noexcept {
+    return layout_;
+  }
+
+  /// Per-trace seed derivation (exposed so tests can pin the scheme; the
+  /// scheme is load-bearing for reproducibility of archived results).
+  static std::uint64_t trace_seed(std::uint64_t campaign_seed,
+                                  std::size_t index) noexcept;
+
+private:
+  campaign_config config_;
+  crypto::aes_key key_;
+  crypto::aes_program_layout layout_;
+  crypto::aes_round_keys round_keys_;
+  std::shared_ptr<const power::second_core_noise> second_core_;
+  plaintext_fn plaintext_;
+};
+
+} // namespace usca::core
+
+#endif // USCA_CORE_CAMPAIGN_H
