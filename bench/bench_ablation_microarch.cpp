@@ -5,7 +5,11 @@
 // ("the same ISA-level program leaks differently on different
 // micro-architectures") made directly observable.
 //
-// Defaults: traces=8000. Override with traces=N.
+// Characterizations run through the generic campaign engine (reused
+// pipelines, sharded trials, thread-count-independent verdicts).
+//
+// Defaults: traces=8000, threads=hardware. Override with traces=N
+// threads=T.
 #include <cstdio>
 #include <string>
 
@@ -52,6 +56,7 @@ int main(int argc, char** argv) {
   core::characterizer_options opts;
   opts.traces = args.get_size("traces", 8'000);
   opts.averaging = 16;
+  opts.threads = static_cast<unsigned>(args.get_size("threads", 0));
 
   const power::synthesis_config power_config;
   const core::leakage_characterizer baseline(sim::cortex_a7(), power_config);

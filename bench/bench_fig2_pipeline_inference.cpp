@@ -8,6 +8,10 @@
 // and register-file port counts.  The same method is then applied to a
 // scalar ablation of the core to show the deductions track the actual
 // micro-architecture.
+//
+// The explorer's dozens of timing probes reuse one resettable pipeline
+// (rebind per probe program) — the same zero-reallocation hot path the
+// trace campaigns run on.
 #include <cstdio>
 
 #include "bench_util.h"

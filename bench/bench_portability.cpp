@@ -20,6 +20,7 @@
 
 #include "asmx/assembler.h"
 #include "bench_util.h"
+#include "core/acquisition.h"
 #include "core/leakage_aware_scheduler.h"
 #include "isa/disasm.h"
 #include "power/synthesizer.h"
@@ -33,36 +34,44 @@ using isa::reg;
 
 namespace {
 
+// Acquisition runs through the generic campaign engine: worker-owned
+// resettable pipelines, per-index seeding, in-order delivery — the
+// correlation sweep below is bit-identical at any thread count.
 double hw_secret_correlation(const asmx::program& prog,
                              const sim::micro_arch_config& config,
                              std::uint64_t seed) {
-  const std::size_t trials = 8'000;
-  util::xoshiro256 rng(seed);
-  power::trace_synthesizer synth(power::synthesis_config{}, seed ^ 0xace);
-  std::vector<double> model;
-  std::vector<power::trace> traces;
-  std::size_t samples = 0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    sim::pipeline pipe(prog, config);
+  core::acquisition_config acq;
+  acq.traces = 8'000;
+  acq.seed = seed;
+  acq.full_run_window = true; // the gadget is unmarked: synthesize it all
+  acq.uarch = config;
+  core::acquisition_campaign campaign(sim::program_image(prog), acq);
+  campaign.set_setup([](std::size_t, util::xoshiro256& rng,
+                        sim::pipeline& pipe, std::vector<double>& labels) {
     const std::uint32_t secret = rng.next_u32();
     const std::uint32_t mask = rng.next_u32();
     pipe.state().set_reg(reg::r2, secret ^ mask); // a0
     pipe.state().set_reg(reg::r3, rng.next_u32());
     pipe.state().set_reg(reg::r4, mask);          // a1
-    pipe.warm_caches();
-    pipe.run();
-    traces.push_back(synth.synthesize(
-        pipe.activity(), 0, static_cast<std::uint32_t>(pipe.cycles() + 4)));
-    samples = traces.back().size();
-    model.push_back(static_cast<double>(util::hamming_weight(secret)));
-  }
-  double best = 0.0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    stats::pearson_accumulator acc;
-    for (std::size_t t = 0; t < trials; ++t) {
-      acc.add(model[t], traces[t][s]);
+    labels.assign(1, static_cast<double>(util::hamming_weight(secret)));
+  });
+
+  std::vector<stats::pearson_accumulator> acc;
+  campaign.run([&](core::acquisition_record&& rec) {
+    if (acc.size() < rec.samples.size()) {
+      // Full-run windows track the cycle count, which may be
+      // input-dependent; grow the per-sample accumulators to the longest
+      // trace seen (shorter traces simply contribute fewer points).
+      acc.resize(rec.samples.size());
     }
-    best = std::max(best, std::fabs(acc.correlation()));
+    for (std::size_t s = 0; s < rec.samples.size(); ++s) {
+      acc[s].add(rec.labels[0], rec.samples[s]);
+    }
+  });
+
+  double best = 0.0;
+  for (const stats::pearson_accumulator& a : acc) {
+    best = std::max(best, std::fabs(a.correlation()));
   }
   return best;
 }

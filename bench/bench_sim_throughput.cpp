@@ -1,14 +1,31 @@
-// Experiment P1 — engineering throughput of the simulation stack
-// (google-benchmark).  These numbers bound the wall-clock cost of the
-// paper-scale campaigns (100k traces).
+// Experiment P1 — engineering throughput of the simulation stack.
+//
+// Two modes:
+//
+//  * default: google-benchmark micro-benchmarks of the individual layers
+//    (functional executor, pipeline with/without activity, AES run, trace
+//    synthesis, CPA accumulation/solve);
+//  * --json[=FILE] [traces=N averaging=M threads=T seed=S]: the campaign
+//    hot path measured end to end — the acquisition loop every 100k-trace
+//    experiment of the paper runs on — reported as machine-readable JSON
+//    (traces/sec, simulated cycles/sec, accumulator ns/sample) so speedups
+//    can be pinned in-repo (BENCH_hotpath.json) and tracked by CI.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
 #include "asmx/program.h"
+#include "bench_util.h"
+#include "core/campaign.h"
 #include "crypto/aes_codegen.h"
 #include "power/synthesizer.h"
 #include "sim/functional_executor.h"
 #include "sim/pipeline.h"
 #include "stats/cpa.h"
+#include "stats/ttest.h"
 #include "util/bitops.h"
 #include "util/rng.h"
 
@@ -37,12 +54,13 @@ void BM_FunctionalExecutorMips(benchmark::State& state) {
 BENCHMARK(BM_FunctionalExecutorMips);
 
 void BM_PipelineCyclesPerSecond(benchmark::State& state) {
-  const asmx::program prog = make_alu_loop(2'000);
+  const sim::program_image image(make_alu_loop(2'000));
   const bool record = state.range(0) != 0;
+  sim::pipeline pipe(image, sim::cortex_a7());
+  pipe.set_record_activity(record);
   std::uint64_t cycles = 0;
   for (auto _ : state) {
-    sim::pipeline pipe(prog, sim::cortex_a7());
-    pipe.set_record_activity(record);
+    pipe.reset();
     pipe.warm_caches();
     pipe.run();
     cycles += pipe.cycles();
@@ -55,22 +73,33 @@ BENCHMARK(BM_PipelineCyclesPerSecond)->Arg(0)->Arg(1);
 void BM_AesEncryptionOnPipeline(benchmark::State& state) {
   const crypto::aes_program_layout layout = crypto::generate_aes128_program();
   const crypto::aes_round_keys rk = crypto::expand_key(crypto::aes_key{});
+  const sim::program_image image(layout.prog);
+  const bool reuse = state.range(0) != 0;
   util::xoshiro256 rng(1);
+  sim::pipeline reused(image, sim::cortex_a7());
   for (auto _ : state) {
     crypto::aes_block pt;
     for (auto& b : pt) {
       b = rng.next_u8();
     }
-    sim::pipeline pipe(layout.prog, sim::cortex_a7());
-    crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
-    pipe.warm_caches();
-    pipe.run();
-    benchmark::DoNotOptimize(pipe.cycles());
+    if (reuse) {
+      reused.reset();
+      crypto::install_aes_inputs(reused.memory(), layout, rk, pt);
+      reused.warm_caches();
+      reused.run();
+      benchmark::DoNotOptimize(reused.cycles());
+    } else {
+      sim::pipeline pipe(image, sim::cortex_a7());
+      crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
+      pipe.warm_caches();
+      pipe.run();
+      benchmark::DoNotOptimize(pipe.cycles());
+    }
   }
   state.SetItemsProcessed(state.iterations());
-  state.SetLabel("one AES-128 block, activity recorded");
+  state.SetLabel(reuse ? "reset + reuse" : "fresh pipeline per block");
 }
-BENCHMARK(BM_AesEncryptionOnPipeline);
+BENCHMARK(BM_AesEncryptionOnPipeline)->Arg(0)->Arg(1);
 
 void BM_TraceSynthesis(benchmark::State& state) {
   const crypto::aes_program_layout layout = crypto::generate_aes128_program();
@@ -130,6 +159,158 @@ void BM_CpaAddTraceNaive(benchmark::State& state) {
 }
 BENCHMARK(BM_CpaAddTraceNaive);
 
+// ---------------------------------------------------------------------------
+// --json mode: the campaign hot path, end to end
+// ---------------------------------------------------------------------------
+
+struct hot_path_report {
+  std::size_t traces = 0;
+  int averaging = 0;
+  unsigned threads = 0;
+  std::size_t samples_per_trace = 0;
+  double seconds = 0.0;
+  double traces_per_sec = 0.0;
+  double sim_cycles_per_sec = 0.0;
+  double cpa_accumulate_ns_per_sample = 0.0;
+  double tvla_accumulate_ns_per_sample = 0.0;
+};
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// ns/sample of streaming `reps` synthetic traces into `add`.
+template <typename Add>
+double accumulate_ns_per_sample(std::size_t samples, std::size_t reps,
+                                Add&& add) {
+  util::xoshiro256 rng(0x5eed);
+  std::vector<double> trace(samples);
+  for (auto& v : trace) {
+    v = 5.0 + rng.next_gaussian();
+  }
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t r = 0; r < reps; ++r) {
+    add(r, trace);
+  }
+  const double elapsed = seconds_since(start);
+  return 1e9 * elapsed / static_cast<double>(samples * reps);
+}
+
+hot_path_report measure_hot_path(const bench::arg_map& args) {
+  hot_path_report report;
+  report.traces = args.get_size("traces", 600);
+  report.averaging = static_cast<int>(args.get_size("averaging", 16));
+  report.threads = static_cast<unsigned>(args.get_size("threads", 1));
+
+  const crypto::aes_key key = {0x2b, 0x7e, 0x15, 0x16, 0x28, 0xae,
+                               0xd2, 0xa6, 0xab, 0xf7, 0x15, 0x88,
+                               0x09, 0xcf, 0x4f, 0x3c};
+  core::campaign_config config;
+  config.traces = report.traces;
+  config.threads = report.threads == 0 ? 1 : report.threads;
+  config.seed = args.get_size("seed", 0x7077);
+  config.averaging = report.averaging;
+  config.window = {crypto::mark_encrypt_begin, crypto::mark_round1_end};
+  core::trace_campaign campaign(config, key);
+
+  // Warm-up outside the timed region (page faults, code paths, caches).
+  (void)campaign.produce(0);
+
+  std::uint64_t simulated_cycles = 0;
+  const auto start = std::chrono::steady_clock::now();
+  campaign.run([&](core::trace_record&& rec) {
+    report.samples_per_trace = rec.samples.size();
+    simulated_cycles += rec.cycles;
+  });
+  report.seconds = seconds_since(start);
+  report.traces_per_sec =
+      static_cast<double>(report.traces) / report.seconds;
+  report.sim_cycles_per_sec =
+      static_cast<double>(simulated_cycles) / report.seconds;
+
+  // Accumulator throughput, measured on traces of the campaign's length.
+  const std::size_t samples = report.samples_per_trace;
+  const std::size_t reps = args.get_size("accumulate_reps", 20'000);
+  stats::partitioned_cpa cpa(samples);
+  report.cpa_accumulate_ns_per_sample = accumulate_ns_per_sample(
+      samples, reps, [&](std::size_t r, const std::vector<double>& t) {
+        cpa.add_trace(static_cast<std::uint8_t>(r), t);
+      });
+  stats::tvla_accumulator tvla(samples);
+  report.tvla_accumulate_ns_per_sample = accumulate_ns_per_sample(
+      samples, reps, [&](std::size_t r, const std::vector<double>& t) {
+        if (r % 2 == 0) {
+          tvla.add_fixed(t);
+        } else {
+          tvla.add_random(t);
+        }
+      });
+  return report;
+}
+
+void write_json(std::FILE* out, const hot_path_report& r) {
+  std::fprintf(out,
+               "{\n"
+               "  \"bench\": \"campaign_hot_path\",\n"
+               "  \"traces\": %zu,\n"
+               "  \"averaging\": %d,\n"
+               "  \"threads\": %u,\n"
+               "  \"samples_per_trace\": %zu,\n"
+               "  \"seconds\": %.6f,\n"
+               "  \"traces_per_sec\": %.1f,\n"
+               "  \"sim_cycles_per_sec\": %.0f,\n"
+               "  \"cpa_accumulate_ns_per_sample\": %.3f,\n"
+               "  \"tvla_accumulate_ns_per_sample\": %.3f\n"
+               "}\n",
+               r.traces, r.averaging, r.threads, r.samples_per_trace,
+               r.seconds, r.traces_per_sec, r.sim_cycles_per_sec,
+               r.cpa_accumulate_ns_per_sample,
+               r.tvla_accumulate_ns_per_sample);
+}
+
+int run_json_mode(const std::string& json_arg, int argc, char** argv) {
+  // Strip the --json flag; the rest is the usual key=value syntax.
+  std::vector<char*> rest;
+  rest.reserve(static_cast<std::size_t>(argc));
+  for (int i = 0; i < argc; ++i) {
+    if (json_arg != argv[i]) {
+      rest.push_back(argv[i]);
+    }
+  }
+  const bench::arg_map args(static_cast<int>(rest.size()), rest.data());
+  const hot_path_report report = measure_hot_path(args);
+  write_json(stdout, report);
+  if (const std::size_t eq = json_arg.find('=');
+      eq != std::string::npos && eq + 1 < json_arg.size()) {
+    const std::string path = json_arg.substr(eq + 1);
+    if (std::FILE* f = std::fopen(path.c_str(), "w")) {
+      write_json(f, report);
+      std::fclose(f);
+      std::fprintf(stderr, "(report written to %s)\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 ||
+        std::strncmp(argv[i], "--json=", 7) == 0) {
+      return run_json_mode(argv[i], argc, argv);
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -5,6 +5,9 @@
 // run 200 repetitions of the pair framed by pipeline-flushing nops,
 // measure CPI between trigger markers, and compare against an
 // artificially RAW-hazarded variant.  CPI 0.5 => dual-issued.
+//
+// All 49x3 pair measurements run on one resettable pipeline (rebind per
+// probe program) instead of constructing a simulator per measurement.
 #include <cmath>
 #include <cstdio>
 

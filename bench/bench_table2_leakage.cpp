@@ -9,8 +9,12 @@
 // Entries marked '+' correspond to the paper's dagger: boundary effects
 // of the flanking nops.
 //
-// Defaults: traces=20000 (paper: 100k), averaging=16.  Override with
-// traces=N averaging=M seed=S.
+// Acquisition runs through the generic campaign engine (worker-owned
+// resettable pipelines, per-index seeding, in-order delivery), so trials
+// are sharded over threads with bit-identical verdicts at any count.
+//
+// Defaults: traces=20000 (paper: 100k), averaging=16, threads=hardware.
+// Override with traces=N averaging=M seed=S threads=T.
 #include <cstdio>
 
 #include <algorithm>
@@ -27,6 +31,7 @@ int main(int argc, char** argv) {
   core::characterizer_options opts;
   opts.traces = args.get_size("traces", 20'000);
   opts.averaging = static_cast<int>(args.get_size("averaging", 16));
+  opts.threads = static_cast<unsigned>(args.get_size("threads", 0));
   opts.seed = args.get_size("seed", 0x5ca1ab1e);
 
   std::printf("== Table 2: leakage sources per micro-benchmark ==\n");

@@ -1,0 +1,115 @@
+#include "core/acquisition.h"
+
+#include <utility>
+
+#include "core/ordered_dispatch.h"
+#include "util/error.h"
+
+namespace usca::core {
+
+acquisition_campaign::acquisition_campaign(sim::program_image image,
+                                           acquisition_config config)
+    : image_(std::move(image)), config_(config),
+      setup_([](std::size_t, util::xoshiro256&, sim::pipeline&,
+                std::vector<double>&) {}) {}
+
+void acquisition_campaign::set_setup(setup_fn setup) {
+  setup_ = std::move(setup);
+}
+
+unsigned acquisition_campaign::resolved_threads() const noexcept {
+  return resolved_worker_count(config_.threads, config_.traces);
+}
+
+sim::pipeline acquisition_campaign::make_pipeline() const {
+  sim::pipeline pipe(image_, config_.uarch);
+  if (!config_.synthesize) {
+    pipe.set_record_activity(false);
+  } else if (!config_.full_run_window) {
+    pipe.set_activity_cutoff_mark(config_.window.end_mark);
+  }
+  return pipe;
+}
+
+void acquisition_campaign::produce_into(sim::pipeline& pipe,
+                                        power::trace_synthesizer& synth,
+                                        std::size_t index,
+                                        acquisition_record& rec) const {
+  // Same derivation as trace_campaign: one private stream for the trial's
+  // inputs, one for its measurement noise.
+  std::uint64_t stream = trace_campaign::trace_seed(config_.seed, index);
+  const std::uint64_t setup_seed = util::splitmix64(stream);
+  const std::uint64_t synthesis_seed = util::splitmix64(stream);
+
+  rec.index = index;
+  util::xoshiro256 setup_rng(setup_seed);
+  setup_(index, setup_rng, pipe, rec.labels);
+
+  pipe.warm_caches();
+  pipe.run();
+  rec.cycles = pipe.cycles();
+  rec.instructions = pipe.instructions_issued();
+  rec.marks = pipe.marks();
+
+  if (config_.full_run_window) {
+    rec.window_begin = 0;
+    rec.window_end = pipe.cycles() + config_.full_run_tail_pad;
+  } else if (!find_campaign_window(rec.marks, config_.window,
+                                   rec.window_begin, rec.window_end)) {
+    throw util::analysis_error(
+        "acquisition window marks not found (or empty window) in the "
+        "simulated program");
+  }
+
+  if (!config_.synthesize) {
+    return;
+  }
+  const auto begin = static_cast<std::uint32_t>(rec.window_begin);
+  const auto end = static_cast<std::uint32_t>(rec.window_end);
+  if (index < config_.keep_activity_first) {
+    rec.window_activity.clear();
+    for (const sim::activity_event& ev : pipe.activity()) {
+      if (ev.cycle >= begin && ev.cycle < end) {
+        rec.window_activity.push_back(ev);
+      }
+    }
+  }
+  synth.reseed(synthesis_seed);
+  rec.samples = config_.averaging > 1
+                    ? synth.synthesize_averaged(pipe.activity(), begin, end,
+                                                config_.averaging)
+                    : synth.synthesize(pipe.activity(), begin, end);
+}
+
+acquisition_record acquisition_campaign::produce(std::size_t index) const {
+  sim::pipeline pipe = make_pipeline();
+  power::trace_synthesizer synth(config_.power, 0);
+  acquisition_record rec;
+  produce_into(pipe, synth, index, rec);
+  return rec;
+}
+
+void acquisition_campaign::run(const sink_fn& sink) {
+  const std::size_t first = config_.first_index;
+
+  struct worker_context {
+    sim::pipeline pipe;
+    power::trace_synthesizer synth;
+  };
+
+  ordered_parallel_produce(
+      config_.traces, resolved_threads(),
+      [this](unsigned) {
+        return worker_context{make_pipeline(),
+                              power::trace_synthesizer(config_.power, 0)};
+      },
+      [this, first](worker_context& ctx, std::size_t i) {
+        ctx.pipe.reset();
+        acquisition_record rec;
+        produce_into(ctx.pipe, ctx.synth, first + i, rec);
+        return rec;
+      },
+      sink);
+}
+
+} // namespace usca::core

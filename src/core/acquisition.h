@@ -1,0 +1,110 @@
+// Generic parallel acquisition engine.
+//
+// trace_campaign is specialized for the generated AES program; every other
+// experiment in the repository (the Table-2 leakage characterization, the
+// micro-architectural ablations, the portability study) used to hand-roll
+// the same loop: build a program, randomize inputs per trial, simulate,
+// synthesize a power trace, accumulate.  This engine is that loop as a
+// service: caller supplies the shared program image and a per-index setup
+// callback; the engine owns one resettable pipeline + synthesizer per
+// worker, shards the trials, and delivers records to the sink in strict
+// index order — inheriting the campaign determinism contract (per-index
+// seeding, bit-identical results at any thread count, prefix property).
+#ifndef USCA_CORE_ACQUISITION_H
+#define USCA_CORE_ACQUISITION_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/campaign.h"
+#include "power/synthesizer.h"
+#include "sim/micro_arch_config.h"
+#include "sim/pipeline.h"
+#include "sim/program_image.h"
+#include "util/rng.h"
+
+namespace usca::core {
+
+struct acquisition_config {
+  std::size_t traces = 0;      ///< number of acquisitions
+  std::size_t first_index = 0; ///< global index of the first acquisition
+  unsigned threads = 0;        ///< worker count; 0 = hardware concurrency
+  std::uint64_t seed = 0;      ///< master seed (per-index derivation)
+  int averaging = 1;           ///< executions averaged per acquisition
+  /// Marker-delimited synthesis window (ignored when full_run_window).
+  campaign_window window{};
+  /// Synthesize the whole run instead of a marker window: samples cover
+  /// [0, cycles + full_run_tail_pad) — the portability study's view.
+  bool full_run_window = false;
+  std::uint32_t full_run_tail_pad = 4; ///< catches trailing write-backs
+  /// When false the pipeline records no activity and no trace is
+  /// synthesized — pure timing acquisitions (CPI measurements).
+  bool synthesize = true;
+  /// Copy the window's activity events into the record for indices below
+  /// this bound (the characterizer's attribution pass needs them).
+  std::size_t keep_activity_first = 0;
+  power::synthesis_config power{};
+  sim::micro_arch_config uarch = sim::cortex_a7();
+};
+
+/// One completed acquisition, delivered in index order.
+struct acquisition_record {
+  std::size_t index = 0;
+  power::trace samples;           ///< empty when config.synthesize is false
+  std::uint64_t window_begin = 0; ///< absolute cycle of samples[0]
+  std::uint64_t window_end = 0;
+  std::uint64_t cycles = 0;       ///< total simulated cycles
+  std::uint64_t instructions = 0; ///< instructions issued over the run
+  std::vector<sim::pipeline::mark_stamp> marks;
+  /// Values the setup callback recorded for this trial (hypothesis-model
+  /// inputs, secrets, ...), untouched by the engine.
+  std::vector<double> labels;
+  /// Window activity events, kept only for index < keep_activity_first.
+  sim::activity_trace window_activity;
+};
+
+class acquisition_campaign {
+public:
+  /// Randomizes one trial: install registers/memory on the (reset)
+  /// pipeline from the trial's private index-seeded stream, and record
+  /// anything the sink will need into `labels`.  Must be a pure function
+  /// of its arguments — shared state would break the determinism
+  /// guarantee (and the thread-safety) of the engine.
+  using setup_fn = std::function<void(std::size_t index, util::xoshiro256&,
+                                      sim::pipeline&,
+                                      std::vector<double>& labels)>;
+
+  /// Invoked once per record, in strict index order, on the thread that
+  /// called run().
+  using sink_fn = std::function<void(acquisition_record&&)>;
+
+  acquisition_campaign(sim::program_image image, acquisition_config config);
+
+  void set_setup(setup_fn setup);
+
+  /// Acquires all records and streams them into `sink`.  Worker and sink
+  /// exceptions abort the campaign and rethrow here.
+  void run(const sink_fn& sink);
+
+  /// Produces record `index` synchronously on a fresh pipeline; run()
+  /// yields exactly this record for every index.
+  acquisition_record produce(std::size_t index) const;
+
+  unsigned resolved_threads() const noexcept;
+
+  const acquisition_config& config() const noexcept { return config_; }
+
+private:
+  sim::pipeline make_pipeline() const;
+  void produce_into(sim::pipeline& pipe, power::trace_synthesizer& synth,
+                    std::size_t index, acquisition_record& rec) const;
+
+  sim::program_image image_;
+  acquisition_config config_;
+  setup_fn setup_;
+};
+
+} // namespace usca::core
+
+#endif // USCA_CORE_ACQUISITION_H

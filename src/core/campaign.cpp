@@ -1,13 +1,8 @@
 #include "core/campaign.h"
 
-#include <atomic>
-#include <condition_variable>
-#include <exception>
-#include <map>
-#include <mutex>
-#include <thread>
 #include <utility>
 
+#include "core/ordered_dispatch.h"
 #include "util/error.h"
 
 namespace usca::core {
@@ -15,7 +10,8 @@ namespace usca::core {
 trace_campaign::trace_campaign(campaign_config config, crypto::aes_key key)
     : config_(config), key_(key),
       layout_(crypto::generate_aes128_program()),
-      round_keys_(crypto::expand_key(key_)) {
+      round_keys_(crypto::expand_key(key_)),
+      image_(sim::program_image(layout_.prog)) {
   if (config_.simulated_second_core) {
     // One read-only instance shared by every worker; only the window
     // phase is drawn per acquisition, from the trace's private stream.
@@ -46,22 +42,48 @@ std::uint64_t trace_campaign::trace_seed(std::uint64_t campaign_seed,
   return util::splitmix64(state);
 }
 
-unsigned trace_campaign::resolved_threads() const noexcept {
-  unsigned threads = config_.threads;
-  if (threads == 0) {
-    threads = std::thread::hardware_concurrency();
+bool find_campaign_window(const std::vector<sim::pipeline::mark_stamp>& marks,
+                          const campaign_window& window, std::uint64_t& begin,
+                          std::uint64_t& end) noexcept {
+  bool begin_seen = false;
+  bool end_seen = false;
+  for (const auto& m : marks) {
+    if (!begin_seen && m.id == window.begin_mark) {
+      begin = m.cycle;
+      begin_seen = true;
+    } else if (!end_seen && m.id == window.end_mark) {
+      end = m.cycle;
+      end_seen = true;
+    }
   }
-  if (threads == 0) {
-    threads = 1;
-  }
-  if (config_.traces > 0 &&
-      static_cast<std::size_t>(threads) > config_.traces) {
-    threads = static_cast<unsigned>(config_.traces);
-  }
-  return threads;
+  return begin_seen && end_seen && end > begin;
 }
 
-trace_record trace_campaign::produce(std::size_t index) const {
+unsigned trace_campaign::resolved_threads() const noexcept {
+  return resolved_worker_count(config_.threads, config_.traces);
+}
+
+sim::pipeline trace_campaign::make_pipeline() const {
+  sim::pipeline pipe(image_, config_.uarch);
+  // Activity past the window's end mark can never land inside the window,
+  // so recording it would only burn time and memory on (for the default
+  // round-1 window) the nine later AES rounds.
+  pipe.set_activity_cutoff_mark(config_.window.end_mark);
+  return pipe;
+}
+
+power::trace_synthesizer trace_campaign::make_synthesizer() const {
+  power::trace_synthesizer synth(config_.power, 0);
+  if (second_core_) {
+    synth.attach_second_core(second_core_);
+  }
+  return synth;
+}
+
+void trace_campaign::produce_into(sim::pipeline& pipe,
+                                  power::trace_synthesizer& synth,
+                                  std::size_t index,
+                                  trace_record& rec) const {
   // Everything random about trace `index` — plaintext, measurement noise,
   // OS noise, second-core phase — derives from this per-index seed, so
   // the record is independent of which thread produces it.
@@ -70,155 +92,64 @@ trace_record trace_campaign::produce(std::size_t index) const {
   const std::uint64_t synthesis_seed = util::splitmix64(stream);
 
   util::xoshiro256 plaintext_rng(plaintext_seed);
-  trace_record rec;
   rec.index = index;
   rec.plaintext = plaintext_(index, plaintext_rng);
 
-  sim::pipeline pipe(layout_.prog, config_.uarch);
   crypto::install_aes_inputs(pipe.memory(), layout_, round_keys_,
                              rec.plaintext);
   pipe.warm_caches();
   pipe.run();
+  rec.cycles = pipe.cycles();
 
-  bool begin_seen = false;
-  bool end_seen = false;
-  for (const auto& m : pipe.marks()) {
-    if (m.id == config_.window.begin_mark) {
-      rec.window_begin = m.cycle;
-      begin_seen = true;
-    } else if (m.id == config_.window.end_mark) {
-      rec.window_end = m.cycle;
-      end_seen = true;
-    }
-  }
-  if (!begin_seen || !end_seen || rec.window_end <= rec.window_begin) {
+  if (!find_campaign_window(pipe.marks(), config_.window, rec.window_begin,
+                            rec.window_end)) {
     throw util::analysis_error(
         "campaign window marks not found (or empty window) in the "
         "simulated program");
   }
   rec.marks = pipe.marks();
 
-  power::trace_synthesizer synth(config_.power, synthesis_seed);
-  if (second_core_) {
-    synth.attach_second_core(second_core_);
-  }
+  synth.reseed(synthesis_seed);
   const auto begin = static_cast<std::uint32_t>(rec.window_begin);
   const auto end = static_cast<std::uint32_t>(rec.window_end);
   rec.samples = config_.averaging > 1
                     ? synth.synthesize_averaged(pipe.activity(), begin, end,
                                                 config_.averaging)
                     : synth.synthesize(pipe.activity(), begin, end);
+}
+
+trace_record trace_campaign::produce(std::size_t index) const {
+  sim::pipeline pipe = make_pipeline();
+  power::trace_synthesizer synth = make_synthesizer();
+  trace_record rec;
+  produce_into(pipe, synth, index, rec);
   return rec;
 }
 
 void trace_campaign::run(const sink_fn& sink) {
-  const std::size_t count = config_.traces;
-  if (count == 0) {
-    return;
-  }
   const std::size_t first = config_.first_index;
-  const unsigned threads = resolved_threads();
 
-  if (threads == 1) {
-    for (std::size_t i = 0; i < count; ++i) {
-      sink(produce(first + i));
-    }
-    return;
-  }
-
-  // Work distribution: workers claim the next unproduced index; finished
-  // records park in a bounded reorder buffer that the calling thread
-  // drains in index order.  The bound keeps peak memory at O(threads)
-  // traces however unevenly the workers proceed.
-  const std::size_t capacity = static_cast<std::size_t>(threads) * 4;
-
-  std::mutex mutex;
-  std::condition_variable producers_cv;
-  std::condition_variable consumer_cv;
-  std::map<std::size_t, trace_record> reorder;
-  std::size_t next_consumed = 0; // count of records already delivered
-  std::atomic<std::size_t> next_claim{0};
-  bool abort = false;
-  std::exception_ptr error;
-
-  const auto fail = [&](std::exception_ptr e) {
-    std::lock_guard<std::mutex> lock(mutex);
-    if (!error) {
-      error = std::move(e);
-    }
-    abort = true;
-    producers_cv.notify_all();
-    consumer_cv.notify_all();
+  // Each worker owns one pipeline and one synthesizer for its whole
+  // shard; per trace only reset() (cheap page zeroing, no reallocation)
+  // and reseed() separate it from a freshly constructed pair, which the
+  // reset-equivalence tests pin as bit-identical.
+  struct worker_context {
+    sim::pipeline pipe;
+    power::trace_synthesizer synth;
   };
 
-  const auto worker = [&] {
-    for (;;) {
-      const std::size_t i = next_claim.fetch_add(1);
-      if (i >= count) {
-        return;
-      }
-      {
-        // Backpressure: stay within `capacity` of the consumer before
-        // paying for the simulation.
-        std::unique_lock<std::mutex> lock(mutex);
-        producers_cv.wait(lock, [&] {
-          return abort || i < next_consumed + capacity;
-        });
-        if (abort) {
-          return;
-        }
-      }
-      try {
-        trace_record rec = produce(first + i);
-        std::lock_guard<std::mutex> lock(mutex);
-        if (abort) {
-          return;
-        }
-        reorder.emplace(i, std::move(rec));
-        consumer_cv.notify_one();
-      } catch (...) {
-        fail(std::current_exception());
-        return;
-      }
-    }
-  };
-
-  std::vector<std::thread> pool;
-  pool.reserve(threads);
-  for (unsigned t = 0; t < threads; ++t) {
-    pool.emplace_back(worker);
-  }
-
-  while (next_consumed < count) {
-    trace_record rec;
-    {
-      std::unique_lock<std::mutex> lock(mutex);
-      consumer_cv.wait(lock, [&] {
-        return abort || reorder.count(next_consumed) != 0;
-      });
-      if (abort) {
-        break;
-      }
-      auto it = reorder.find(next_consumed);
-      rec = std::move(it->second);
-      reorder.erase(it);
-      ++next_consumed;
-      producers_cv.notify_all();
-    }
-    try {
-      sink(std::move(rec));
-    } catch (...) {
-      fail(std::current_exception());
-      break;
-    }
-  }
-
-  for (std::thread& t : pool) {
-    t.join();
-  }
-  if (error) {
-    std::rethrow_exception(error);
-  }
+  ordered_parallel_produce(
+      config_.traces, resolved_threads(),
+      [this](unsigned) {
+        return worker_context{make_pipeline(), make_synthesizer()};
+      },
+      [this, first](worker_context& ctx, std::size_t i) {
+        ctx.pipe.reset();
+        trace_record rec;
+        produce_into(ctx.pipe, ctx.synth, first + i, rec);
+        return rec;
+      },
+      sink);
 }
 
 } // namespace usca::core

@@ -37,6 +37,7 @@
 #include "power/synthesizer.h"
 #include "sim/micro_arch_config.h"
 #include "sim/pipeline.h"
+#include "sim/program_image.h"
 #include "util/rng.h"
 
 namespace usca::core {
@@ -47,6 +48,16 @@ struct campaign_window {
   std::uint16_t begin_mark = crypto::mark_encrypt_begin;
   std::uint16_t end_mark = crypto::mark_round1_end;
 };
+
+/// Window lookup over a run's marks, shared by the AES and the generic
+/// campaign.  Binds to the FIRST occurrence of each mark id — the same
+/// occurrence at which the pipeline's activity cutoff disarms recording —
+/// so a program that issues its end-mark id repeatedly cannot end up with
+/// a silently unrecorded window tail.  Returns false when either mark is
+/// missing or the window is empty.
+bool find_campaign_window(const std::vector<sim::pipeline::mark_stamp>& marks,
+                          const campaign_window& window, std::uint64_t& begin,
+                          std::uint64_t& end) noexcept;
 
 struct campaign_config {
   std::size_t traces = 0;       ///< number of traces to acquire
@@ -70,6 +81,7 @@ struct trace_record {
   power::trace samples;             ///< one sample per window cycle
   std::uint64_t window_begin = 0;   ///< absolute cycle of samples[0]
   std::uint64_t window_end = 0;
+  std::uint64_t cycles = 0;         ///< total simulated cycles of the run
   /// All trigger marks of the run (phase annotation, e.g. Figure 3).
   std::vector<sim::pipeline::mark_stamp> marks;
 };
@@ -116,10 +128,21 @@ public:
                                   std::size_t index) noexcept;
 
 private:
+  sim::pipeline make_pipeline() const;
+  power::trace_synthesizer make_synthesizer() const;
+  /// The acquisition body shared by produce() (fresh pipeline) and the
+  /// run() workers (long-lived, reset pipeline): install inputs, simulate,
+  /// synthesize.  `pipe` must be in the freshly-constructed/reset state.
+  void produce_into(sim::pipeline& pipe, power::trace_synthesizer& synth,
+                    std::size_t index, trace_record& rec) const;
+
   campaign_config config_;
   crypto::aes_key key_;
   crypto::aes_program_layout layout_;
   crypto::aes_round_keys round_keys_;
+  /// Shared read-only image of layout_.prog: every pipeline of the
+  /// campaign (workers and produce() alike) aliases this one copy.
+  sim::program_image image_;
   std::shared_ptr<const power::second_core_noise> second_core_;
   plaintext_fn plaintext_;
 };

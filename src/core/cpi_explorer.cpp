@@ -89,8 +89,14 @@ double cpi_explorer::measure_cpi(const std::vector<instruction>& unit,
   builder.emit(mk::mark(2));
   builder.pad_nops(flush_nops);
 
-  sim::pipeline pipe(builder.build(), config_);
-  pipe.set_record_activity(false);
+  sim::program_image image(builder.build());
+  if (probe_ == nullptr) {
+    probe_ = std::make_unique<sim::pipeline>(std::move(image), config_);
+    probe_->set_record_activity(false);
+  } else {
+    probe_->rebind(std::move(image));
+  }
+  sim::pipeline& pipe = *probe_;
   pipe.warm_caches();
   pipe.run();
 

@@ -17,11 +17,13 @@
 #define USCA_CORE_CPI_EXPLORER_H
 
 #include <array>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "isa/instruction.h"
 #include "sim/micro_arch_config.h"
+#include "sim/pipeline.h"
 
 namespace usca::core {
 
@@ -99,6 +101,11 @@ public:
 
 private:
   sim::micro_arch_config config_;
+  /// One timing pipeline reused (via rebind/reset) across the dozens of
+  /// micro-benchmarks an exploration runs — measure_cpi allocates nothing
+  /// per measurement beyond the probe program itself.  Makes the explorer
+  /// stateful: one instance must not be shared across threads.
+  mutable std::unique_ptr<sim::pipeline> probe_;
 };
 
 } // namespace usca::core

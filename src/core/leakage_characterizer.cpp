@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/acquisition.h"
 #include "stats/pearson.h"
 #include "util/error.h"
 
@@ -77,8 +78,6 @@ benchmark_report
 leakage_characterizer::characterize(const characterization_benchmark& bench,
                                     const options& opts) const {
   const bench_program bp = bench.build();
-  util::xoshiro256 rng(opts.seed);
-  power::trace_synthesizer synth(power_, opts.seed ^ 0x9d2c5680);
 
   benchmark_report report;
   report.name = bench.name;
@@ -94,31 +93,43 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
 
   std::vector<double> column_contrib; ///< per-sample scratch, one column
 
-  for (std::size_t trial = 0; trial < opts.traces; ++trial) {
-    sim::pipeline pipe(bp.prog, arch_);
+  // Trials stream through the generic acquisition engine: simulation and
+  // synthesis run on worker-owned resettable pipelines, records arrive
+  // here in index order, so all accumulation below is deterministic at
+  // any thread count.
+  acquisition_config acq;
+  acq.traces = opts.traces;
+  acq.threads = opts.threads;
+  acq.seed = opts.seed;
+  acq.averaging = opts.averaging;
+  acq.window = campaign_window{1, 2};
+  acq.keep_activity_first = opts.attribution_trials;
+  acq.power = power_;
+  acq.uarch = arch_;
+  acquisition_campaign campaign(sim::program_image(bp.prog), acq);
+  campaign.set_setup([&bench, &bp, n_models](std::size_t, util::xoshiro256& rng,
+                                             sim::pipeline& pipe,
+                                             std::vector<double>& labels) {
     trial_context ctx;
     bench.setup(pipe, rng, bp, ctx);
-    pipe.warm_caches();
-    pipe.run();
+    labels.resize(n_models);
+    for (std::size_t m = 0; m < n_models; ++m) {
+      labels[m] = bench.models[m].eval(ctx);
+    }
+  });
 
-    std::uint64_t begin = 0;
-    std::uint64_t end = 0;
+  campaign.run([&](acquisition_record&& rec) {
     std::uint64_t dual_begin = 0;
     std::uint64_t dual_end = 0;
-    for (const auto& m : pipe.marks()) {
+    for (const auto& m : rec.marks) {
       if (m.id == 1) {
-        begin = m.cycle;
         dual_begin = m.dual_pairs;
       } else if (m.id == 2) {
-        end = m.cycle;
         dual_end = m.dual_pairs;
       }
     }
-    if (end <= begin) {
-      throw util::simulation_error("characterization markers not found");
-    }
-    if (trial == 0) {
-      samples = static_cast<std::size_t>(end - begin);
+    if (rec.index == 0) {
+      samples = static_cast<std::size_t>(rec.window_end - rec.window_begin);
       report.samples = samples;
       report.observed_dual_issue = dual_end > dual_begin;
       for (std::size_t m = 0; m < n_models; ++m) {
@@ -128,34 +139,25 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
           col.resize(samples);
         }
       }
-    } else if (static_cast<std::size_t>(end - begin) != samples) {
+    } else if (rec.samples.size() != samples) {
       throw util::simulation_error(
           "data-dependent timing in characterization benchmark");
     }
-    const auto first = static_cast<std::uint32_t>(begin);
-    const auto last = static_cast<std::uint32_t>(end);
 
-    const power::trace tr =
-        synth.synthesize_averaged(pipe.activity(), first, last,
-                                  opts.averaging);
-
-    std::vector<double> model_values(n_models);
     for (std::size_t m = 0; m < n_models; ++m) {
-      model_values[m] = bench.models[m].eval(ctx);
       for (std::size_t s = 0; s < samples; ++s) {
-        power_acc[m][s].add(model_values[m], tr[s]);
+        power_acc[m][s].add(rec.labels[m], rec.samples[s]);
       }
     }
 
     // Attribution pass: correlate models against each column's own
-    // (noise-free) power contribution on a subset of the trials.
-    if (trial < opts.attribution_trials) {
+    // (noise-free) power contribution on a subset of the trials (the
+    // engine keeps the window activity for exactly those).
+    if (rec.index < opts.attribution_trials) {
+      const auto first = static_cast<std::uint32_t>(rec.window_begin);
       for (std::size_t col = 0; col < num_table2_columns; ++col) {
         column_contrib.assign(samples, 0.0);
-        for (const sim::activity_event& ev : pipe.activity()) {
-          if (ev.cycle < first || ev.cycle >= last) {
-            continue;
-          }
+        for (const sim::activity_event& ev : rec.window_activity) {
           if (static_cast<std::size_t>(column_of(ev.comp)) != col) {
             continue;
           }
@@ -164,12 +166,12 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
         }
         for (std::size_t m = 0; m < n_models; ++m) {
           for (std::size_t s = 0; s < samples; ++s) {
-            column_acc[m][col][s].add(model_values[m], column_contrib[s]);
+            column_acc[m][col][s].add(rec.labels[m], column_contrib[s]);
           }
         }
       }
     }
-  }
+  });
 
   // Verdicts: significant total-power correlation at a cycle attributed to
   // the model's own column.

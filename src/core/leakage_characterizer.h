@@ -129,10 +129,14 @@ struct benchmark_report {
   bool matches_expectations() const noexcept;
 };
 
-/// Campaign parameters for the characterizer.
+/// Campaign parameters for the characterizer.  Trials run through the
+/// generic acquisition engine: per-index seeding, worker-owned resettable
+/// pipelines, in-order delivery — results are bit-identical at any thread
+/// count.
 struct characterizer_options {
   std::size_t traces = 20'000;  ///< paper: 100k
   int averaging = 16;           ///< executions averaged per trace
+  unsigned threads = 0;         ///< worker count; 0 = hardware concurrency
   double confidence = 0.995;    ///< paper's detection confidence
   double attribution_threshold = 0.2; ///< min |corr| vs column contribution
   std::size_t attribution_trials = 2'000;

@@ -248,6 +248,17 @@ std::string_view issue_class_name(issue_class cls) noexcept {
   return "other";
 }
 
+bool reads_flags(const instruction& ins) noexcept {
+  if (ins.cond != condition::al && ins.cond != condition::nv) {
+    return true;
+  }
+  return ins.op == opcode::adc || ins.op == opcode::sbc;
+}
+
+bool writes_flags(const instruction& ins) noexcept {
+  return ins.set_flags || is_compare(ins);
+}
+
 int read_ports_needed(const instruction& ins) noexcept {
   // Loads and stores reserve two read ports each: base plus either the
   // store-data/offset register, matching the observed pairing behaviour of

@@ -207,6 +207,12 @@ bool needs_alu0(const instruction& ins) noexcept;
 /// True for comparison ops (cmp/cmn/tst/teq) that have no destination.
 bool is_compare(const instruction& ins) noexcept;
 
+/// True when the instruction consumes the current flags at issue
+/// (predication, or carry-consuming arithmetic like adc/sbc).
+bool reads_flags(const instruction& ins) noexcept;
+/// True when the instruction produces new flags (S-suffixed or compare).
+bool writes_flags(const instruction& ins) noexcept;
+
 /// Number of register-file read ports consumed at issue.  The Cortex-A7
 /// exposes three; a dual-issued pair must fit within them.
 int read_ports_needed(const instruction& ins) noexcept;

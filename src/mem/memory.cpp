@@ -1,5 +1,7 @@
 #include "mem/memory.h"
 
+#include <algorithm>
+
 #include "util/error.h"
 
 namespace usca::mem {
@@ -85,5 +87,11 @@ std::uint32_t memory::containing_word(std::uint32_t address) const {
 }
 
 void memory::clear() noexcept { pages_.clear(); }
+
+void memory::reset() noexcept {
+  for (auto& [number, bytes] : pages_) {
+    std::fill(bytes.begin(), bytes.end(), std::uint8_t{0});
+  }
+}
 
 } // namespace usca::mem

@@ -40,6 +40,13 @@ public:
   /// Drops all pages.
   void clear() noexcept;
 
+  /// Restores the all-zero state while keeping the page allocations: every
+  /// already-touched page is zero-filled in place.  Observationally
+  /// equivalent to a freshly constructed memory (untouched addresses read
+  /// as zero either way) but without freeing — the building block of the
+  /// pipeline's allocation-free reset.
+  void reset() noexcept;
+
 private:
   using page = std::vector<std::uint8_t>;
 

@@ -1,5 +1,7 @@
 #include "power/synthesizer.h"
 
+#include <cmath>
+
 namespace usca::power {
 
 leakage_weights leakage_weights::cortex_a7_like() noexcept {
@@ -26,11 +28,11 @@ trace_synthesizer::trace_synthesizer(synthesis_config config,
                                      std::uint64_t seed)
     : config_(config), rng_(seed) {}
 
-trace trace_synthesizer::synthesize_clean(const sim::activity_trace& activity,
-                                          std::uint32_t first_cycle,
-                                          std::uint32_t last_cycle) const {
+void trace_synthesizer::synthesize_clean_into(
+    trace& out, const sim::activity_trace& activity, std::uint32_t first_cycle,
+    std::uint32_t last_cycle) const {
   const std::size_t samples = last_cycle - first_cycle;
-  trace out(samples, config_.baseline);
+  out.assign(samples, config_.baseline);
   for (const sim::activity_event& ev : activity) {
     if (ev.cycle < first_cycle || ev.cycle >= last_cycle) {
       continue;
@@ -38,6 +40,13 @@ trace trace_synthesizer::synthesize_clean(const sim::activity_trace& activity,
     out[ev.cycle - first_cycle] +=
         config_.weights[ev.comp] * static_cast<double>(ev.toggles);
   }
+}
+
+trace trace_synthesizer::synthesize_clean(const sim::activity_trace& activity,
+                                          std::uint32_t first_cycle,
+                                          std::uint32_t last_cycle) const {
+  trace out;
+  synthesize_clean_into(out, activity, first_cycle, last_cycle);
   return out;
 }
 
@@ -58,13 +67,28 @@ trace trace_synthesizer::synthesize(const sim::activity_trace& activity,
 trace trace_synthesizer::synthesize_averaged(
     const sim::activity_trace& activity, std::uint32_t first_cycle,
     std::uint32_t last_cycle, int executions) {
-  trace clean = synthesize_clean(activity, first_cycle, last_cycle);
-  trace accum(clean.size(), 0.0);
+  if (!config_.os_noise.enabled && !second_core_ && executions > 1) {
+    // Hot path for the bare-metal environment: the noiseless leakage is
+    // identical across the averaged executions, so the mean of
+    // `executions` iid Gaussian acquisitions IS the clean trace plus
+    // N(0, sigma^2/executions) — draw that noise directly instead of
+    // simulating each execution.  Statistically exact, and it turns the
+    // dominant 16x per-sample noise loop of a default campaign into 1x.
+    trace out = synthesize_clean(activity, first_cycle, last_cycle);
+    const double sigma =
+        config_.gaussian_sigma / std::sqrt(static_cast<double>(executions));
+    for (double& sample : out) {
+      sample += sigma * rng_.next_gaussian();
+    }
+    return out;
+  }
+  synthesize_clean_into(scratch_, activity, first_cycle, last_cycle);
+  trace accum(scratch_.size(), 0.0);
   for (int e = 0; e < executions; ++e) {
     os_noise_process os(config_.os_noise, rng_);
-    for (std::size_t i = 0; i < clean.size(); ++i) {
-      accum[i] += clean[i] + config_.gaussian_sigma * rng_.next_gaussian() +
-                  os.step();
+    for (std::size_t i = 0; i < scratch_.size(); ++i) {
+      accum[i] += scratch_[i] +
+                  config_.gaussian_sigma * rng_.next_gaussian() + os.step();
     }
     if (second_core_) {
       second_core_->add_window(accum, rng_);

@@ -54,6 +54,13 @@ class trace_synthesizer {
 public:
   trace_synthesizer(synthesis_config config, std::uint64_t seed);
 
+  /// Re-seeds the noise stream in place: afterwards the synthesizer
+  /// behaves bit-identically to a freshly constructed
+  /// trace_synthesizer(config, seed).  Campaign workers keep one
+  /// synthesizer (and its scratch buffer) alive for their whole shard and
+  /// reseed it per acquisition.
+  void reseed(std::uint64_t seed) noexcept { rng_.seed(seed); }
+
   /// Renders the power trace of cycles [first_cycle, last_cycle) from an
   /// activity record; one sample per cycle.
   trace synthesize(const sim::activity_trace& activity,
@@ -83,9 +90,14 @@ public:
   }
 
 private:
+  void synthesize_clean_into(trace& out, const sim::activity_trace& activity,
+                             std::uint32_t first_cycle,
+                             std::uint32_t last_cycle) const;
+
   synthesis_config config_;
   util::xoshiro256 rng_;
   std::shared_ptr<const second_core_noise> second_core_;
+  trace scratch_; ///< reused clean-trace buffer for the averaged path
 };
 
 } // namespace usca::power

@@ -1,6 +1,7 @@
 #include "sim/pipeline.h"
 
 #include <algorithm>
+#include <bit>
 
 #include "sim/alu.h"
 #include "util/bitops.h"
@@ -12,37 +13,74 @@ namespace {
 
 using isa::instruction;
 using isa::opcode;
+using isa::reads_flags;
 using isa::reg;
-
-/// True when the instruction consumes the current flags (predication or
-/// carry-consuming arithmetic).
-bool reads_flags(const instruction& ins) noexcept {
-  if (ins.cond != isa::condition::al && ins.cond != isa::condition::nv) {
-    return true;
-  }
-  return ins.op == opcode::adc || ins.op == opcode::sbc;
-}
-
-bool writes_flags(const instruction& ins) noexcept {
-  return ins.set_flags || isa::is_compare(ins);
-}
+using isa::writes_flags;
 
 } // namespace
 
 pipeline::pipeline(asmx::program prog, micro_arch_config config)
-    : prog_(std::move(prog)),
+    : pipeline(program_image(std::move(prog)), config) {}
+
+pipeline::pipeline(program_image image, micro_arch_config config)
+    : image_(std::move(image)),
+      prog_(&image_.prog()),
       config_(config),
       icache_(config.icache),
       dcache_(config.dcache) {
-  memory_.load(prog_.data_base, prog_.data);
+  memory_.load(prog_->data_base, prog_->data);
   activity_.reserve(4096);
+  derive_pairability();
+}
+
+void pipeline::derive_pairability() {
+  const std::vector<instruction>& code = prog_->code;
+  pairable_next_.resize(code.size());
+  for (std::size_t i = 0; i < code.size(); ++i) {
+    pairable_next_[i] = i + 1 < code.size() &&
+                        statically_pairable(code[i], code[i + 1]);
+  }
+}
+
+void pipeline::reset() {
+  memory_.reset();
+  memory_.load(prog_->data_base, prog_->data);
+  icache_.reset();
+  dcache_.reset();
+  state_ = cpu_state{};
+  reg_ready_.fill(0);
+  flags_ready_ = 0;
+  lsu_free_ = 0;
+  mul_free_ = 0;
+  fetch_ready_ = 0;
+  rf_port_state_.fill(0);
+  is_ex_bus_state_.fill(0);
+  alu_latch_state_.fill(0);
+  ex_wb_latch_state_.fill(0);
+  wb_bus_state_.fill(0);
+  mdr_state_ = 0;
+  align_buffer_state_ = 0;
+  cycle_ = 0;
+  issued_ = 0;
+  dual_pairs_ = 0;
+  rf_ports_used_this_cycle_ = 0;
+  record_activity_ = record_default_;
+  marks_.clear();
+  activity_.clear();
+}
+
+void pipeline::rebind(program_image image) {
+  image_ = std::move(image);
+  prog_ = &image_.prog();
+  derive_pairability();
+  reset();
 }
 
 void pipeline::warm_caches() {
-  icache_.warm(prog_.code_base,
-               prog_.code.size() * 4 + 4);
-  if (!prog_.data.empty()) {
-    dcache_.warm(prog_.data_base, prog_.data.size());
+  icache_.warm(prog_->code_base,
+               prog_->code.size() * 4 + 4);
+  if (!prog_->data.empty()) {
+    dcache_.warm(prog_->data_base, prog_->data.size());
   }
 }
 
@@ -124,24 +162,28 @@ void pipeline::retire_write(reg r, std::uint32_t value,
 // Issue legality
 // ---------------------------------------------------------------------------
 
-bool pipeline::operands_ready(const instruction& ins) const noexcept {
-  for (const reg r : isa::source_registers(ins)) {
-    if (reg_ready_[isa::index_of(r)] > cycle_) {
+bool pipeline::operands_ready(std::size_t index) const noexcept {
+  const instruction_static& st = image_.statics(index);
+  std::uint32_t sources = st.src_mask;
+  while (sources != 0) {
+    const unsigned r = static_cast<unsigned>(std::countr_zero(sources));
+    if (reg_ready_[r] > cycle_) {
       return false;
     }
+    sources &= sources - 1;
   }
-  if (reads_flags(ins) && flags_ready_ > cycle_) {
+  if (st.reads_flags && flags_ready_ > cycle_) {
     return false;
   }
   return true;
 }
 
-bool pipeline::unit_available(const instruction& ins) const noexcept {
-  if (isa::is_memory(ins) && lsu_free_ > cycle_) {
+bool pipeline::unit_available(std::size_t index) const noexcept {
+  const instruction_static& st = image_.statics(index);
+  if (st.is_memory && lsu_free_ > cycle_) {
     return false;
   }
-  if ((ins.op == opcode::mul || ins.op == opcode::mla) &&
-      mul_free_ > cycle_) {
+  if (st.uses_multiplier && mul_free_ > cycle_) {
     return false;
   }
   return true;
@@ -232,6 +274,13 @@ pipeline::issue_outcome pipeline::issue(const instruction& ins, int slot) {
   // Simulator pseudo-ops: transparent to the leakage model.
   if (ins.op == opcode::mark) {
     marks_.push_back(mark_stamp{ins.imm16, cycle_, dual_pairs_});
+    if (has_cutoff_mark_ && ins.imm16 == cutoff_mark_) {
+      // Safe cut: every event of a window ending at this mark's cycle was
+      // emitted by an instruction issued strictly before it (marks
+      // serialize, and emission cycles never precede issue cycles), so it
+      // is already recorded.
+      record_activity_ = false;
+    }
     outcome.serialize = true;
     state_.pc = next_pc;
     return outcome;
@@ -276,7 +325,7 @@ pipeline::issue_outcome pipeline::issue(const instruction& ins, int slot) {
       const std::uint32_t target = read_reg(ins.op2.rm);
       drive_rf_port(target);
       if (exec) {
-        const auto index = prog_.index_of_address(target);
+        const auto index = prog_->index_of_address(target);
         if (!index) {
           state_.halted = true; // return past the outermost frame
           outcome.serialize = true;
@@ -288,7 +337,7 @@ pipeline::issue_outcome pipeline::issue(const instruction& ins, int slot) {
       const auto target = static_cast<std::size_t>(
           static_cast<std::int64_t>(state_.pc) + 1 + ins.branch_offset);
       if (ins.op == opcode::bl) {
-        retire_write(reg::lr, prog_.address_of(state_.pc + 1), cycle_ + 1);
+        retire_write(reg::lr, prog_->address_of(state_.pc + 1), cycle_ + 1);
       }
       next_pc = target;
     }
@@ -301,7 +350,7 @@ pipeline::issue_outcome pipeline::issue(const instruction& ins, int slot) {
       }
     }
     state_.pc = next_pc;
-    if (state_.pc >= prog_.code.size()) {
+    if (state_.pc >= prog_->code.size()) {
       state_.halted = true;
     }
     return outcome;
@@ -563,25 +612,24 @@ bool pipeline::step_cycle() {
   rf_ports_used_this_cycle_ = 0;
 
   const auto try_select = [&](std::size_t index) -> const instruction* {
-    if (index >= prog_.code.size()) {
+    if (index >= prog_->code.size()) {
       return nullptr;
     }
     if (cycle_ < fetch_ready_) {
       return nullptr;
     }
-    const instruction& ins = prog_.code[index];
-    if (!operands_ready(ins) || !unit_available(ins)) {
+    if (!operands_ready(index) || !unit_available(index)) {
       return nullptr;
     }
-    const int penalty = icache_.access(prog_.address_of(index));
+    const int penalty = icache_.access(prog_->address_of(index));
     if (penalty > 0) {
       fetch_ready_ = cycle_ + static_cast<std::uint64_t>(penalty);
       return nullptr;
     }
-    return &ins;
+    return &prog_->code[index];
   };
 
-  if (state_.pc >= prog_.code.size()) {
+  if (state_.pc >= prog_->code.size()) {
     state_.halted = true;
     return false;
   }
@@ -592,12 +640,12 @@ bool pipeline::step_cycle() {
     return !state_.halted;
   }
 
-  // Copy: issue() advances state_.pc.
-  const instruction older = *first;
+  // issue() advances state_.pc, but the code vector is immutable, so the
+  // reference stays valid across the call.
+  const instruction& older = *first;
   const std::size_t older_index = state_.pc;
   const issue_outcome first_outcome = issue(older, 0);
 
-  bool paired = false;
   if (first_outcome.issued && !first_outcome.serialize && !state_.halted &&
       config_.issue_width >= 2) {
     // With perfect prediction a taken branch presents its *target* as the
@@ -610,21 +658,22 @@ bool pipeline::step_cycle() {
       // instruction (or a redirected stream) has no same-group partner.
       partner_visible = false;
     }
-    if (partner_visible && state_.pc < prog_.code.size()) {
-      const instruction& younger = prog_.code[state_.pc];
-      if (statically_pairable(older, younger)) {
-        const instruction* second = try_select(state_.pc);
+    const std::size_t younger_index = state_.pc;
+    if (partner_visible && younger_index < prog_->code.size()) {
+      // The fall-through partner's pairability is precomputed; only a
+      // perfectly predicted taken branch presents a non-adjacent partner.
+      const bool pairable =
+          younger_index == older_index + 1
+              ? pairable_next_[older_index] != 0
+              : statically_pairable(older, prog_->code[younger_index]);
+      if (pairable) {
+        const instruction* second = try_select(younger_index);
         if (second != nullptr) {
-          const instruction younger_copy = *second;
-          issue(younger_copy, 1);
-          paired = true;
+          issue(*second, 1);
           ++dual_pairs_;
         }
       }
     }
-  }
-  if (paired) {
-    // nothing further: statistics already updated
   }
   ++cycle_;
   return !state_.halted;

@@ -27,6 +27,7 @@
 #include "mem/memory.h"
 #include "sim/cpu_state.h"
 #include "sim/micro_arch_config.h"
+#include "sim/program_image.h"
 #include "sim/uarch_activity.h"
 
 namespace usca::sim {
@@ -35,6 +36,24 @@ class pipeline {
 public:
   explicit pipeline(asmx::program prog,
                     micro_arch_config config = cortex_a7());
+
+  /// Shares an immutable program image instead of copying the program —
+  /// the constructor campaign workers use.
+  explicit pipeline(program_image image,
+                    micro_arch_config config = cortex_a7());
+
+  /// Restores the freshly-constructed state — architectural registers,
+  /// caches, scoreboard, leakage-relevant state registers, marks and the
+  /// activity buffer — without reallocating or re-copying the program.
+  /// The data image is re-installed from the shared program image.  A
+  /// reset pipeline is bit-identical in behaviour to a newly constructed
+  /// one (pinned by the reset-equivalence tests).
+  void reset();
+
+  /// Swaps in a different program (re-deriving the pairability cache) and
+  /// resets.  Lets the CPI explorer reuse one pipeline across its dozens
+  /// of micro-benchmarks.
+  void rebind(program_image image);
 
   /// Touches every instruction line and the whole data image so that the
   /// measured region runs entirely from L1 — the paper's warm-up loops.
@@ -48,6 +67,8 @@ public:
 
   cpu_state& state() noexcept { return state_; }
   const cpu_state& state() const noexcept { return state_; }
+  /// The simulated program (shared, immutable).
+  const asmx::program& program() const noexcept { return *prog_; }
   mem::memory& memory() noexcept { return memory_; }
   const mem::memory& memory() const noexcept { return memory_; }
   const micro_arch_config& config() const noexcept { return config_; }
@@ -68,7 +89,22 @@ public:
   const activity_trace& activity() const noexcept { return activity_; }
 
   /// Disables activity recording (pure timing runs are ~2x faster).
-  void set_record_activity(bool record) noexcept { record_activity_ = record; }
+  void set_record_activity(bool record) noexcept {
+    record_default_ = record;
+    record_activity_ = record;
+  }
+
+  /// Stops recording activity once the mark with this id issues (recording
+  /// resumes on reset()).  Every event whose cycle lies before the mark's
+  /// cycle is already recorded when the mark issues, so a synthesis window
+  /// ending at that mark sees a bit-identical trace — while the remainder
+  /// of the run (e.g. AES rounds 2..10 outside a round-1 window) records
+  /// nothing.  Marks themselves are always recorded.
+  void set_activity_cutoff_mark(std::uint16_t id) noexcept {
+    cutoff_mark_ = id;
+    has_cutoff_mark_ = true;
+  }
+  void clear_activity_cutoff_mark() noexcept { has_cutoff_mark_ = false; }
 
   const mem::cache& icache() const noexcept { return icache_; }
   const mem::cache& dcache() const noexcept { return dcache_; }
@@ -86,9 +122,10 @@ private:
     bool serialize = false; ///< mark/halt: nothing may pair or follow
   };
 
-  bool operands_ready(const isa::instruction& ins) const noexcept;
-  bool unit_available(const isa::instruction& ins) const noexcept;
+  bool operands_ready(std::size_t index) const noexcept;
+  bool unit_available(std::size_t index) const noexcept;
   issue_outcome issue(const isa::instruction& ins, int slot);
+  void derive_pairability();
 
   void emit(component comp, std::uint8_t lane, std::uint32_t before,
             std::uint32_t after, std::uint64_t at_cycle);
@@ -104,7 +141,12 @@ private:
   void retire_write(isa::reg r, std::uint32_t value,
                     std::uint64_t ready_at) noexcept;
 
-  asmx::program prog_;
+  program_image image_;
+  const asmx::program* prog_ = nullptr; ///< = &image_.prog()
+  /// pairable_next_[i]: statically_pairable(code[i], code[i+1]) — the only
+  /// pairing the aligned fetch stream presents for non-redirecting code,
+  /// cached so the issue stage does not re-derive it every cycle.
+  std::vector<std::uint8_t> pairable_next_;
   micro_arch_config config_;
   mem::memory memory_;
   mem::cache icache_;
@@ -132,6 +174,9 @@ private:
   std::uint64_t dual_pairs_ = 0;
   int rf_ports_used_this_cycle_ = 0;
   bool record_activity_ = true;
+  bool record_default_ = true; ///< restored by reset()
+  std::uint16_t cutoff_mark_ = 0;
+  bool has_cutoff_mark_ = false;
 
   std::vector<mark_stamp> marks_;
   activity_trace activity_;

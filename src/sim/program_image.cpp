@@ -1,0 +1,25 @@
+#include "sim/program_image.h"
+
+#include <utility>
+
+namespace usca::sim {
+
+program_image::program_image(asmx::program prog) {
+  auto p = std::make_shared<payload>();
+  p->prog = std::move(prog);
+  p->statics.reserve(p->prog.code.size());
+  for (const isa::instruction& ins : p->prog.code) {
+    instruction_static st;
+    for (const isa::reg r : isa::source_registers(ins)) {
+      st.src_mask |= static_cast<std::uint16_t>(1U << isa::index_of(r));
+    }
+    st.reads_flags = isa::reads_flags(ins);
+    st.is_memory = isa::is_memory(ins);
+    st.uses_multiplier =
+        ins.op == isa::opcode::mul || ins.op == isa::opcode::mla;
+    p->statics.push_back(st);
+  }
+  payload_ = std::move(p);
+}
+
+} // namespace usca::sim

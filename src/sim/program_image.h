@@ -1,0 +1,59 @@
+// Shared read-only program image with precomputed issue metadata.
+//
+// A campaign simulates the same program tens of thousands of times; before
+// this layer existed every sim::pipeline owned a private copy of the
+// asmx::program and re-derived the per-instruction facts the issue stage
+// consults every cycle (source registers, flag usage, unit binding).  A
+// program_image freezes the program behind a shared_ptr — workers across
+// threads alias one immutable copy — and caches the static per-instruction
+// metadata once, so constructing or resetting a pipeline never touches the
+// program again.
+#ifndef USCA_SIM_PROGRAM_IMAGE_H
+#define USCA_SIM_PROGRAM_IMAGE_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "asmx/program.h"
+
+namespace usca::sim {
+
+/// Config-independent facts about one instruction, derived once per
+/// program instead of once per simulated cycle.
+struct instruction_static {
+  std::uint16_t src_mask = 0; ///< bit i set = reads architectural register i
+  bool reads_flags = false;
+  bool is_memory = false;
+  bool uses_multiplier = false; ///< mul/mla: competes for the ALU0 multiplier
+};
+
+/// Immutable, cheaply copyable handle to a program plus its metadata.
+class program_image {
+public:
+  program_image() = default;
+
+  /// Takes ownership of `prog` and derives the static metadata.
+  explicit program_image(asmx::program prog);
+
+  bool valid() const noexcept { return payload_ != nullptr; }
+
+  const asmx::program& prog() const noexcept { return payload_->prog; }
+
+  /// Metadata of instruction `index`; same indexing as prog().code.
+  const instruction_static& statics(std::size_t index) const noexcept {
+    return payload_->statics[index];
+  }
+
+private:
+  struct payload {
+    asmx::program prog;
+    std::vector<instruction_static> statics;
+  };
+
+  std::shared_ptr<const payload> payload_;
+};
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_PROGRAM_IMAGE_H

@@ -74,9 +74,20 @@ private:
 };
 
 /// Partitioned CPA for byte-wide intermediate targets.
+///
+/// The accumulation hot path is *blocked*: traces stream through
+/// fixed-size sample blocks whose per-block sum / sum-of-squares /
+/// per-partition cross arrays are updated in contiguous tight loops the
+/// compiler auto-vectorizes (no std::function, no per-sample dispatch).
+/// The block size is a compile-time constant, so the accumulation order —
+/// and therefore every floating-point result — is independent of trace
+/// length, thread count and delivery batching.
 class partitioned_cpa {
 public:
   static constexpr std::size_t num_partitions = 256;
+  /// Fixed accumulation block, in samples.  Exposed so the tests can pin
+  /// block-boundary behaviour (trace lengths of block-1 / block / block+1).
+  static constexpr std::size_t block_samples = 256;
 
   explicit partitioned_cpa(std::size_t samples);
 

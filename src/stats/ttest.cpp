@@ -7,37 +7,61 @@
 
 namespace usca::stats {
 
-welch_result welch_t(const running_stats& a, const running_stats& b) noexcept {
+welch_result welch_t_from_moments(std::uint64_t count_a, double mean_a,
+                                  double var_a, std::uint64_t count_b,
+                                  double mean_b, double var_b) noexcept {
   welch_result out;
-  if (a.count() < 2 || b.count() < 2) {
+  if (count_a < 2 || count_b < 2) {
     return out;
   }
-  const double va = a.variance() / static_cast<double>(a.count());
-  const double vb = b.variance() / static_cast<double>(b.count());
+  const double va = var_a / static_cast<double>(count_a);
+  const double vb = var_b / static_cast<double>(count_b);
   const double denom = std::sqrt(va + vb);
   if (denom == 0.0) {
     return out;
   }
-  out.t = (a.mean() - b.mean()) / denom;
+  out.t = (mean_a - mean_b) / denom;
   const double num = (va + vb) * (va + vb);
-  const double da =
-      va * va / static_cast<double>(a.count() - 1);
-  const double db =
-      vb * vb / static_cast<double>(b.count() - 1);
+  const double da = va * va / static_cast<double>(count_a - 1);
+  const double db = vb * vb / static_cast<double>(count_b - 1);
   out.dof = (da + db) > 0.0 ? num / (da + db) : 0.0;
   return out;
 }
 
-tvla_accumulator::tvla_accumulator(std::size_t samples)
-    : fixed_(samples), random_(samples) {}
+welch_result welch_t(const running_stats& a, const running_stats& b) noexcept {
+  return welch_t_from_moments(a.count(), a.mean(), a.variance(), b.count(),
+                              b.mean(), b.variance());
+}
 
-void tvla_accumulator::add(std::vector<running_stats>& group,
+tvla_accumulator::tvla_accumulator(std::size_t samples)
+    : samples_(samples), center_(samples, 0.0) {
+  fixed_.sum.assign(samples, 0.0);
+  fixed_.sum_sq.assign(samples, 0.0);
+  random_.sum.assign(samples, 0.0);
+  random_.sum_sq.assign(samples, 0.0);
+}
+
+void tvla_accumulator::add(population& group,
                            std::span<const double> trace) {
-  if (trace.size() != fixed_.size()) {
+  if (trace.size() != samples_) {
     throw util::analysis_error("tvla: trace length mismatch");
   }
-  for (std::size_t i = 0; i < trace.size(); ++i) {
-    group[i].add(trace[i]);
+  if (!centered_) {
+    std::copy(trace.begin(), trace.end(), center_.begin());
+    centered_ = true;
+  }
+  ++group.count;
+  for (std::size_t base = 0; base < samples_; base += block_samples) {
+    const std::size_t n = std::min(block_samples, samples_ - base);
+    const double* __restrict t = trace.data() + base;
+    const double* __restrict c = center_.data() + base;
+    double* __restrict sum = group.sum.data() + base;
+    double* __restrict sum_sq = group.sum_sq.data() + base;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double dx = t[i] - c[i];
+      sum[i] += dx;
+      sum_sq[i] += dx * dx;
+    }
   }
 }
 
@@ -50,11 +74,33 @@ void tvla_accumulator::add_random(std::span<const double> trace) {
 }
 
 welch_result tvla_accumulator::at(std::size_t sample) const noexcept {
-  return welch_t(fixed_[sample], random_[sample]);
+  const auto moments = [&](const population& group, double& mean,
+                           double& variance) {
+    const auto n = static_cast<double>(group.count);
+    const double s = group.sum[sample];
+    mean = center_[sample] + s / n;
+    // Sample variance from the centered sums; clamp the tiny negative
+    // values cancellation can produce on constant data.
+    variance = group.count < 2
+                   ? 0.0
+                   : std::max(0.0, (group.sum_sq[sample] - s * s / n) /
+                                       (n - 1.0));
+  };
+  if (fixed_.count < 2 || random_.count < 2) {
+    return {};
+  }
+  double mean_f = 0.0;
+  double var_f = 0.0;
+  double mean_r = 0.0;
+  double var_r = 0.0;
+  moments(fixed_, mean_f, var_f);
+  moments(random_, mean_r, var_r);
+  return welch_t_from_moments(fixed_.count, mean_f, var_f, random_.count,
+                              mean_r, var_r);
 }
 
 std::vector<double> tvla_accumulator::abs_t() const {
-  std::vector<double> out(fixed_.size());
+  std::vector<double> out(samples_);
   for (std::size_t i = 0; i < out.size(); ++i) {
     out[i] = std::fabs(at(i).t);
   }

@@ -20,11 +20,15 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
 
 } // namespace
 
-xoshiro256::xoshiro256(std::uint64_t seed) noexcept {
+xoshiro256::xoshiro256(std::uint64_t seed) noexcept { this->seed(seed); }
+
+void xoshiro256::seed(std::uint64_t seed) noexcept {
   std::uint64_t sm = seed;
   for (auto& word : state_) {
     word = splitmix64(sm);
   }
+  has_cached_gaussian_ = false;
+  cached_gaussian_ = 0.0;
 }
 
 xoshiro256::result_type xoshiro256::operator()() noexcept {

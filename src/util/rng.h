@@ -26,6 +26,12 @@ public:
   /// which guarantees a non-zero, well-mixed initial state.
   explicit xoshiro256(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
 
+  /// Re-seeds in place; afterwards the generator is indistinguishable from
+  /// a freshly constructed xoshiro256(seed) (the cached Gaussian deviate
+  /// is discarded too).  Lets long-lived campaign workers reuse one
+  /// generator across per-index seeded acquisitions.
+  void seed(std::uint64_t seed) noexcept;
+
   static constexpr result_type min() noexcept { return 0; }
   static constexpr result_type max() noexcept {
     return std::numeric_limits<result_type>::max();

@@ -73,5 +73,20 @@ TEST(Memory, ClearDropsContents) {
   EXPECT_EQ(m.read32(0x1000), 0u);
 }
 
+TEST(Memory, ResetZeroesEveryTouchedPageInPlace) {
+  memory m;
+  m.write32(0x1000, 0xdeadbeef);
+  m.write8(0x10000, 0x42);                 // a second, distant page
+  m.write16(memory::page_size - 2, 0x1234); // page-boundary straddle setup
+  m.reset();
+  // Observationally a fresh memory: all previously written locations read
+  // zero, and new writes still work.
+  EXPECT_EQ(m.read32(0x1000), 0u);
+  EXPECT_EQ(m.read8(0x10000), 0u);
+  EXPECT_EQ(m.read16(memory::page_size - 2), 0u);
+  m.write32(0x1000, 7);
+  EXPECT_EQ(m.read32(0x1000), 7u);
+}
+
 } // namespace
 } // namespace usca::mem

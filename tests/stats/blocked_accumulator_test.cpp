@@ -1,0 +1,189 @@
+// Blocked CPA/TVLA accumulators against the scalar reference
+// implementations: the blocked tvla_accumulator must match a per-sample
+// Welford (running_stats) Welch test to 1e-9 relative, and the blocked
+// partitioned_cpa must agree with the naive scalar cpa_engine on key
+// ranking, peak location and values — at trace lengths exercising every
+// block-boundary case (length % block in {0, 1, block-1}).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/cpa.h"
+#include "stats/descriptive.h"
+#include "stats/ttest.h"
+#include "util/bitops.h"
+#include "util/rng.h"
+
+namespace usca::stats {
+namespace {
+
+constexpr std::size_t kBlock = tvla_accumulator::block_samples;
+static_assert(partitioned_cpa::block_samples == kBlock,
+              "the suites below exercise both block sizes at once");
+
+/// Trace lengths covering every block-boundary case.
+const std::size_t kLengths[] = {kBlock, kBlock + 1, 2 * kBlock - 1, 37};
+
+/// |a-b| relative to the values' scale, floored at 1 so that near-zero
+/// quantities (a correlation of ~1e-17 is "zero") compare absolutely.
+double relative_error(double a, double b) {
+  const double scale = std::max({std::fabs(a), std::fabs(b), 1.0});
+  return std::fabs(a - b) / scale;
+}
+
+TEST(BlockedTvla, MatchesScalarWelfordWithin1e9) {
+  for (const std::size_t samples : kLengths) {
+    util::xoshiro256 rng(0xb10c + samples);
+    tvla_accumulator blocked(samples);
+    std::vector<running_stats> fixed(samples);
+    std::vector<running_stats> random(samples);
+
+    std::vector<double> trace(samples);
+    for (int t = 0; t < 800; ++t) {
+      for (std::size_t s = 0; s < samples; ++s) {
+        trace[s] = 5.0 + rng.next_gaussian();
+      }
+      // Plant a mean difference at one block-straddling sample.
+      const std::size_t leak = samples - 1;
+      if (t % 2 == 0) {
+        trace[leak] += 0.8;
+        blocked.add_fixed(trace);
+        for (std::size_t s = 0; s < samples; ++s) {
+          fixed[s].add(trace[s]);
+        }
+      } else {
+        blocked.add_random(trace);
+        for (std::size_t s = 0; s < samples; ++s) {
+          random[s].add(trace[s]);
+        }
+      }
+    }
+
+    std::size_t scalar_leaks = 0;
+    std::size_t scalar_peak = 0;
+    double scalar_max = 0.0;
+    for (std::size_t s = 0; s < samples; ++s) {
+      const welch_result scalar = welch_t(fixed[s], random[s]);
+      const welch_result fast = blocked.at(s);
+      EXPECT_LT(relative_error(scalar.t, fast.t), 1e-9)
+          << "samples=" << samples << " s=" << s;
+      EXPECT_LT(relative_error(scalar.dof, fast.dof), 1e-9);
+      if (std::fabs(scalar.t) > 4.5) {
+        ++scalar_leaks;
+      }
+      if (std::fabs(scalar.t) > scalar_max) {
+        scalar_max = std::fabs(scalar.t);
+        scalar_peak = s;
+      }
+    }
+    // Identical verdict counts and peak location.
+    EXPECT_EQ(blocked.leaking_samples(4.5), scalar_leaks);
+    EXPECT_LT(relative_error(blocked.max_abs_t(), scalar_max), 1e-9);
+    const std::vector<double> abs_t = blocked.abs_t();
+    std::size_t fast_peak = 0;
+    for (std::size_t s = 1; s < abs_t.size(); ++s) {
+      if (abs_t[s] > abs_t[fast_peak]) {
+        fast_peak = s;
+      }
+    }
+    EXPECT_EQ(fast_peak, scalar_peak);
+  }
+}
+
+TEST(BlockedTvla, WelchFromMomentsMatchesWelchT) {
+  running_stats a;
+  running_stats b;
+  util::xoshiro256 rng(99);
+  for (int i = 0; i < 500; ++i) {
+    a.add(rng.next_gaussian());
+    b.add(0.3 + rng.next_gaussian());
+  }
+  const welch_result direct = welch_t(a, b);
+  const welch_result from_moments = welch_t_from_moments(
+      a.count(), a.mean(), a.variance(), b.count(), b.mean(), b.variance());
+  EXPECT_EQ(direct.t, from_moments.t);
+  EXPECT_EQ(direct.dof, from_moments.dof);
+}
+
+TEST(BlockedCpa, MatchesNaiveEngineAtBlockBoundaryLengths) {
+  constexpr std::size_t guesses = 32;
+  for (const std::size_t samples : kLengths) {
+    util::xoshiro256 rng(0xcafe + samples);
+    partitioned_cpa blocked(samples);
+    cpa_engine naive(samples, guesses);
+
+    const auto model = [](std::size_t g, std::size_t p) {
+      return static_cast<double>(
+          util::hamming_weight(static_cast<std::uint32_t>((g * 37) ^ p)));
+    };
+
+    std::vector<double> trace(samples);
+    std::vector<double> hypotheses(guesses);
+    for (int t = 0; t < 500; ++t) {
+      const std::uint8_t pt = rng.next_u8();
+      for (std::size_t s = 0; s < samples; ++s) {
+        trace[s] = rng.next_gaussian();
+      }
+      // Plant leakage of guess 7 at the last sample (block-straddling).
+      trace[samples - 1] += 0.4 * model(7, pt);
+      for (std::size_t g = 0; g < guesses; ++g) {
+        hypotheses[g] = model(g, pt);
+      }
+      blocked.add_trace(pt, trace);
+      naive.add_trace(trace, hypotheses);
+    }
+
+    const cpa_result fast = blocked.solve(model, guesses);
+    const cpa_result reference = naive.solve();
+    ASSERT_EQ(fast.corr.size(), reference.corr.size());
+    for (std::size_t g = 0; g < guesses; ++g) {
+      for (std::size_t s = 0; s < samples; ++s) {
+        EXPECT_LT(relative_error(fast.corr[g][s], reference.corr[g][s]),
+                  1e-9)
+            << "samples=" << samples << " g=" << g << " s=" << s;
+      }
+    }
+    // Identical ranking and peak location under the distinguisher.
+    EXPECT_EQ(fast.best().guess, reference.best().guess);
+    EXPECT_EQ(fast.best().sample, reference.best().sample);
+    EXPECT_EQ(fast.best().guess, 7u);
+    EXPECT_EQ(fast.best().sample, samples - 1);
+    for (std::size_t g = 0; g < guesses; ++g) {
+      EXPECT_EQ(fast.rank_of(g), reference.rank_of(g));
+    }
+  }
+}
+
+TEST(BlockedAccumulators, DeterministicAcrossDeliveryBatching) {
+  // The fixed block size makes results a pure function of the trace
+  // sequence — re-feeding the identical sequence (as a differently
+  // threaded campaign would deliver it, in the same index order) gives
+  // bit-identical output.
+  const std::size_t samples = kBlock + 1;
+  const auto feed = [&] {
+    util::xoshiro256 rng(0xd00d);
+    tvla_accumulator acc(samples);
+    std::vector<double> trace(samples);
+    for (int t = 0; t < 300; ++t) {
+      for (auto& v : trace) {
+        v = rng.next_gaussian();
+      }
+      if (t % 2 == 0) {
+        acc.add_fixed(trace);
+      } else {
+        acc.add_random(trace);
+      }
+    }
+    return acc.abs_t();
+  };
+  const std::vector<double> first = feed();
+  const std::vector<double> second = feed();
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t s = 0; s < samples; ++s) {
+    EXPECT_EQ(first[s], second[s]);
+  }
+}
+
+} // namespace
+} // namespace usca::stats
