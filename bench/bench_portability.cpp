@@ -24,7 +24,7 @@
 #include "core/leakage_aware_scheduler.h"
 #include "isa/disasm.h"
 #include "power/synthesizer.h"
-#include "sim/pipeline.h"
+#include "sim/backend.h"
 #include "stats/pearson.h"
 #include "util/bitops.h"
 #include "util/rng.h"
@@ -47,7 +47,7 @@ double hw_secret_correlation(const asmx::program& prog,
   acq.uarch = config;
   core::acquisition_campaign campaign(sim::program_image(prog), acq);
   campaign.set_setup([](std::size_t, util::xoshiro256& rng,
-                        sim::pipeline& pipe, std::vector<double>& labels) {
+                        sim::backend& pipe, std::vector<double>& labels) {
     const std::uint32_t secret = rng.next_u32();
     const std::uint32_t mask = rng.next_u32();
     pipe.state().set_reg(reg::r2, secret ^ mask); // a0

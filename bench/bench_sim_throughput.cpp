@@ -8,8 +8,9 @@
 //  * --json[=FILE] [traces=N averaging=M threads=T seed=S]: the campaign
 //    hot path measured end to end — the acquisition loop every 100k-trace
 //    experiment of the paper runs on — reported as machine-readable JSON
-//    (traces/sec, simulated cycles/sec, accumulator ns/sample) so speedups
-//    can be pinned in-repo (BENCH_hotpath.json) and tracked by CI.
+//    (traces/sec and simulated cycles/sec for BOTH backends — in-order and
+//    OoO — plus accumulator ns/sample) so speedups can be pinned in-repo
+//    (BENCH_hotpath.json) and tracked by CI.
 #include <benchmark/benchmark.h>
 
 #include <chrono>
@@ -171,6 +172,11 @@ struct hot_path_report {
   double seconds = 0.0;
   double traces_per_sec = 0.0;
   double sim_cycles_per_sec = 0.0;
+  // Same campaign on the out-of-order backend (sim::ooo_core).
+  std::size_t ooo_samples_per_trace = 0;
+  double ooo_seconds = 0.0;
+  double ooo_traces_per_sec = 0.0;
+  double ooo_sim_cycles_per_sec = 0.0;
   double cpa_accumulate_ns_per_sample = 0.0;
   double tvla_accumulate_ns_per_sample = 0.0;
 };
@@ -230,6 +236,24 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
   report.sim_cycles_per_sec =
       static_cast<double>(simulated_cycles) / report.seconds;
 
+  // The same campaign on the OoO backend, so backend regressions are
+  // visible in the same artifact as the in-order number.
+  config.backend = sim::backend_kind::ooo;
+  config.uarch = sim::cortex_a7_ooo();
+  core::trace_campaign ooo_campaign(config, key);
+  (void)ooo_campaign.produce(0);
+  std::uint64_t ooo_cycles = 0;
+  const auto ooo_start = std::chrono::steady_clock::now();
+  ooo_campaign.run([&](core::trace_record&& rec) {
+    report.ooo_samples_per_trace = rec.samples.size();
+    ooo_cycles += rec.cycles;
+  });
+  report.ooo_seconds = seconds_since(ooo_start);
+  report.ooo_traces_per_sec =
+      static_cast<double>(report.traces) / report.ooo_seconds;
+  report.ooo_sim_cycles_per_sec =
+      static_cast<double>(ooo_cycles) / report.ooo_seconds;
+
   // Accumulator throughput, measured on traces of the campaign's length.
   const std::size_t samples = report.samples_per_trace;
   const std::size_t reps = args.get_size("accumulate_reps", 20'000);
@@ -261,11 +285,17 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                "  \"seconds\": %.6f,\n"
                "  \"traces_per_sec\": %.1f,\n"
                "  \"sim_cycles_per_sec\": %.0f,\n"
+               "  \"ooo_samples_per_trace\": %zu,\n"
+               "  \"ooo_seconds\": %.6f,\n"
+               "  \"ooo_traces_per_sec\": %.1f,\n"
+               "  \"ooo_sim_cycles_per_sec\": %.0f,\n"
                "  \"cpa_accumulate_ns_per_sample\": %.3f,\n"
                "  \"tvla_accumulate_ns_per_sample\": %.3f\n"
                "}\n",
                r.traces, r.averaging, r.threads, r.samples_per_trace,
                r.seconds, r.traces_per_sec, r.sim_cycles_per_sec,
+               r.ooo_samples_per_trace, r.ooo_seconds, r.ooo_traces_per_sec,
+               r.ooo_sim_cycles_per_sec,
                r.cpa_accumulate_ns_per_sample,
                r.tvla_accumulate_ns_per_sample);
 }

@@ -1,25 +1,61 @@
-// End-to-end CPA attack demo against the generated AES-128 running on the
-// simulated Cortex-A7 (a compact version of the paper's Section 5).
+// End-to-end CPA attack demo against the generated AES-128 (a compact
+// version of the paper's Section 5), runnable on either core model:
+//
+//   ./build/example_aes_cpa_demo [--backend=inorder|ooo] [--traces=N]
 //
 // Recovers key byte 0 from synthesized power traces with the coarse
 // Hamming-weight-of-SubBytes-output model and prints the top candidates.
+// Acquisition runs through the generic core::acquisition_campaign — the
+// same parallel, per-index-seeded hot path the full-size experiments use
+// — with the backend selected by flag, so the demo doubles as the
+// smallest possible in-order-vs-OoO leakage comparison.
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string_view>
 
+#include "core/acquisition.h"
 #include "crypto/aes_codegen.h"
-#include "power/synthesizer.h"
-#include "sim/pipeline.h"
 #include "stats/cpa.h"
 #include "util/bitops.h"
-#include "util/rng.h"
 
 using namespace usca;
 
-int main() {
-  const std::size_t traces = 1'000;
-  std::printf("== CPA attack on simulated AES-128 (key byte 0, %zu traces) "
-              "==\n\n",
-              traces);
+int main(int argc, char** argv) {
+  sim::backend_kind backend = sim::backend_kind::inorder;
+  std::size_t traces = 1'000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--backend=", 0) == 0) {
+      const auto kind = sim::parse_backend_kind(arg.substr(10));
+      if (!kind) {
+        std::fprintf(stderr, "unknown backend '%s' (inorder|ooo)\n",
+                     argv[i] + 10);
+        return 2;
+      }
+      backend = *kind;
+    } else if (arg.rfind("--traces=", 0) == 0) {
+      char* end = nullptr;
+      const unsigned long long value = std::strtoull(argv[i] + 9, &end, 10);
+      if (end == argv[i] + 9 || *end != '\0' || value == 0) {
+        std::fprintf(stderr, "--traces wants a positive integer, got '%s'\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      traces = static_cast<std::size_t>(value);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--backend=inorder|ooo] [--traces=N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  std::printf("== CPA attack on simulated AES-128 (key byte 0, %zu traces, "
+              "%s backend) ==\n\n",
+              traces,
+              std::string(sim::backend_kind_name(backend)).c_str());
 
   const crypto::aes_program_layout layout = crypto::generate_aes128_program();
   const crypto::aes_key key = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23,
@@ -27,41 +63,41 @@ int main() {
                                0x10, 0x32, 0x54, 0x76};
   const crypto::aes_round_keys rk = crypto::expand_key(key);
 
-  power::trace_synthesizer synth(power::synthesis_config{}, 7);
-  util::xoshiro256 rng(42);
-
-  stats::partitioned_cpa cpa(0);
-  bool ready = false;
-  for (std::size_t t = 0; t < traces; ++t) {
+  core::acquisition_config config;
+  config.traces = traces;
+  config.seed = 42;
+  config.averaging = 8;
+  config.window =
+      core::campaign_window{crypto::mark_encrypt_begin,
+                            crypto::mark_round1_end};
+  config.backend = backend;
+  config.uarch = backend == sim::backend_kind::ooo ? sim::cortex_a7_ooo()
+                                                   : sim::cortex_a7();
+  core::acquisition_campaign campaign(sim::program_image(layout.prog),
+                                      config);
+  campaign.set_setup([&layout, &rk](std::size_t, util::xoshiro256& rng,
+                                    sim::backend& core,
+                                    std::vector<double>& labels) {
     crypto::aes_block pt;
     for (auto& b : pt) {
       b = rng.next_u8();
     }
-    sim::pipeline pipe(layout.prog, sim::cortex_a7());
-    crypto::install_aes_inputs(pipe.memory(), layout, rk, pt);
-    pipe.warm_caches();
-    pipe.run();
+    crypto::install_aes_inputs(core.memory(), layout, rk, pt);
+    labels.assign(1, static_cast<double>(pt[0]));
+  });
 
-    std::uint32_t begin = 0;
-    std::uint32_t end = 0;
-    for (const auto& m : pipe.marks()) {
-      if (m.id == crypto::mark_encrypt_begin) {
-        begin = static_cast<std::uint32_t>(m.cycle);
-      } else if (m.id == crypto::mark_round1_end) {
-        end = static_cast<std::uint32_t>(m.cycle);
-      }
-    }
-    const power::trace trace =
-        synth.synthesize_averaged(pipe.activity(), begin, end, 8);
+  stats::partitioned_cpa cpa(0);
+  bool ready = false;
+  campaign.run([&](core::acquisition_record&& rec) {
     if (!ready) {
-      cpa = stats::partitioned_cpa(trace.size());
+      cpa = stats::partitioned_cpa(rec.samples.size());
       ready = true;
     }
-    cpa.add_trace(pt[0], trace);
-    if ((t + 1) % 250 == 0) {
-      std::printf("  collected %zu traces...\n", t + 1);
+    cpa.add_trace(static_cast<std::uint8_t>(rec.labels[0]), rec.samples);
+    if ((rec.index + 1) % 250 == 0) {
+      std::printf("  collected %zu traces...\n", rec.index + 1);
     }
-  }
+  });
 
   const stats::cpa_result result = cpa.solve(
       [](std::size_t guess, std::size_t pt_byte) {

@@ -1,16 +1,17 @@
-// Quickstart: assemble a program, run it on the Cortex-A7-like pipeline,
-// synthesize a power trace, and test a leakage hypothesis.
+// Quickstart: assemble a program, run a campaign on the Cortex-A7-like
+// pipeline through the generic acquisition engine, and test a leakage
+// hypothesis against the synthesized power traces.
 //
 // Build & run:  cmake -B build -G Ninja && cmake --build build
-//               ./build/examples/quickstart
+//               ./build/example_quickstart
+#include <cmath>
 #include <cstdio>
+#include <vector>
 
 #include "asmx/assembler.h"
-#include "power/synthesizer.h"
-#include "sim/pipeline.h"
+#include "core/acquisition.h"
 #include "stats/pearson.h"
 #include "util/bitops.h"
-#include "util/rng.h"
 
 using namespace usca;
 
@@ -33,47 +34,45 @@ int main() {
   )");
 
   // 2. Campaign: random inputs per trial, one synthesized trace each.
+  //    The acquisition engine owns the simulation loop — worker-owned
+  //    resettable pipelines, per-index seeding, records delivered in
+  //    index order — so this example IS the hot path every large
+  //    experiment of the repository runs on.
   const std::size_t trials = 5'000;
-  util::xoshiro256 rng(2024);
-  power::trace_synthesizer synth(power::synthesis_config{}, 99);
-
-  std::vector<double> model_hd_r2_r5;   // HD between the two first operands
-  std::vector<std::vector<double>> traces;
-  std::size_t samples = 0;
-
-  for (std::size_t t = 0; t < trials; ++t) {
-    sim::pipeline pipe(prog, sim::cortex_a7());
+  core::acquisition_config config;
+  config.traces = trials;
+  config.seed = 2024;
+  config.window = core::campaign_window{1, 2};
+  core::acquisition_campaign campaign(sim::program_image(prog), config);
+  campaign.set_setup([](std::size_t, util::xoshiro256& rng,
+                        sim::backend& pipe, std::vector<double>& labels) {
     const std::uint32_t r2 = rng.next_u32();
     const std::uint32_t r5 = rng.next_u32();
     pipe.state().set_reg(isa::reg::r2, r2);
     pipe.state().set_reg(isa::reg::r3, rng.next_u32());
     pipe.state().set_reg(isa::reg::r5, r5);
     pipe.state().set_reg(isa::reg::r6, rng.next_u32());
-    pipe.warm_caches();
-    pipe.run();
+    // The hypothesis value this trial contributes to the correlation.
+    labels.assign(1, static_cast<double>(util::hamming_distance(r2, r5)));
+  });
 
-    std::uint32_t begin = 0;
-    std::uint32_t end = 0;
-    for (const auto& m : pipe.marks()) {
-      (m.id == 1 ? begin : end) = static_cast<std::uint32_t>(m.cycle);
+  std::vector<stats::pearson_accumulator> acc;
+  campaign.run([&](core::acquisition_record&& rec) {
+    if (acc.empty()) {
+      acc.resize(rec.samples.size());
     }
-    traces.push_back(synth.synthesize(pipe.activity(), begin, end));
-    samples = traces.back().size();
-    model_hd_r2_r5.push_back(
-        static_cast<double>(util::hamming_distance(r2, r5)));
-  }
+    for (std::size_t s = 0; s < rec.samples.size(); ++s) {
+      acc[s].add(rec.labels[0], rec.samples[s]);
+    }
+  });
 
   // 3. Correlate the hypothesis "HD(r2, r5)" against every cycle.
   std::printf("cycle | corr(HD(r2,r5), power)\n");
   std::printf("------+------------------------\n");
   double best = 0.0;
   std::size_t best_cycle = 0;
-  for (std::size_t s = 0; s < samples; ++s) {
-    stats::pearson_accumulator acc;
-    for (std::size_t t = 0; t < trials; ++t) {
-      acc.add(model_hd_r2_r5[t], traces[t][s]);
-    }
-    const double r = acc.correlation();
+  for (std::size_t s = 0; s < acc.size(); ++s) {
+    const double r = acc[s].correlation();
     std::printf("%5zu | %+.4f%s\n", s, r,
                 stats::correlation_significant(r, trials, 0.995)
                     ? "  <== leaks (>99.5%)"

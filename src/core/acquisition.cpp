@@ -10,7 +10,7 @@ namespace usca::core {
 acquisition_campaign::acquisition_campaign(sim::program_image image,
                                            acquisition_config config)
     : image_(std::move(image)), config_(config),
-      setup_([](std::size_t, util::xoshiro256&, sim::pipeline&,
+      setup_([](std::size_t, util::xoshiro256&, sim::backend&,
                 std::vector<double>&) {}) {}
 
 void acquisition_campaign::set_setup(setup_fn setup) {
@@ -21,17 +21,18 @@ unsigned acquisition_campaign::resolved_threads() const noexcept {
   return resolved_worker_count(config_.threads, config_.traces);
 }
 
-sim::pipeline acquisition_campaign::make_pipeline() const {
-  sim::pipeline pipe(image_, config_.uarch);
+std::unique_ptr<sim::backend> acquisition_campaign::make_backend() const {
+  std::unique_ptr<sim::backend> core =
+      sim::make_backend(config_.backend, image_, config_.uarch);
   if (!config_.synthesize) {
-    pipe.set_record_activity(false);
+    core->set_record_activity(false);
   } else if (!config_.full_run_window) {
-    pipe.set_activity_cutoff_mark(config_.window.end_mark);
+    core->set_activity_cutoff_mark(config_.window.end_mark);
   }
-  return pipe;
+  return core;
 }
 
-void acquisition_campaign::produce_into(sim::pipeline& pipe,
+void acquisition_campaign::produce_into(sim::backend& core,
                                         power::trace_synthesizer& synth,
                                         std::size_t index,
                                         acquisition_record& rec) const {
@@ -43,17 +44,17 @@ void acquisition_campaign::produce_into(sim::pipeline& pipe,
 
   rec.index = index;
   util::xoshiro256 setup_rng(setup_seed);
-  setup_(index, setup_rng, pipe, rec.labels);
+  setup_(index, setup_rng, core, rec.labels);
 
-  pipe.warm_caches();
-  pipe.run();
-  rec.cycles = pipe.cycles();
-  rec.instructions = pipe.instructions_issued();
-  rec.marks = pipe.marks();
+  core.warm_caches();
+  core.run();
+  rec.cycles = core.cycles();
+  rec.instructions = core.instructions_issued();
+  rec.marks = core.marks();
 
   if (config_.full_run_window) {
     rec.window_begin = 0;
-    rec.window_end = pipe.cycles() + config_.full_run_tail_pad;
+    rec.window_end = core.cycles() + config_.full_run_tail_pad;
   } else if (!find_campaign_window(rec.marks, config_.window,
                                    rec.window_begin, rec.window_end)) {
     throw util::analysis_error(
@@ -68,7 +69,7 @@ void acquisition_campaign::produce_into(sim::pipeline& pipe,
   const auto end = static_cast<std::uint32_t>(rec.window_end);
   if (index < config_.keep_activity_first) {
     rec.window_activity.clear();
-    for (const sim::activity_event& ev : pipe.activity()) {
+    for (const sim::activity_event& ev : core.activity()) {
       if (ev.cycle >= begin && ev.cycle < end) {
         rec.window_activity.push_back(ev);
       }
@@ -76,16 +77,16 @@ void acquisition_campaign::produce_into(sim::pipeline& pipe,
   }
   synth.reseed(synthesis_seed);
   rec.samples = config_.averaging > 1
-                    ? synth.synthesize_averaged(pipe.activity(), begin, end,
+                    ? synth.synthesize_averaged(core.activity(), begin, end,
                                                 config_.averaging)
-                    : synth.synthesize(pipe.activity(), begin, end);
+                    : synth.synthesize(core.activity(), begin, end);
 }
 
 acquisition_record acquisition_campaign::produce(std::size_t index) const {
-  sim::pipeline pipe = make_pipeline();
+  std::unique_ptr<sim::backend> core = make_backend();
   power::trace_synthesizer synth(config_.power, 0);
   acquisition_record rec;
-  produce_into(pipe, synth, index, rec);
+  produce_into(*core, synth, index, rec);
   return rec;
 }
 
@@ -93,20 +94,20 @@ void acquisition_campaign::run(const sink_fn& sink) {
   const std::size_t first = config_.first_index;
 
   struct worker_context {
-    sim::pipeline pipe;
+    std::unique_ptr<sim::backend> core;
     power::trace_synthesizer synth;
   };
 
   ordered_parallel_produce(
       config_.traces, resolved_threads(),
       [this](unsigned) {
-        return worker_context{make_pipeline(),
+        return worker_context{make_backend(),
                               power::trace_synthesizer(config_.power, 0)};
       },
       [this, first](worker_context& ctx, std::size_t i) {
-        ctx.pipe.reset();
+        ctx.core->reset();
         acquisition_record rec;
-        produce_into(ctx.pipe, ctx.synth, first + i, rec);
+        produce_into(*ctx.core, ctx.synth, first + i, rec);
         return rec;
       },
       sink);

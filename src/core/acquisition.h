@@ -15,12 +15,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "core/campaign.h"
 #include "power/synthesizer.h"
+#include "sim/backend.h"
 #include "sim/micro_arch_config.h"
-#include "sim/pipeline.h"
 #include "sim/program_image.h"
 #include "util/rng.h"
 
@@ -46,6 +47,8 @@ struct acquisition_config {
   std::size_t keep_activity_first = 0;
   power::synthesis_config power{};
   sim::micro_arch_config uarch = sim::cortex_a7();
+  /// Core model the trials run on (in-order pipeline or OoO backend).
+  sim::backend_kind backend = sim::backend_kind::inorder;
 };
 
 /// One completed acquisition, delivered in index order.
@@ -56,7 +59,7 @@ struct acquisition_record {
   std::uint64_t window_end = 0;
   std::uint64_t cycles = 0;       ///< total simulated cycles
   std::uint64_t instructions = 0; ///< instructions issued over the run
-  std::vector<sim::pipeline::mark_stamp> marks;
+  std::vector<sim::mark_stamp> marks;
   /// Values the setup callback recorded for this trial (hypothesis-model
   /// inputs, secrets, ...), untouched by the engine.
   std::vector<double> labels;
@@ -67,12 +70,12 @@ struct acquisition_record {
 class acquisition_campaign {
 public:
   /// Randomizes one trial: install registers/memory on the (reset)
-  /// pipeline from the trial's private index-seeded stream, and record
+  /// backend from the trial's private index-seeded stream, and record
   /// anything the sink will need into `labels`.  Must be a pure function
   /// of its arguments — shared state would break the determinism
   /// guarantee (and the thread-safety) of the engine.
   using setup_fn = std::function<void(std::size_t index, util::xoshiro256&,
-                                      sim::pipeline&,
+                                      sim::backend&,
                                       std::vector<double>& labels)>;
 
   /// Invoked once per record, in strict index order, on the thread that
@@ -96,8 +99,8 @@ public:
   const acquisition_config& config() const noexcept { return config_; }
 
 private:
-  sim::pipeline make_pipeline() const;
-  void produce_into(sim::pipeline& pipe, power::trace_synthesizer& synth,
+  std::unique_ptr<sim::backend> make_backend() const;
+  void produce_into(sim::backend& core, power::trace_synthesizer& synth,
                     std::size_t index, acquisition_record& rec) const;
 
   sim::program_image image_;

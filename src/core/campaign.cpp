@@ -42,7 +42,7 @@ std::uint64_t trace_campaign::trace_seed(std::uint64_t campaign_seed,
   return util::splitmix64(state);
 }
 
-bool find_campaign_window(const std::vector<sim::pipeline::mark_stamp>& marks,
+bool find_campaign_window(const std::vector<sim::mark_stamp>& marks,
                           const campaign_window& window, std::uint64_t& begin,
                           std::uint64_t& end) noexcept {
   bool begin_seen = false;
@@ -63,13 +63,14 @@ unsigned trace_campaign::resolved_threads() const noexcept {
   return resolved_worker_count(config_.threads, config_.traces);
 }
 
-sim::pipeline trace_campaign::make_pipeline() const {
-  sim::pipeline pipe(image_, config_.uarch);
+std::unique_ptr<sim::backend> trace_campaign::make_backend() const {
+  std::unique_ptr<sim::backend> core =
+      sim::make_backend(config_.backend, image_, config_.uarch);
   // Activity past the window's end mark can never land inside the window,
   // so recording it would only burn time and memory on (for the default
   // round-1 window) the nine later AES rounds.
-  pipe.set_activity_cutoff_mark(config_.window.end_mark);
-  return pipe;
+  core->set_activity_cutoff_mark(config_.window.end_mark);
+  return core;
 }
 
 power::trace_synthesizer trace_campaign::make_synthesizer() const {
@@ -80,7 +81,7 @@ power::trace_synthesizer trace_campaign::make_synthesizer() const {
   return synth;
 }
 
-void trace_campaign::produce_into(sim::pipeline& pipe,
+void trace_campaign::produce_into(sim::backend& core,
                                   power::trace_synthesizer& synth,
                                   std::size_t index,
                                   trace_record& rec) const {
@@ -95,58 +96,58 @@ void trace_campaign::produce_into(sim::pipeline& pipe,
   rec.index = index;
   rec.plaintext = plaintext_(index, plaintext_rng);
 
-  crypto::install_aes_inputs(pipe.memory(), layout_, round_keys_,
+  crypto::install_aes_inputs(core.memory(), layout_, round_keys_,
                              rec.plaintext);
-  pipe.warm_caches();
-  pipe.run();
-  rec.cycles = pipe.cycles();
+  core.warm_caches();
+  core.run();
+  rec.cycles = core.cycles();
 
-  if (!find_campaign_window(pipe.marks(), config_.window, rec.window_begin,
+  if (!find_campaign_window(core.marks(), config_.window, rec.window_begin,
                             rec.window_end)) {
     throw util::analysis_error(
         "campaign window marks not found (or empty window) in the "
         "simulated program");
   }
-  rec.marks = pipe.marks();
+  rec.marks = core.marks();
 
   synth.reseed(synthesis_seed);
   const auto begin = static_cast<std::uint32_t>(rec.window_begin);
   const auto end = static_cast<std::uint32_t>(rec.window_end);
   rec.samples = config_.averaging > 1
-                    ? synth.synthesize_averaged(pipe.activity(), begin, end,
+                    ? synth.synthesize_averaged(core.activity(), begin, end,
                                                 config_.averaging)
-                    : synth.synthesize(pipe.activity(), begin, end);
+                    : synth.synthesize(core.activity(), begin, end);
 }
 
 trace_record trace_campaign::produce(std::size_t index) const {
-  sim::pipeline pipe = make_pipeline();
+  std::unique_ptr<sim::backend> core = make_backend();
   power::trace_synthesizer synth = make_synthesizer();
   trace_record rec;
-  produce_into(pipe, synth, index, rec);
+  produce_into(*core, synth, index, rec);
   return rec;
 }
 
 void trace_campaign::run(const sink_fn& sink) {
   const std::size_t first = config_.first_index;
 
-  // Each worker owns one pipeline and one synthesizer for its whole
+  // Each worker owns one backend and one synthesizer for its whole
   // shard; per trace only reset() (cheap page zeroing, no reallocation)
   // and reseed() separate it from a freshly constructed pair, which the
   // reset-equivalence tests pin as bit-identical.
   struct worker_context {
-    sim::pipeline pipe;
+    std::unique_ptr<sim::backend> core;
     power::trace_synthesizer synth;
   };
 
   ordered_parallel_produce(
       config_.traces, resolved_threads(),
       [this](unsigned) {
-        return worker_context{make_pipeline(), make_synthesizer()};
+        return worker_context{make_backend(), make_synthesizer()};
       },
       [this, first](worker_context& ctx, std::size_t i) {
-        ctx.pipe.reset();
+        ctx.core->reset();
         trace_record rec;
-        produce_into(ctx.pipe, ctx.synth, first + i, rec);
+        produce_into(*ctx.core, ctx.synth, first + i, rec);
         return rec;
       },
       sink);

@@ -35,8 +35,8 @@
 #include "crypto/aes_codegen.h"
 #include "power/second_core.h"
 #include "power/synthesizer.h"
+#include "sim/backend.h"
 #include "sim/micro_arch_config.h"
-#include "sim/pipeline.h"
 #include "sim/program_image.h"
 #include "util/rng.h"
 
@@ -51,11 +51,11 @@ struct campaign_window {
 
 /// Window lookup over a run's marks, shared by the AES and the generic
 /// campaign.  Binds to the FIRST occurrence of each mark id — the same
-/// occurrence at which the pipeline's activity cutoff disarms recording —
+/// occurrence at which the backend's activity cutoff disarms recording —
 /// so a program that issues its end-mark id repeatedly cannot end up with
 /// a silently unrecorded window tail.  Returns false when either mark is
 /// missing or the window is empty.
-bool find_campaign_window(const std::vector<sim::pipeline::mark_stamp>& marks,
+bool find_campaign_window(const std::vector<sim::mark_stamp>& marks,
                           const campaign_window& window, std::uint64_t& begin,
                           std::uint64_t& end) noexcept;
 
@@ -68,6 +68,9 @@ struct campaign_config {
   campaign_window window{};
   power::synthesis_config power{};
   sim::micro_arch_config uarch = sim::cortex_a7();
+  /// Core model the campaign simulates on (in-order pipeline or the OoO
+  /// backend); every worker owns one resettable instance of this kind.
+  sim::backend_kind backend = sim::backend_kind::inorder;
   /// Attach the simulated interfering core (the Figure-4 dual-core
   /// environment); it is built once and shared read-only by all workers.
   bool simulated_second_core = false;
@@ -83,7 +86,7 @@ struct trace_record {
   std::uint64_t window_end = 0;
   std::uint64_t cycles = 0;         ///< total simulated cycles of the run
   /// All trigger marks of the run (phase annotation, e.g. Figure 3).
-  std::vector<sim::pipeline::mark_stamp> marks;
+  std::vector<sim::mark_stamp> marks;
 };
 
 class trace_campaign {
@@ -128,12 +131,12 @@ public:
                                   std::size_t index) noexcept;
 
 private:
-  sim::pipeline make_pipeline() const;
+  std::unique_ptr<sim::backend> make_backend() const;
   power::trace_synthesizer make_synthesizer() const;
-  /// The acquisition body shared by produce() (fresh pipeline) and the
-  /// run() workers (long-lived, reset pipeline): install inputs, simulate,
-  /// synthesize.  `pipe` must be in the freshly-constructed/reset state.
-  void produce_into(sim::pipeline& pipe, power::trace_synthesizer& synth,
+  /// The acquisition body shared by produce() (fresh backend) and the
+  /// run() workers (long-lived, reset backend): install inputs, simulate,
+  /// synthesize.  `core` must be in the freshly-constructed/reset state.
+  void produce_into(sim::backend& core, power::trace_synthesizer& synth,
                     std::size_t index, trace_record& rec) const;
 
   campaign_config config_;

@@ -48,6 +48,18 @@ table2_column column_of(sim::component comp) noexcept {
     return table2_column::mdr;
   case component::align_buffer:
     return table2_column::align_buffer;
+  // OoO components are reported under the closest Table-2 column when an
+  // OoO trace is pushed through the (in-order-calibrated) characterizer:
+  // rename/PRF structures with the register file, wakeup/operand movement
+  // with the IS/EX buffers, completion/commit with the EX/WB buffers.
+  case component::rat_port:
+  case component::prf_read_port:
+    return table2_column::register_file;
+  case component::rs_tag_bus:
+    return table2_column::is_ex_buffer;
+  case component::cdb:
+  case component::rob_retire_port:
+    return table2_column::ex_wb_buffer;
   }
   return table2_column::register_file;
 }
@@ -108,7 +120,7 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
   acq.uarch = arch_;
   acquisition_campaign campaign(sim::program_image(bp.prog), acq);
   campaign.set_setup([&bench, &bp, n_models](std::size_t, util::xoshiro256& rng,
-                                             sim::pipeline& pipe,
+                                             sim::backend& pipe,
                                              std::vector<double>& labels) {
     trial_context ctx;
     bench.setup(pipe, rng, bp, ctx);

@@ -29,8 +29,8 @@
 
 #include "asmx/program.h"
 #include "power/synthesizer.h"
+#include "sim/backend.h"
 #include "sim/micro_arch_config.h"
-#include "sim/pipeline.h"
 #include "util/rng.h"
 
 namespace usca::core {
@@ -89,7 +89,7 @@ struct characterization_benchmark {
   /// Randomizes inputs: sets registers/memory on the pipeline, pre-charges
   /// destination registers with expected results (the paper's RF isolation
   /// step) and records every named value into the trial context.
-  std::function<void(sim::pipeline&, util::xoshiro256&, const bench_program&,
+  std::function<void(sim::backend&, util::xoshiro256&, const bench_program&,
                      trial_context&)>
       setup;
   std::vector<model_spec> models;

@@ -101,7 +101,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
           {mk::mov(reg::r1, reg::r2), mk::nop(), mk::mov(reg::r3, reg::r4)},
           {});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng, const bench_program&,
                  trial_context& ctx) {
       const std::uint32_t rb = rand32(rng);
       const std::uint32_t rd = rand32(rng);
@@ -137,7 +137,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
                            mk::add(reg::r4, reg::r5, reg::r6)},
                           {});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng, const bench_program&,
                  trial_context& ctx) {
       const std::uint32_t rb = rand32(rng);
       const std::uint32_t rc = rand32(rng);
@@ -187,7 +187,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
                            mk::add_imm(reg::r4, reg::r5, 9)},
                           {});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng, const bench_program&,
                  trial_context& ctx) {
       const std::uint32_t rb = rand32(rng);
       const std::uint32_t rc = rand32(rng);
@@ -231,7 +231,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
                         isa::shift_kind::lsl, 3)},
           {});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng, const bench_program&,
                  trial_context& ctx) {
       const std::uint32_t rb = rand32(rng);
       const std::uint32_t rc = rand32(rng);
@@ -276,7 +276,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
           {mk::ldr(reg::r1, reg::r8), mk::ldr(reg::r4, reg::r9)},
           {"WA", "WC"});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng,
                  const bench_program& bp, trial_context& ctx) {
       const std::uint32_t wa = rand32(rng);
       const std::uint32_t wc = rand32(rng);
@@ -314,7 +314,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
           {mk::str(reg::r1, reg::r8), mk::str(reg::r4, reg::r9)},
           {"SA", "SC"});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng,
                  const bench_program& bp, trial_context& ctx) {
       const std::uint32_t da = rand32(rng);
       const std::uint32_t dc = rand32(rng);
@@ -352,7 +352,7 @@ std::vector<characterization_benchmark> table2_benchmarks() {
            mk::ldr(reg::r3, reg::r10), mk::ldrb(reg::r4, reg::r11)},
           {"WA", "WC", "WE", "WG"});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng,
                  const bench_program& bp, trial_context& ctx) {
       const std::uint32_t wa = rand32(rng);
       const std::uint32_t wc = rand32(rng);
@@ -420,7 +420,7 @@ std::vector<characterization_benchmark> extension_benchmarks() {
                            mk::mul(reg::r4, reg::r5, reg::r6)},
                           {});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng, const bench_program&,
                  trial_context& ctx) {
       const std::uint32_t rb = rand32(rng);
       const std::uint32_t rc = rand32(rng);
@@ -463,7 +463,7 @@ std::vector<characterization_benchmark> extension_benchmarks() {
            mk::mov(reg::r3, reg::r4)},
           {});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng, const bench_program&,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng, const bench_program&,
                  trial_context& ctx) {
       const std::uint32_t rb = rand32(rng);
       const std::uint32_t rd = rand32(rng);
@@ -500,7 +500,7 @@ std::vector<characterization_benchmark> extension_benchmarks() {
           {mk::add_imm(reg::r4, reg::r5, 9), mk::ldr(reg::r1, reg::r8)},
           {"WA"});
     };
-    b.setup = [](sim::pipeline& p, util::xoshiro256& rng,
+    b.setup = [](sim::backend& p, util::xoshiro256& rng,
                  const bench_program& bp, trial_context& ctx) {
       const std::uint32_t wa = rand32(rng);
       const std::uint32_t re = rand32(rng);

@@ -21,6 +21,16 @@ leakage_weights leakage_weights::cortex_a7_like() noexcept {
   w[component::wb_bus] = 1.0;
   w[component::mdr] = 1.5; // store/load path leaks strongest
   w[component::align_buffer] = 0.8;
+  // Out-of-order backend structures (sim::ooo_core).  Tag-carrying wires
+  // (RAT write ports, RS wakeup bus) toggle few, data-independent bits and
+  // leak weakly; the value-carrying wires — PRF read ports feeding the
+  // long issue/bypass network, the CDB, and the ROB retirement ports —
+  // leak like the in-order operand/write-back buses.
+  w[component::rat_port] = 0.3;
+  w[component::prf_read_port] = 0.9;
+  w[component::rs_tag_bus] = 0.4;
+  w[component::cdb] = 1.2;
+  w[component::rob_retire_port] = 1.0;
   return w;
 }
 
@@ -50,10 +60,21 @@ trace trace_synthesizer::synthesize_clean(const sim::activity_trace& activity,
   return out;
 }
 
-trace trace_synthesizer::synthesize(const sim::activity_trace& activity,
-                                    std::uint32_t first_cycle,
-                                    std::uint32_t last_cycle) {
-  trace out = synthesize_clean(activity, first_cycle, last_cycle);
+trace trace_synthesizer::synthesize_clean(
+    const sim::activity_cycle_index& index, std::uint32_t first_cycle,
+    std::uint32_t last_cycle) const {
+  trace out;
+  out.assign(last_cycle - first_cycle, config_.baseline);
+  const sim::activity_event* end = index.window_end(last_cycle);
+  for (const sim::activity_event* ev = index.window_begin(first_cycle);
+       ev != end; ++ev) {
+    out[ev->cycle - first_cycle] +=
+        config_.weights[ev->comp] * static_cast<double>(ev->toggles);
+  }
+  return out;
+}
+
+void trace_synthesizer::apply_noise(trace& out) {
   os_noise_process os(config_.os_noise, rng_);
   for (double& sample : out) {
     sample += config_.gaussian_sigma * rng_.next_gaussian() + os.step();
@@ -61,6 +82,21 @@ trace trace_synthesizer::synthesize(const sim::activity_trace& activity,
   if (second_core_) {
     second_core_->add_window(out, rng_);
   }
+}
+
+trace trace_synthesizer::synthesize(const sim::activity_trace& activity,
+                                    std::uint32_t first_cycle,
+                                    std::uint32_t last_cycle) {
+  trace out = synthesize_clean(activity, first_cycle, last_cycle);
+  apply_noise(out);
+  return out;
+}
+
+trace trace_synthesizer::synthesize(const sim::activity_cycle_index& index,
+                                    std::uint32_t first_cycle,
+                                    std::uint32_t last_cycle) {
+  trace out = synthesize_clean(index, first_cycle, last_cycle);
+  apply_noise(out);
   return out;
 }
 

@@ -79,6 +79,20 @@ public:
                          std::uint32_t first_cycle,
                          std::uint32_t last_cycle) const;
 
+  /// Window extraction from a cycle-sorted index: O(window events) per
+  /// call instead of O(all events).  Multi-window analyses build the
+  /// index once per activity record (O(events) counting sort) and then
+  /// render any number of sub-windows cheaply.  Bit-identical to the
+  /// linear-scan overloads for the same window (the sort is stable, so
+  /// per-cycle accumulation order is preserved).
+  trace synthesize_clean(const sim::activity_cycle_index& index,
+                         std::uint32_t first_cycle,
+                         std::uint32_t last_cycle) const;
+
+  /// Noisy single-acquisition rendering over an index-backed window.
+  trace synthesize(const sim::activity_cycle_index& index,
+                   std::uint32_t first_cycle, std::uint32_t last_cycle);
+
   util::xoshiro256& rng() noexcept { return rng_; }
   const synthesis_config& config() const noexcept { return config_; }
 
@@ -93,6 +107,9 @@ private:
   void synthesize_clean_into(trace& out, const sim::activity_trace& activity,
                              std::uint32_t first_cycle,
                              std::uint32_t last_cycle) const;
+  /// One noisy acquisition's worth of noise (Gaussian + OS + second core)
+  /// on top of a clean trace, shared by the synthesize() overloads.
+  void apply_noise(trace& out);
 
   synthesis_config config_;
   util::xoshiro256 rng_;

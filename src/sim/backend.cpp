@@ -1,0 +1,69 @@
+#include "sim/backend.h"
+
+#include <utility>
+
+#include "sim/ooo/ooo_core.h"
+#include "sim/pipeline.h"
+#include "util/bitops.h"
+
+namespace usca::sim {
+
+void backend::emit(component comp, std::uint8_t lane, std::uint32_t before,
+                   std::uint32_t after, std::uint64_t at_cycle) {
+  if (!record_activity_ || before == after) {
+    return;
+  }
+  activity_event ev;
+  ev.cycle = static_cast<std::uint32_t>(at_cycle);
+  ev.comp = comp;
+  ev.lane = lane;
+  ev.toggles =
+      static_cast<std::uint8_t>(util::hamming_distance(before, after));
+  activity_.push_back(ev);
+}
+
+void backend::emit_weight(component comp, std::uint8_t lane,
+                          std::uint32_t value, std::uint64_t at_cycle) {
+  if (!record_activity_ || value == 0) {
+    return;
+  }
+  activity_event ev;
+  ev.cycle = static_cast<std::uint32_t>(at_cycle);
+  ev.comp = comp;
+  ev.lane = lane;
+  ev.toggles = static_cast<std::uint8_t>(util::hamming_weight(value));
+  activity_.push_back(ev);
+}
+
+std::string_view backend_kind_name(backend_kind kind) noexcept {
+  switch (kind) {
+  case backend_kind::inorder:
+    return "inorder";
+  case backend_kind::ooo:
+    return "ooo";
+  }
+  return "?";
+}
+
+std::optional<backend_kind> parse_backend_kind(std::string_view text) noexcept {
+  if (text == "inorder" || text == "in-order") {
+    return backend_kind::inorder;
+  }
+  if (text == "ooo" || text == "out-of-order") {
+    return backend_kind::ooo;
+  }
+  return std::nullopt;
+}
+
+std::unique_ptr<backend> make_backend(backend_kind kind, program_image image,
+                                      const micro_arch_config& config) {
+  switch (kind) {
+  case backend_kind::inorder:
+    return std::make_unique<pipeline>(std::move(image), config);
+  case backend_kind::ooo:
+    return std::make_unique<ooo_core>(std::move(image), config);
+  }
+  return nullptr;
+}
+
+} // namespace usca::sim

@@ -62,4 +62,14 @@ micro_arch_config cortex_a7_scalar() noexcept {
   return config;
 }
 
+micro_arch_config cortex_a7_ooo(ooo_config ooo) noexcept {
+  micro_arch_config config = cortex_a7();
+  // Same execution units, latencies and caches as the in-order model;
+  // the issue engine comes from `ooo`, and the scheduler's select stage
+  // scales with the front end.
+  config.ooo = ooo;
+  config.issue_width = ooo.rename_width;
+  return config;
+}
+
 } // namespace usca::sim

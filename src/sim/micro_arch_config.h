@@ -53,6 +53,20 @@ enum class issue_policy : std::uint8_t {
   structural,
 };
 
+/// Out-of-order issue backend parameters (sim::ooo_core).  Consumed only
+/// when a program runs on the OoO backend; the in-order pipeline ignores
+/// this block.  The defaults describe a modest 2-wide OoO core so that
+/// in-order-vs-OoO ablations start from comparable widths.
+struct ooo_config {
+  int rob_entries = 32;   ///< reorder-buffer capacity (circular)
+  int rename_width = 2;   ///< instructions renamed/dispatched per cycle
+  int retire_width = 2;   ///< instructions committed per cycle
+  int rs_entries = 16;    ///< reservation-station (scheduler) capacity
+  int prf_size = 64;      ///< physical registers; must exceed 16 + ROB dests
+  int cdb_width = 2;      ///< results broadcast per cycle (CDB lanes)
+  int store_buffer_entries = 4; ///< post-retirement store queue depth
+};
+
 struct micro_arch_config {
   // --- issue ---------------------------------------------------------------
   int issue_width = 2;                 ///< 1 = scalar ablation
@@ -94,6 +108,9 @@ struct micro_arch_config {
   // --- memory hierarchy ------------------------------------------------
   mem::cache_config icache;
   mem::cache_config dcache;
+
+  // --- out-of-order backend (sim::ooo_core only) -----------------------
+  ooo_config ooo;
 };
 
 /// The paper's characterized target.
@@ -102,6 +119,15 @@ micro_arch_config cortex_a7() noexcept;
 /// Single-issue ablation of the same core (issue_width 1), used to contrast
 /// scalar vs. superscalar leakage behaviour.
 micro_arch_config cortex_a7_scalar() noexcept;
+
+/// Configuration for the out-of-order backend: the A7's execution units,
+/// latencies and caches behind the given rename/ROB/RS issue engine
+/// (defaults: a modest 2-wide core).  The select stage scales with the
+/// front end (issue_width = ooo.rename_width); everything else stays
+/// ISA- and unit-compatible with cortex_a7() by construction — the pair
+/// is the cross-design-point comparison the paper's portability argument
+/// calls for.
+micro_arch_config cortex_a7_ooo(ooo_config ooo = {}) noexcept;
 
 } // namespace usca::sim
 

@@ -1,0 +1,243 @@
+// Cycle-level model of an out-of-order issue core over the AL32 ISA.
+//
+// The DAC'18 paper's thesis — leakage is a property of the
+// micro-architecture, not the ISA — is tested here against a second
+// design point: the same ISA, execution units, latencies and caches as
+// the in-order Cortex-A7 model, but issued through a modern OoO engine:
+//
+//   * a configurable-width rename stage with a register alias table (RAT)
+//     mapping the 16 architectural registers onto a physical register
+//     file (PRF) with a free list;
+//   * a reservation station (RS) with tag-broadcast wakeup and
+//     oldest-first select, bounded by the structural units of the
+//     micro_arch_config (ALU count, single LSU pipe, ALU0-only
+//     shifter/multiplier);
+//   * a circular reorder buffer (ROB) with in-order retirement through a
+//     configurable number of retire ports, and a post-commit store
+//     buffer draining into the existing mem::cache timing path;
+//   * a common data bus (CDB) broadcasting completed results to the RS
+//     and the PRF.
+//
+// Each of those structures is a leakage source in its own right (Ge et
+// al.; the retirement-channel literature): the model emits the shared
+// EX-stage components (alu_in_latch, alu_out, shift_buffer, mdr,
+// align_buffer) plus the OoO-specific ones (rat_port, prf_read_port,
+// rs_tag_bus, cdb, rob_retire_port), so the whole power/CPA/TVLA stack
+// runs on OoO traces unchanged.
+//
+// Execution strategy (same trick as the in-order pipeline): instructions
+// execute *architecturally* at rename time, in program order, so values —
+// including memory and flags — are exact and retirement is bit-identical
+// to the functional executor by construction.  The scheduler then models
+// *when* those values move: wakeup, select, FU latencies, CDB
+// arbitration and in-order commit produce the OoO timing and the OoO
+// activity stream.  Predication is modelled as select µops (the old
+// destination is a real source and the destination/flag renames happen
+// whatever the condition's outcome), so the schedule — and with it the
+// marker-delimited acquisition window — never depends on data.  This
+// keeps the model fast enough for 100k-trace campaigns while making
+// "same ISA, different leakage" directly measurable.
+#ifndef USCA_SIM_OOO_OOO_CORE_H
+#define USCA_SIM_OOO_OOO_CORE_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "asmx/program.h"
+#include "mem/cache.h"
+#include "mem/memory.h"
+#include "sim/backend.h"
+#include "sim/cpu_state.h"
+#include "sim/micro_arch_config.h"
+#include "sim/program_image.h"
+#include "sim/uarch_activity.h"
+
+namespace usca::sim {
+
+class ooo_core final : public backend {
+public:
+  explicit ooo_core(asmx::program prog,
+                    micro_arch_config config = cortex_a7_ooo());
+
+  /// Shares an immutable program image instead of copying the program —
+  /// the constructor campaign workers use.  Throws util::simulation_error
+  /// when the ooo_config is structurally invalid (e.g. prf_size <= 16).
+  explicit ooo_core(program_image image,
+                    micro_arch_config config = cortex_a7_ooo());
+
+  backend_kind kind() const noexcept override { return backend_kind::ooo; }
+
+  void reset() override;
+  void rebind(program_image image) override;
+  void warm_caches() override;
+  void run(std::uint64_t max_cycles = 50'000'000) override;
+  bool step_cycle() override;
+
+  cpu_state& state() noexcept override { return state_; }
+  const cpu_state& state() const noexcept override { return state_; }
+  mem::memory& memory() noexcept override { return memory_; }
+  const mem::memory& memory() const noexcept override { return memory_; }
+  const asmx::program& program() const noexcept override { return *prog_; }
+  const micro_arch_config& config() const noexcept { return config_; }
+
+  std::uint64_t cycles() const noexcept override { return cycle_; }
+  /// Instructions renamed (accepted by the front end), nops and
+  /// condition-failed instructions included — the OoO analogue of the
+  /// pipeline's issued count.
+  std::uint64_t instructions_issued() const noexcept override {
+    return renamed_;
+  }
+  /// Instructions committed at the head of the ROB.
+  std::uint64_t instructions_retired() const noexcept { return retired_; }
+  /// Cycles in which the rename stage accepted more than one instruction
+  /// (the OoO analogue of dual-issue pairs).
+  std::uint64_t multi_rename_cycles() const noexcept {
+    return multi_rename_cycles_;
+  }
+
+  using mark_stamp = sim::mark_stamp;
+
+  const mem::cache& icache() const noexcept { return icache_; }
+  const mem::cache& dcache() const noexcept { return dcache_; }
+
+private:
+  static constexpr std::uint8_t no_reg = 0xff;
+  static constexpr std::uint32_t no_slot = 0xffffffffU;
+  static constexpr std::size_t max_sources = 4;
+
+  struct rob_entry {
+    std::uint32_t seq = 0;         ///< rename order (age)
+    std::uint8_t dest_arch = no_reg;
+    std::uint8_t dest_preg = no_reg;
+    std::uint8_t old_preg = no_reg; ///< freed when this entry retires
+    bool completed = false;
+    bool has_value = false; ///< drives a retire port when committing
+    bool is_store = false;
+    bool is_mark = false;
+    bool is_halt = false;
+    std::uint16_t mark_id = 0;
+    std::uint32_t value = 0;      ///< result / store data
+    std::uint32_t store_addr = 0; ///< drained through the store buffer
+  };
+
+  struct rs_entry {
+    bool busy = false;
+    std::uint32_t rob_slot = no_slot;
+    std::uint32_t seq = 0;
+    std::uint8_t n_src = 0;
+    std::array<std::uint8_t, max_sources> src_preg{};  ///< no_reg = ready
+    std::array<std::uint32_t, max_sources> src_value{};
+    std::uint32_t flags_wait_slot = no_slot; ///< ROB slot of flag producer
+    bool needs_alu0 = false;
+    bool is_mul = false;
+    bool uses_lsu = false; ///< competes for the LSU pipe (incl. squashed)
+    bool is_load = false;
+    bool is_store = false;
+    bool is_subword = false;
+    /// Condition-failed select µop: predication renames the destination
+    /// (re-committing the old value), takes the same unit/latency/CDB
+    /// trip as the executed variant, and emits no datapath events beyond
+    /// the PRF reads.  This is the OoO counterpart of the in-order
+    /// model's "semantically neutral, not security neutral" predication
+    /// behaviour, and what keeps the schedule (and thus the acquisition
+    /// window) independent of condition outcomes.
+    bool squashed = false;
+    bool used_shifter = false;
+    std::uint32_t address = 0;
+    std::uint32_t mem_word = 0;   ///< MDR value (word containing address)
+    std::uint32_t sub_value = 0;  ///< align-buffer value (sub-word ops)
+    std::uint32_t shift_value = 0;
+    std::uint32_t result = 0;
+  };
+
+  struct exec_entry {
+    std::uint64_t complete_at = 0;
+    std::uint32_t rob_slot = no_slot;
+    std::uint32_t seq = 0;
+    std::uint8_t dest_preg = no_reg;
+    bool broadcasts = false; ///< consumes a CDB lane (dest-writing ops)
+    std::uint32_t result = 0;
+  };
+
+  void validate_config() const;
+  void reset_structures();
+
+  // Pipeline stages (called youngest-last each cycle so that an
+  // instruction renamed in cycle c issues no earlier than c+1).
+  void retire_stage();
+  void drain_store_buffer();
+  void broadcast_stage();
+  void schedule_stage();
+  void rename_stage();
+
+  enum class rename_result : std::uint8_t {
+    stall,         ///< nothing accepted; the front end retries next cycle
+    accepted,      ///< renamed; the group may continue this cycle
+    accepted_stop, ///< renamed, but the group closes (serialize / redirect)
+  };
+
+  /// Architectural execution + rename bookkeeping of one instruction.
+  rename_result rename_one(int slot);
+
+  bool rs_ready(const rs_entry& rs) const noexcept;
+  /// `alu_index` is the ALU the select stage bound this op to (0 or 1;
+  /// meaningless for LSU-bound ops).
+  void issue_entry(rs_entry& rs, int alu_index);
+  void complete_rob(std::uint32_t slot);
+  std::uint8_t alloc_preg();
+
+  void drive_prf_port(std::uint32_t value);
+
+  program_image image_;
+  const asmx::program* prog_ = nullptr;
+  micro_arch_config config_;
+  mem::memory memory_;
+  mem::cache icache_;
+  mem::cache dcache_;
+  cpu_state state_;
+
+  // Rename state.
+  std::array<std::uint8_t, isa::num_registers> rat_{};
+  std::vector<std::uint8_t> free_pregs_; ///< stack of free physical regs
+  std::vector<std::uint8_t> preg_ready_; ///< value produced (timing only)
+  std::uint32_t next_seq_ = 0;
+  std::uint32_t flags_producer_slot_ = no_slot;
+  bool frontend_done_ = false;
+  std::uint64_t fetch_ready_ = 0;
+
+  // Reorder buffer (circular) + reservation stations + in-flight ops.
+  std::vector<rob_entry> rob_;
+  std::size_t rob_head_ = 0;
+  std::size_t rob_count_ = 0;
+  std::vector<rs_entry> rs_;
+  std::size_t rs_used_ = 0;
+  std::vector<exec_entry> exec_;
+
+  // Post-commit store buffer (addresses only; data already architectural).
+  std::vector<std::uint32_t> store_buffer_;
+
+  // Structural unit state.
+  std::uint64_t lsu_busy_until_ = 0;
+  std::uint64_t mul_busy_until_ = 0;
+  int prf_ports_used_this_cycle_ = 0;
+
+  // Micro-architectural bus/latch state (leakage sources).
+  std::array<std::uint32_t, 8> prf_port_state_{};
+  std::array<std::uint32_t, 4> alu_latch_state_{};
+  std::array<std::uint32_t, 4> rat_port_state_{};
+  std::array<std::uint32_t, 4> tag_bus_state_{};
+  std::array<std::uint32_t, 4> cdb_state_{};
+  std::array<std::uint32_t, 4> retire_port_state_{};
+  std::uint32_t mdr_state_ = 0;
+  std::uint32_t align_buffer_state_ = 0;
+
+  std::uint64_t cycle_ = 0;
+  std::uint64_t renamed_ = 0;
+  std::uint64_t retired_ = 0;
+  std::uint64_t multi_rename_cycles_ = 0;
+};
+
+} // namespace usca::sim
+
+#endif // USCA_SIM_OOO_OOO_CORE_H

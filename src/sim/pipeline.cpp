@@ -98,33 +98,6 @@ void pipeline::run(std::uint64_t max_cycles) {
 // Event plumbing
 // ---------------------------------------------------------------------------
 
-void pipeline::emit(component comp, std::uint8_t lane, std::uint32_t before,
-                    std::uint32_t after, std::uint64_t at_cycle) {
-  if (!record_activity_ || before == after) {
-    return;
-  }
-  activity_event ev;
-  ev.cycle = static_cast<std::uint32_t>(at_cycle);
-  ev.comp = comp;
-  ev.lane = lane;
-  ev.toggles =
-      static_cast<std::uint8_t>(util::hamming_distance(before, after));
-  activity_.push_back(ev);
-}
-
-void pipeline::emit_weight(component comp, std::uint8_t lane,
-                           std::uint32_t value, std::uint64_t at_cycle) {
-  if (!record_activity_ || value == 0) {
-    return;
-  }
-  activity_event ev;
-  ev.cycle = static_cast<std::uint32_t>(at_cycle);
-  ev.comp = comp;
-  ev.lane = lane;
-  ev.toggles = static_cast<std::uint8_t>(util::hamming_weight(value));
-  activity_.push_back(ev);
-}
-
 void pipeline::drive_rf_port(std::uint32_t value) {
   const int port = rf_ports_used_this_cycle_++;
   if (port >= static_cast<int>(rf_port_state_.size())) {
@@ -677,30 +650,6 @@ bool pipeline::step_cycle() {
   }
   ++cycle_;
   return !state_.halted;
-}
-
-std::string_view component_name(component c) noexcept {
-  switch (c) {
-  case component::rf_read_port:
-    return "RF read port";
-  case component::is_ex_bus:
-    return "IS/EX bus";
-  case component::alu_in_latch:
-    return "ALU input latch";
-  case component::alu_out:
-    return "ALU output";
-  case component::shift_buffer:
-    return "Shift buffer";
-  case component::ex_wb_latch:
-    return "EX/WB latch";
-  case component::wb_bus:
-    return "WB bus";
-  case component::mdr:
-    return "MDR";
-  case component::align_buffer:
-    return "Align buffer";
-  }
-  return "?";
 }
 
 } // namespace usca::sim

@@ -25,6 +25,7 @@
 #include "asmx/program.h"
 #include "mem/cache.h"
 #include "mem/memory.h"
+#include "sim/backend.h"
 #include "sim/cpu_state.h"
 #include "sim/micro_arch_config.h"
 #include "sim/program_image.h"
@@ -32,7 +33,7 @@
 
 namespace usca::sim {
 
-class pipeline {
+class pipeline final : public backend {
 public:
   explicit pipeline(asmx::program prog,
                     micro_arch_config config = cortex_a7());
@@ -42,69 +43,51 @@ public:
   explicit pipeline(program_image image,
                     micro_arch_config config = cortex_a7());
 
+  backend_kind kind() const noexcept override {
+    return backend_kind::inorder;
+  }
+
   /// Restores the freshly-constructed state — architectural registers,
   /// caches, scoreboard, leakage-relevant state registers, marks and the
   /// activity buffer — without reallocating or re-copying the program.
   /// The data image is re-installed from the shared program image.  A
   /// reset pipeline is bit-identical in behaviour to a newly constructed
   /// one (pinned by the reset-equivalence tests).
-  void reset();
+  void reset() override;
 
   /// Swaps in a different program (re-deriving the pairability cache) and
   /// resets.  Lets the CPI explorer reuse one pipeline across its dozens
   /// of micro-benchmarks.
-  void rebind(program_image image);
+  void rebind(program_image image) override;
 
   /// Touches every instruction line and the whole data image so that the
   /// measured region runs entirely from L1 — the paper's warm-up loops.
-  void warm_caches();
+  void warm_caches() override;
 
   /// Runs until halt (or the cycle budget is exhausted, which throws).
-  void run(std::uint64_t max_cycles = 50'000'000);
+  void run(std::uint64_t max_cycles = 50'000'000) override;
 
   /// Advances one cycle; returns false once halted.
-  bool step_cycle();
+  bool step_cycle() override;
 
-  cpu_state& state() noexcept { return state_; }
-  const cpu_state& state() const noexcept { return state_; }
+  cpu_state& state() noexcept override { return state_; }
+  const cpu_state& state() const noexcept override { return state_; }
   /// The simulated program (shared, immutable).
-  const asmx::program& program() const noexcept { return *prog_; }
-  mem::memory& memory() noexcept { return memory_; }
-  const mem::memory& memory() const noexcept { return memory_; }
+  const asmx::program& program() const noexcept override { return *prog_; }
+  mem::memory& memory() noexcept override { return memory_; }
+  const mem::memory& memory() const noexcept override { return memory_; }
   const micro_arch_config& config() const noexcept { return config_; }
 
-  std::uint64_t cycles() const noexcept { return cycle_; }
+  std::uint64_t cycles() const noexcept override { return cycle_; }
   /// Instructions issued, nops and condition-failed instructions included.
-  std::uint64_t instructions_issued() const noexcept { return issued_; }
+  std::uint64_t instructions_issued() const noexcept override {
+    return issued_;
+  }
   /// Number of cycles in which two instructions were issued together.
   std::uint64_t dual_issue_pairs() const noexcept { return dual_pairs_; }
 
-  struct mark_stamp {
-    std::uint16_t id = 0;
-    std::uint64_t cycle = 0;
-    std::uint64_t dual_pairs = 0; ///< dual-issue pairs retired so far
-  };
-  const std::vector<mark_stamp>& marks() const noexcept { return marks_; }
-
-  const activity_trace& activity() const noexcept { return activity_; }
-
-  /// Disables activity recording (pure timing runs are ~2x faster).
-  void set_record_activity(bool record) noexcept {
-    record_default_ = record;
-    record_activity_ = record;
-  }
-
-  /// Stops recording activity once the mark with this id issues (recording
-  /// resumes on reset()).  Every event whose cycle lies before the mark's
-  /// cycle is already recorded when the mark issues, so a synthesis window
-  /// ending at that mark sees a bit-identical trace — while the remainder
-  /// of the run (e.g. AES rounds 2..10 outside a round-1 window) records
-  /// nothing.  Marks themselves are always recorded.
-  void set_activity_cutoff_mark(std::uint16_t id) noexcept {
-    cutoff_mark_ = id;
-    has_cutoff_mark_ = true;
-  }
-  void clear_activity_cutoff_mark() noexcept { has_cutoff_mark_ = false; }
+  /// Backend-wide stamp type (kept as a nested alias for existing users).
+  using mark_stamp = sim::mark_stamp;
 
   const mem::cache& icache() const noexcept { return icache_; }
   const mem::cache& dcache() const noexcept { return dcache_; }
@@ -127,10 +110,6 @@ private:
   issue_outcome issue(const isa::instruction& ins, int slot);
   void derive_pairability();
 
-  void emit(component comp, std::uint8_t lane, std::uint32_t before,
-            std::uint32_t after, std::uint64_t at_cycle);
-  void emit_weight(component comp, std::uint8_t lane, std::uint32_t value,
-                   std::uint64_t at_cycle);
   void drive_rf_port(std::uint32_t value);
   void drive_is_ex_bus(std::uint8_t lane, std::uint32_t value);
   void write_back(int slot, std::uint32_t value, std::uint64_t at_cycle);
@@ -173,13 +152,6 @@ private:
   std::uint64_t issued_ = 0;
   std::uint64_t dual_pairs_ = 0;
   int rf_ports_used_this_cycle_ = 0;
-  bool record_activity_ = true;
-  bool record_default_ = true; ///< restored by reset()
-  std::uint16_t cutoff_mark_ = 0;
-  bool has_cutoff_mark_ = false;
-
-  std::vector<mark_stamp> marks_;
-  activity_trace activity_;
 };
 
 } // namespace usca::sim

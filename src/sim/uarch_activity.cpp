@@ -1,0 +1,58 @@
+#include "sim/uarch_activity.h"
+
+#include <algorithm>
+
+namespace usca::sim {
+
+std::string_view component_name(component c) noexcept {
+  switch (c) {
+  case component::rf_read_port:
+    return "RF read port";
+  case component::is_ex_bus:
+    return "IS/EX bus";
+  case component::alu_in_latch:
+    return "ALU input latch";
+  case component::alu_out:
+    return "ALU output";
+  case component::shift_buffer:
+    return "Shift buffer";
+  case component::ex_wb_latch:
+    return "EX/WB latch";
+  case component::wb_bus:
+    return "WB bus";
+  case component::mdr:
+    return "MDR";
+  case component::align_buffer:
+    return "Align buffer";
+  case component::rat_port:
+    return "RAT port";
+  case component::prf_read_port:
+    return "PRF read port";
+  case component::rs_tag_bus:
+    return "RS tag bus";
+  case component::cdb:
+    return "CDB";
+  case component::rob_retire_port:
+    return "ROB retire port";
+  }
+  return "?";
+}
+
+void activity_cycle_index::build(const activity_trace& events) {
+  sorted_.assign(events.begin(), events.end());
+  std::stable_sort(sorted_.begin(), sorted_.end(),
+                   [](const activity_event& a, const activity_event& b) {
+                     return a.cycle < b.cycle;
+                   });
+}
+
+const activity_event*
+activity_cycle_index::window_begin(std::uint32_t first) const noexcept {
+  return std::lower_bound(sorted_.data(), sorted_.data() + sorted_.size(),
+                          first,
+                          [](const activity_event& ev, std::uint32_t cycle) {
+                            return ev.cycle < cycle;
+                          });
+}
+
+} // namespace usca::sim

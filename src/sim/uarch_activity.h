@@ -6,7 +6,7 @@
 // events into synthetic traces by weighting the switching counts; the
 // leakage characterizer correlates hypothesis models against those traces.
 //
-// Components and their lanes:
+// Components and their lanes (in-order Cortex-A7-like pipeline):
 //   rf_read_port   lanes 0..2   values asserted on the RF read ports
 //   is_ex_bus      lanes 0..2   IS->EX operand buses: lane0 = slot-0 first
 //                               operand, lane1 = slot-0 second operand /
@@ -26,6 +26,20 @@
 //                               every access, sub-word included
 //   align_buffer   lane 0       LSU sub-word realignment buffer; updated
 //                               only by byte/halfword accesses
+//
+// Out-of-order issue backend structures (sim/ooo, after Ge et al. and the
+// retirement-channel literature):
+//   rat_port        lanes 0..w  register-alias-table write ports: physical
+//                               register tag swapped in at rename
+//   prf_read_port   lanes 0..2  physical-register-file read ports: operand
+//                               values read at issue (unlike the A7 RF,
+//                               these drive long wires and DO leak)
+//   rs_tag_bus      lanes 0..w  reservation-station wakeup tag broadcast
+//                               (destination tags — small, data-independent)
+//   cdb             lanes 0..w  common data bus: completed results
+//                               broadcast to the RS and the PRF
+//   rob_retire_port lanes 0..w  reorder-buffer retirement ports: values
+//                               committed in order at the head of the ROB
 #ifndef USCA_SIM_UARCH_ACTIVITY_H
 #define USCA_SIM_UARCH_ACTIVITY_H
 
@@ -45,9 +59,15 @@ enum class component : std::uint8_t {
   wb_bus,
   mdr,
   align_buffer,
+  // Out-of-order backend structures.
+  rat_port,
+  prf_read_port,
+  rs_tag_bus,
+  cdb,
+  rob_retire_port,
 };
 
-constexpr std::size_t component_count = 9;
+constexpr std::size_t component_count = 14;
 
 std::string_view component_name(component c) noexcept;
 
@@ -57,9 +77,58 @@ struct activity_event {
   component comp = component::is_ex_bus;
   std::uint8_t lane = 0;
   std::uint8_t toggles = 0;
+
+  friend bool operator==(const activity_event&,
+                         const activity_event&) = default;
 };
 
 using activity_trace = std::vector<activity_event>;
+
+/// Cycle-sorted view of an activity trace.
+///
+/// Simulators emit events in issue order with *future* cycle stamps
+/// (write-backs land cycles after issue), so the raw activity vector is
+/// not sorted by cycle and every window extraction scans all of it.  This
+/// index pays one O(events log events) stable sort and then serves any
+/// window [first, last) as a contiguous range found by binary search —
+/// the building block for multi-window analyses (per-phase synthesis,
+/// sub-window CPA sweeps) that would otherwise rescan the full trace per
+/// window.  Memory is O(events), independent of the cycle span (a sparse
+/// full-run trace over millions of cycles costs only its events); the
+/// sorted buffer is reused across build() calls.
+class activity_cycle_index {
+public:
+  activity_cycle_index() = default;
+  explicit activity_cycle_index(const activity_trace& events) {
+    build(events);
+  }
+
+  /// Rebuilds the index over `events`; the previously owned buffer is
+  /// reused.  Events keep their relative order within a cycle (the sort
+  /// is stable), so per-cycle power sums accumulate in the same
+  /// floating-point order as a linear scan.
+  void build(const activity_trace& events);
+
+  bool empty() const noexcept { return sorted_.empty(); }
+  std::size_t size() const noexcept { return sorted_.size(); }
+  /// Smallest / one-past-largest cycle stamp present (0/0 when empty).
+  std::uint32_t first_cycle() const noexcept {
+    return sorted_.empty() ? 0 : sorted_.front().cycle;
+  }
+  std::uint32_t last_cycle() const noexcept {
+    return sorted_.empty() ? 0 : sorted_.back().cycle + 1;
+  }
+
+  /// Contiguous range of events whose cycle lies in [first, last);
+  /// O(log events) per lookup.
+  const activity_event* window_begin(std::uint32_t first) const noexcept;
+  const activity_event* window_end(std::uint32_t last) const noexcept {
+    return window_begin(last);
+  }
+
+private:
+  std::vector<activity_event> sorted_;
+};
 
 } // namespace usca::sim
 

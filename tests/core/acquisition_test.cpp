@@ -25,7 +25,7 @@ sim::program_image marked_program() {
 }
 
 core::acquisition_campaign::setup_fn random_registers() {
-  return [](std::size_t, util::xoshiro256& rng, sim::pipeline& pipe,
+  return [](std::size_t, util::xoshiro256& rng, sim::backend& pipe,
             std::vector<double>& labels) {
     const std::uint32_t a = rng.next_u32();
     const std::uint32_t b = rng.next_u32();

@@ -1,0 +1,145 @@
+// Tests for the cycle-sorted activity index and the index-backed
+// synthesizer overloads: window extraction through the index must be
+// bit-identical to the linear scan (clean and noisy paths alike), for
+// random event streams and real backend traces.
+#include <gtest/gtest.h>
+
+#include "asmx/program.h"
+#include "power/synthesizer.h"
+#include "sim/ooo/ooo_core.h"
+#include "sim/pipeline.h"
+#include "sim/uarch_activity.h"
+#include "util/rng.h"
+
+namespace usca {
+namespace {
+
+sim::activity_trace random_activity(util::xoshiro256& rng, std::size_t events,
+                                    std::uint32_t max_cycle) {
+  sim::activity_trace trace;
+  trace.reserve(events);
+  for (std::size_t i = 0; i < events; ++i) {
+    sim::activity_event ev;
+    // Unsorted stamps, future-dated like real emission (issue + k).
+    ev.cycle = static_cast<std::uint32_t>(rng.bounded(max_cycle));
+    ev.comp = static_cast<sim::component>(rng.bounded(sim::component_count));
+    ev.lane = static_cast<std::uint8_t>(rng.bounded(4));
+    ev.toggles = static_cast<std::uint8_t>(1 + rng.bounded(32));
+    trace.push_back(ev);
+  }
+  return trace;
+}
+
+TEST(ActivityCycleIndex, SortsAndPreservesPerCycleOrder) {
+  util::xoshiro256 rng(42);
+  const sim::activity_trace trace = random_activity(rng, 500, 64);
+  sim::activity_cycle_index index(trace);
+
+  ASSERT_EQ(index.size(), trace.size());
+  // The index is sorted by cycle...
+  const sim::activity_event* begin = index.window_begin(0);
+  const sim::activity_event* end = index.window_end(1'000'000);
+  ASSERT_EQ(static_cast<std::size_t>(end - begin), trace.size());
+  for (const sim::activity_event* ev = begin + 1; ev != end; ++ev) {
+    EXPECT_GE(ev->cycle, (ev - 1)->cycle);
+  }
+  // ...and stable: events of one cycle appear in emission order.
+  for (std::uint32_t c = 0; c < 64; ++c) {
+    std::vector<sim::activity_event> linear;
+    for (const sim::activity_event& ev : trace) {
+      if (ev.cycle == c) {
+        linear.push_back(ev);
+      }
+    }
+    const sim::activity_event* lo = index.window_begin(c);
+    const sim::activity_event* hi = index.window_end(c + 1);
+    ASSERT_EQ(static_cast<std::size_t>(hi - lo), linear.size());
+    for (std::size_t i = 0; i < linear.size(); ++i) {
+      EXPECT_EQ(lo[i], linear[i]);
+    }
+  }
+}
+
+TEST(ActivityCycleIndex, EmptyTraceYieldsEmptyWindows) {
+  sim::activity_cycle_index index{sim::activity_trace{}};
+  EXPECT_TRUE(index.empty());
+  EXPECT_EQ(index.window_begin(0), index.window_end(100));
+}
+
+TEST(ActivityCycleIndex, RebuildReusesBuffersAndMatches) {
+  util::xoshiro256 rng(7);
+  sim::activity_cycle_index index;
+  for (int round = 0; round < 4; ++round) {
+    const sim::activity_trace trace =
+        random_activity(rng, 100 + 200 * static_cast<std::size_t>(round), 48);
+    index.build(trace);
+    ASSERT_EQ(index.size(), trace.size());
+    sim::activity_cycle_index fresh(trace);
+    EXPECT_EQ(index.window_end(1000) - index.window_begin(0),
+              fresh.window_end(1000) - fresh.window_begin(0));
+  }
+}
+
+TEST(SynthesizerIndexOverloads, CleanWindowsMatchLinearScan) {
+  util::xoshiro256 rng(11);
+  const sim::activity_trace trace = random_activity(rng, 800, 128);
+  const sim::activity_cycle_index index(trace);
+  power::trace_synthesizer synth(power::synthesis_config{}, 3);
+
+  // Multi-window sweep: every sub-window must match the linear scan
+  // bit-for-bit.
+  for (std::uint32_t begin = 0; begin < 120; begin += 13) {
+    const std::uint32_t end = begin + 17;
+    const power::trace linear = synth.synthesize_clean(trace, begin, end);
+    const power::trace indexed = synth.synthesize_clean(index, begin, end);
+    ASSERT_EQ(linear.size(), indexed.size());
+    for (std::size_t s = 0; s < linear.size(); ++s) {
+      EXPECT_EQ(linear[s], indexed[s]) << "window [" << begin << ", " << end
+                                       << ") sample " << s;
+    }
+  }
+}
+
+TEST(SynthesizerIndexOverloads, NoisyPathMatchesWithEqualSeeds) {
+  util::xoshiro256 rng(13);
+  const sim::activity_trace trace = random_activity(rng, 400, 96);
+  const sim::activity_cycle_index index(trace);
+
+  power::trace_synthesizer a(power::synthesis_config{}, 99);
+  power::trace_synthesizer b(power::synthesis_config{}, 99);
+  const power::trace linear = a.synthesize(trace, 10, 60);
+  const power::trace indexed = b.synthesize(index, 10, 60);
+  EXPECT_EQ(linear, indexed);
+}
+
+TEST(SynthesizerIndexOverloads, WorksOnRealBackendTraces) {
+  asmx::program_builder builder;
+  builder.emit(isa::ins::mark(1));
+  builder.emit(isa::ins::eor(isa::reg::r1, isa::reg::r2, isa::reg::r3));
+  builder.emit(isa::ins::add(isa::reg::r4, isa::reg::r1, isa::reg::r2));
+  builder.emit(isa::ins::mark(2));
+  builder.emit(isa::ins::halt());
+  const asmx::program prog = builder.build();
+
+  power::trace_synthesizer synth(power::synthesis_config{}, 17);
+  for (const bool use_ooo : {false, true}) {
+    std::unique_ptr<sim::backend> core = sim::make_backend(
+        use_ooo ? sim::backend_kind::ooo : sim::backend_kind::inorder,
+        sim::program_image(prog),
+        use_ooo ? sim::cortex_a7_ooo() : sim::cortex_a7());
+    core->state().set_reg(isa::reg::r2, 0xdead);
+    core->state().set_reg(isa::reg::r3, 0xbeef);
+    core->warm_caches();
+    core->run();
+
+    const sim::activity_cycle_index index(core->activity());
+    const auto end = static_cast<std::uint32_t>(core->cycles() + 4);
+    const power::trace linear =
+        synth.synthesize_clean(core->activity(), 0, end);
+    const power::trace indexed = synth.synthesize_clean(index, 0, end);
+    EXPECT_EQ(linear, indexed);
+  }
+}
+
+} // namespace
+} // namespace usca

@@ -3,130 +3,22 @@
 // generated programs (same final registers, flags and memory), for every
 // micro-architecture configuration.  This pins the separation of concerns
 // the whole library rests on: micro-architecture changes timing and
-// leakage, never semantics.
+// leakage, never semantics.  (The OoO backend has its own differential
+// suite in ooo_differential_test.cpp, sharing the program generator.)
 #include <gtest/gtest.h>
 
 #include "asmx/program.h"
 #include "sim/functional_executor.h"
 #include "sim/pipeline.h"
+#include "random_program.h"
 #include "util/rng.h"
 
 namespace usca::sim {
 namespace {
 
-using isa::condition;
-using isa::instruction;
-using isa::opcode;
 using isa::reg;
-namespace mk = isa::ins;
-
-constexpr std::uint32_t buffer_words = 16;
-
-reg random_reg(util::xoshiro256& rng) {
-  // r0..r7: general scratch (r10 is reserved as the memory base).
-  return isa::reg_from_index(static_cast<std::uint8_t>(rng.bounded(8)));
-}
-
-instruction random_instruction(util::xoshiro256& rng) {
-  switch (rng.bounded(12)) {
-  case 0: { // dp reg
-    static constexpr opcode ops[] = {opcode::mov, opcode::mvn, opcode::add,
-                                     opcode::adc, opcode::sub, opcode::sbc,
-                                     opcode::rsb, opcode::and_, opcode::orr,
-                                     opcode::eor, opcode::bic};
-    const opcode op = ops[rng.bounded(std::size(ops))];
-    if (op == opcode::mov || op == opcode::mvn) {
-      return mk::mov(random_reg(rng), random_reg(rng));
-    }
-    instruction i = mk::dp(op, random_reg(rng), random_reg(rng),
-                           random_reg(rng));
-    i.set_flags = rng.bounded(4) == 0;
-    return i;
-  }
-  case 1: { // dp imm
-    instruction i = mk::dp_imm(rng.bounded(2) ? opcode::add : opcode::eor,
-                               random_reg(rng), random_reg(rng),
-                               static_cast<std::uint32_t>(rng.bounded(256)));
-    i.set_flags = rng.bounded(4) == 0;
-    return i;
-  }
-  case 2: { // shifted operand
-    return mk::dp_shift(rng.bounded(2) ? opcode::add : opcode::orr,
-                        random_reg(rng), random_reg(rng), random_reg(rng),
-                        static_cast<isa::shift_kind>(rng.bounded(4)),
-                        static_cast<std::uint8_t>(rng.bounded(32)));
-  }
-  case 3: { // shift by register
-    instruction i = mk::dp(opcode::add, random_reg(rng), random_reg(rng),
-                           random_reg(rng));
-    i.op2.shift.by_register = true;
-    i.op2.shift.kind = static_cast<isa::shift_kind>(rng.bounded(4));
-    i.op2.shift.amount_reg = random_reg(rng);
-    return i;
-  }
-  case 4: // compare
-    return rng.bounded(2) ? mk::cmp(random_reg(rng), random_reg(rng))
-                          : mk::cmp_imm(random_reg(rng),
-                                        static_cast<std::uint32_t>(
-                                            rng.bounded(256)));
-  case 5: { // conditional mov (consumes flags)
-    static constexpr condition conds[] = {condition::eq, condition::ne,
-                                          condition::cs, condition::cc,
-                                          condition::ge, condition::lt};
-    return mk::mov(random_reg(rng), random_reg(rng),
-                   conds[rng.bounded(std::size(conds))]);
-  }
-  case 6: // multiply
-    return rng.bounded(2)
-               ? mk::mul(random_reg(rng), random_reg(rng), random_reg(rng))
-               : mk::mla(random_reg(rng), random_reg(rng), random_reg(rng),
-                         random_reg(rng));
-  case 7: { // word load/store
-    const auto offset =
-        static_cast<std::uint32_t>(4 * rng.bounded(buffer_words));
-    return rng.bounded(2) ? mk::ldr(random_reg(rng), reg::r10, offset)
-                          : mk::str(random_reg(rng), reg::r10, offset);
-  }
-  case 8: { // byte load/store
-    const auto offset =
-        static_cast<std::uint32_t>(rng.bounded(4 * buffer_words));
-    return rng.bounded(2) ? mk::ldrb(random_reg(rng), reg::r10, offset)
-                          : mk::strb(random_reg(rng), reg::r10, offset);
-  }
-  case 9: { // halfword load/store
-    const auto offset =
-        static_cast<std::uint32_t>(2 * rng.bounded(2 * buffer_words));
-    return rng.bounded(2) ? mk::ldrh(random_reg(rng), reg::r10, offset)
-                          : mk::strh(random_reg(rng), reg::r10, offset);
-  }
-  case 10: // wide moves
-    return rng.bounded(2)
-               ? mk::movw(random_reg(rng),
-                          static_cast<std::uint16_t>(rng.bounded(65536)))
-               : mk::movt(random_reg(rng),
-                          static_cast<std::uint16_t>(rng.bounded(65536)));
-  default:
-    return mk::nop();
-  }
-}
-
-asmx::program random_program(util::xoshiro256& rng, int length) {
-  asmx::program_builder b;
-  const std::uint32_t buffer = b.data_block(4 * buffer_words, 4);
-  b.load_constant(reg::r10, buffer);
-  for (int i = 0; i < length; ++i) {
-    // Occasionally insert a short forward conditional branch.
-    if (rng.bounded(12) == 0 && length - i > 4) {
-      const auto skip = static_cast<std::int32_t>(rng.bounded(3));
-      static constexpr condition conds[] = {condition::eq, condition::ne,
-                                            condition::al, condition::cs};
-      b.emit(mk::b(skip, conds[rng.bounded(std::size(conds))]));
-    }
-    b.emit(random_instruction(rng));
-  }
-  b.define_symbol("buffer", buffer);
-  return b.build();
-}
+using testing::random_program;
+using testing::random_program_buffer_words;
 
 struct differential_case {
   std::uint64_t seed;
@@ -165,7 +57,7 @@ TEST_P(DifferentialTest, PipelineMatchesReferenceExecutor) {
     ASSERT_EQ(iss.state().f, pipe.state().f)
         << "seed=" << param.seed << " round=" << round;
     const std::uint32_t buffer = *prog.symbol("buffer");
-    for (std::uint32_t w = 0; w < buffer_words; ++w) {
+    for (std::uint32_t w = 0; w < random_program_buffer_words; ++w) {
       ASSERT_EQ(iss.memory().read32(buffer + 4 * w),
                 pipe.memory().read32(buffer + 4 * w))
           << "seed=" << param.seed << " round=" << round << " word=" << w;

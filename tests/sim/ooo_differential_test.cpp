@@ -1,0 +1,110 @@
+// Differential testing of the out-of-order backend: on random programs,
+// the OoO core must retire bit-identical architectural state (registers,
+// flags, memory) to BOTH the functional reference executor and the
+// in-order pipeline — while its activity stream must differ from the
+// in-order pipeline's.  Same ISA, same semantics, different
+// micro-architecture, different leakage: the paper's thesis as a test.
+#include <gtest/gtest.h>
+
+#include "asmx/program.h"
+#include "random_program.h"
+#include "sim/functional_executor.h"
+#include "sim/ooo/ooo_core.h"
+#include "sim/pipeline.h"
+#include "util/rng.h"
+
+namespace usca::sim {
+namespace {
+
+using isa::reg;
+using testing::random_program;
+using testing::random_program_buffer_words;
+
+struct ooo_differential_case {
+  std::uint64_t seed;
+  ooo_config ooo; ///< sizing of the OoO engine under test
+};
+
+class OooDifferentialTest
+    : public ::testing::TestWithParam<ooo_differential_case> {};
+
+TEST_P(OooDifferentialTest, RetiresIdenticallyWhileLeakingDifferently) {
+  const ooo_differential_case param = GetParam();
+  util::xoshiro256 rng(param.seed);
+
+  const micro_arch_config ooo_arch = cortex_a7_ooo(param.ooo);
+
+  std::size_t rounds_with_activity_diff = 0;
+  constexpr int rounds = 20;
+  for (int round = 0; round < rounds; ++round) {
+    const asmx::program prog = random_program(rng, 60);
+
+    functional_executor iss(prog);
+    pipeline pipe(prog, cortex_a7());
+    ooo_core ooo(prog, ooo_arch);
+    for (int r = 0; r < 8; ++r) {
+      const std::uint32_t v = rng.next_u32();
+      iss.state().regs[static_cast<std::size_t>(r)] = v;
+      pipe.state().regs[static_cast<std::size_t>(r)] = v;
+      ooo.state().regs[static_cast<std::size_t>(r)] = v;
+    }
+    const std::uint32_t buffer = *prog.symbol("buffer");
+    iss.state().set_reg(reg::r10, buffer);
+    pipe.state().set_reg(reg::r10, buffer);
+    ooo.state().set_reg(reg::r10, buffer);
+    pipe.warm_caches();
+    ooo.warm_caches();
+
+    iss.run();
+    pipe.run();
+    ooo.run();
+
+    // Architectural state: all three agree bit-for-bit.
+    for (int r = 0; r < 13; ++r) {
+      ASSERT_EQ(iss.state().regs[static_cast<std::size_t>(r)],
+                ooo.state().regs[static_cast<std::size_t>(r)])
+          << "seed=" << param.seed << " round=" << round << " reg=r" << r;
+      ASSERT_EQ(pipe.state().regs[static_cast<std::size_t>(r)],
+                ooo.state().regs[static_cast<std::size_t>(r)])
+          << "seed=" << param.seed << " round=" << round << " reg=r" << r;
+    }
+    ASSERT_EQ(iss.state().f, ooo.state().f)
+        << "seed=" << param.seed << " round=" << round;
+    for (std::uint32_t w = 0; w < random_program_buffer_words; ++w) {
+      ASSERT_EQ(iss.memory().read32(buffer + 4 * w),
+                ooo.memory().read32(buffer + 4 * w))
+          << "seed=" << param.seed << " round=" << round << " word=" << w;
+    }
+
+    // Every instruction the front end accepted must have committed.
+    EXPECT_EQ(ooo.instructions_issued(), ooo.instructions_retired())
+        << "seed=" << param.seed << " round=" << round;
+
+    // Micro-architectural divergence: the two cycle-level backends must
+    // not produce the same switching-event stream.
+    if (ooo.activity() != pipe.activity()) {
+      ++rounds_with_activity_diff;
+    }
+  }
+  // Random 60-instruction programs always exercise real datapath
+  // activity; demanding divergence in every round pins that the OoO
+  // stream is not accidentally the in-order stream relabelled.
+  EXPECT_EQ(rounds_with_activity_diff, static_cast<std::size_t>(rounds));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, OooDifferentialTest,
+    ::testing::Values(
+        // Default 2-wide engine.
+        ooo_differential_case{1101, ooo_config{}},
+        ooo_differential_case{2202, ooo_config{}},
+        // Tiny machine: 4-entry ROB, scalar rename/retire, 2 RS entries —
+        // stresses every structural stall path.
+        ooo_differential_case{3303, ooo_config{4, 1, 1, 2, 24, 1, 1}},
+        // Wide machine: deep ROB/RS, 4-wide rename/retire/CDB.
+        ooo_differential_case{4404, ooo_config{64, 4, 4, 32, 128, 4, 8}},
+        // Minimal PRF headroom: rename constantly stalls on the free list.
+        ooo_differential_case{5505, ooo_config{16, 2, 2, 8, 19, 2, 2}}));
+
+} // namespace
+} // namespace usca::sim

@@ -1,0 +1,168 @@
+// Random AL32 program generation shared by the differential test suites.
+//
+// Programs draw from the full data-processing/memory/branch/multiply
+// repertoire — including register-offset, shifted-offset and
+// subtract-addressed memory operands — keep r10 reserved as the memory
+// base of a small aligned buffer (r11 = a bounded word index, r12 = one
+// past the buffer end), and occasionally insert short forward
+// conditional branches: enough surface to shake out semantic divergence
+// between the functional executor and the cycle-level backends without
+// ever leaving the buffer.
+#ifndef USCA_TESTS_SIM_RANDOM_PROGRAM_H
+#define USCA_TESTS_SIM_RANDOM_PROGRAM_H
+
+#include "asmx/program.h"
+#include "util/rng.h"
+
+namespace usca::sim::testing {
+
+constexpr std::uint32_t random_program_buffer_words = 16;
+
+inline isa::reg random_reg(util::xoshiro256& rng) {
+  // r0..r7: general scratch (r10 is reserved as the memory base).
+  return isa::reg_from_index(static_cast<std::uint8_t>(rng.bounded(8)));
+}
+
+inline isa::instruction random_instruction(util::xoshiro256& rng) {
+  using isa::condition;
+  using isa::instruction;
+  using isa::opcode;
+  using isa::reg;
+  namespace mk = isa::ins;
+  constexpr std::uint32_t buffer_words = random_program_buffer_words;
+
+  switch (rng.bounded(15)) {
+  case 0: { // dp reg
+    static constexpr opcode ops[] = {opcode::mov, opcode::mvn, opcode::add,
+                                     opcode::adc, opcode::sub, opcode::sbc,
+                                     opcode::rsb, opcode::and_, opcode::orr,
+                                     opcode::eor, opcode::bic};
+    const opcode op = ops[rng.bounded(std::size(ops))];
+    if (op == opcode::mov || op == opcode::mvn) {
+      return mk::mov(random_reg(rng), random_reg(rng));
+    }
+    instruction i = mk::dp(op, random_reg(rng), random_reg(rng),
+                           random_reg(rng));
+    i.set_flags = rng.bounded(4) == 0;
+    return i;
+  }
+  case 1: { // dp imm
+    instruction i = mk::dp_imm(rng.bounded(2) ? opcode::add : opcode::eor,
+                               random_reg(rng), random_reg(rng),
+                               static_cast<std::uint32_t>(rng.bounded(256)));
+    i.set_flags = rng.bounded(4) == 0;
+    return i;
+  }
+  case 2: { // shifted operand
+    return mk::dp_shift(rng.bounded(2) ? opcode::add : opcode::orr,
+                        random_reg(rng), random_reg(rng), random_reg(rng),
+                        static_cast<isa::shift_kind>(rng.bounded(4)),
+                        static_cast<std::uint8_t>(rng.bounded(32)));
+  }
+  case 3: { // shift by register
+    instruction i = mk::dp(opcode::add, random_reg(rng), random_reg(rng),
+                           random_reg(rng));
+    i.op2.shift.by_register = true;
+    i.op2.shift.kind = static_cast<isa::shift_kind>(rng.bounded(4));
+    i.op2.shift.amount_reg = random_reg(rng);
+    return i;
+  }
+  case 4: // compare
+    return rng.bounded(2) ? mk::cmp(random_reg(rng), random_reg(rng))
+                          : mk::cmp_imm(random_reg(rng),
+                                        static_cast<std::uint32_t>(
+                                            rng.bounded(256)));
+  case 5: { // conditional mov (consumes flags)
+    static constexpr condition conds[] = {condition::eq, condition::ne,
+                                          condition::cs, condition::cc,
+                                          condition::ge, condition::lt};
+    return mk::mov(random_reg(rng), random_reg(rng),
+                   conds[rng.bounded(std::size(conds))]);
+  }
+  case 6: // multiply
+    return rng.bounded(2)
+               ? mk::mul(random_reg(rng), random_reg(rng), random_reg(rng))
+               : mk::mla(random_reg(rng), random_reg(rng), random_reg(rng),
+                         random_reg(rng));
+  case 7: { // word load/store
+    const auto offset =
+        static_cast<std::uint32_t>(4 * rng.bounded(buffer_words));
+    return rng.bounded(2) ? mk::ldr(random_reg(rng), reg::r10, offset)
+                          : mk::str(random_reg(rng), reg::r10, offset);
+  }
+  case 8: { // byte load/store
+    const auto offset =
+        static_cast<std::uint32_t>(rng.bounded(4 * buffer_words));
+    return rng.bounded(2) ? mk::ldrb(random_reg(rng), reg::r10, offset)
+                          : mk::strb(random_reg(rng), reg::r10, offset);
+  }
+  case 9: { // halfword load/store
+    const auto offset =
+        static_cast<std::uint32_t>(2 * rng.bounded(2 * buffer_words));
+    return rng.bounded(2) ? mk::ldrh(random_reg(rng), reg::r10, offset)
+                          : mk::strh(random_reg(rng), reg::r10, offset);
+  }
+  case 10: // wide moves
+    return rng.bounded(2)
+               ? mk::movw(random_reg(rng),
+                          static_cast<std::uint16_t>(rng.bounded(65536)))
+               : mk::movt(random_reg(rng),
+                          static_cast<std::uint16_t>(rng.bounded(65536)));
+  case 11: // register-offset word access: [r10, r11, lsl #2]
+    return rng.bounded(2) ? mk::ldr_reg(random_reg(rng), reg::r10,
+                                        reg::r11, 2)
+                          : mk::str_reg(random_reg(rng), reg::r10,
+                                        reg::r11, 2);
+  case 12: // register-offset byte access: [r10, r11]
+    return rng.bounded(2) ? mk::ldrb_reg(random_reg(rng), reg::r10,
+                                         reg::r11)
+                          : mk::strb_reg(random_reg(rng), reg::r10,
+                                         reg::r11);
+  case 13: { // subtract-addressed word access: [r12, #-imm]
+    const auto offset =
+        static_cast<std::uint32_t>(4 * (1 + rng.bounded(buffer_words)));
+    instruction i = rng.bounded(2)
+                        ? mk::ldr(random_reg(rng), reg::r12, offset)
+                        : mk::str(random_reg(rng), reg::r12, offset);
+    i.mem.subtract = true;
+    return i;
+  }
+  default:
+    return mk::nop();
+  }
+}
+
+/// A random straight-line-ish program: a data buffer bound to r10, the
+/// buffer symbol exported as "buffer", occasional short forward
+/// conditional branches.
+inline asmx::program random_program(util::xoshiro256& rng, int length) {
+  using isa::condition;
+  namespace mk = isa::ins;
+  asmx::program_builder b;
+  const std::uint32_t buffer =
+      b.data_block(4 * random_program_buffer_words, 4);
+  b.load_constant(isa::reg::r10, buffer);
+  // r11: bounded word index for register-offset addressing; r12: one past
+  // the buffer end for subtract addressing.  Both stay within the buffer
+  // because random_reg never yields them as destinations.
+  b.load_constant(isa::reg::r11, static_cast<std::uint32_t>(
+                                     rng.bounded(random_program_buffer_words)));
+  b.load_constant(isa::reg::r12,
+                  buffer + 4 * random_program_buffer_words);
+  for (int i = 0; i < length; ++i) {
+    // Occasionally insert a short forward conditional branch.
+    if (rng.bounded(12) == 0 && length - i > 4) {
+      const auto skip = static_cast<std::int32_t>(rng.bounded(3));
+      static constexpr condition conds[] = {condition::eq, condition::ne,
+                                            condition::al, condition::cs};
+      b.emit(mk::b(skip, conds[rng.bounded(std::size(conds))]));
+    }
+    b.emit(random_instruction(rng));
+  }
+  b.define_symbol("buffer", buffer);
+  return b.build();
+}
+
+} // namespace usca::sim::testing
+
+#endif // USCA_TESTS_SIM_RANDOM_PROGRAM_H
