@@ -9,10 +9,13 @@
 //    hot path measured end to end — the acquisition loop every 100k-trace
 //    experiment of the paper runs on — reported as machine-readable JSON
 //    (traces/sec and simulated cycles/sec for BOTH backends — in-order and
-//    OoO — plus accumulator ns/sample) so speedups can be pinned in-repo
-//    (BENCH_hotpath.json) and tracked by CI.
+//    OoO — plus accumulator ns/sample and trace-store write/replay MB/s)
+//    so speedups can be pinned in-repo (BENCH_hotpath.json) and tracked
+//    by CI.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <array>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -23,6 +26,8 @@
 #include "core/campaign.h"
 #include "crypto/aes_codegen.h"
 #include "power/synthesizer.h"
+#include "power/trace_io.h"
+#include "power/trace_store_reader.h"
 #include "sim/functional_executor.h"
 #include "sim/pipeline.h"
 #include "stats/cpa.h"
@@ -179,6 +184,11 @@ struct hot_path_report {
   double ooo_sim_cycles_per_sec = 0.0;
   double cpa_accumulate_ns_per_sample = 0.0;
   double tvla_accumulate_ns_per_sample = 0.0;
+  // Trace-store throughput (pure I/O, no simulation in the loop).
+  double store_write_mb_per_sec = 0.0;
+  double store_replay_mb_per_sec = 0.0;
+  double store_replay_traces_per_sec = 0.0;
+  double store_bytes_per_trace = 0.0;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -224,11 +234,29 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
   // Warm-up outside the timed region (page faults, code paths, caches).
   (void)campaign.produce(0);
 
+  // A bounded prefix of the in-order campaign's records doubles as the
+  // workload for the trace-store throughput measurement below (bounded
+  // so a 100k-trace hot-path run stays constant-memory).
+  const std::size_t store_bench_traces =
+      std::min<std::size_t>(report.traces, 2'000);
+  std::vector<power::trace> archived_samples;
+  std::vector<std::array<double, 16>> archived_labels;
+  archived_samples.reserve(store_bench_traces);
+  archived_labels.reserve(store_bench_traces);
+
   std::uint64_t simulated_cycles = 0;
   const auto start = std::chrono::steady_clock::now();
   campaign.run([&](core::trace_record&& rec) {
     report.samples_per_trace = rec.samples.size();
     simulated_cycles += rec.cycles;
+    if (archived_samples.size() < store_bench_traces) {
+      std::array<double, 16> labels;
+      for (std::size_t b = 0; b < labels.size(); ++b) {
+        labels[b] = static_cast<double>(rec.plaintext[b]);
+      }
+      archived_labels.push_back(labels);
+      archived_samples.push_back(std::move(rec.samples));
+    }
   });
   report.seconds = seconds_since(start);
   report.traces_per_sec =
@@ -271,6 +299,51 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
           tvla.add_random(t);
         }
       });
+
+  // Trace-store throughput on the campaign's own records: chunked+CRC'd
+  // write of the collected traces, then a full mmap replay — pure I/O,
+  // no simulation in either loop.
+  const std::string store_path = "/tmp/usca_bench_hotpath.trc";
+  power::trace_store_descriptor desc;
+  desc.seed = config.seed;
+  desc.labels = 16;
+  {
+    const auto write_start = std::chrono::steady_clock::now();
+    auto writer = power::trace_store_writer::create(store_path, desc);
+    for (std::size_t i = 0; i < archived_samples.size(); ++i) {
+      writer.append(archived_labels[i], archived_samples[i]);
+    }
+    writer.close();
+    const double write_seconds = seconds_since(write_start);
+    const double payload_mib =
+        static_cast<double>(writer.descriptor().record_bytes() *
+                            archived_samples.size()) /
+        (1024.0 * 1024.0);
+    report.store_write_mb_per_sec = payload_mib / write_seconds;
+    report.store_bytes_per_trace =
+        static_cast<double>(writer.descriptor().record_bytes());
+  }
+  {
+    const auto replay_start = std::chrono::steady_clock::now();
+    const power::trace_store_reader reader(store_path);
+    std::size_t replayed = 0;
+    double checksum = 0.0;
+    reader.stream([&](std::size_t, std::span<const double>,
+                      std::span<const double> samples_row) {
+      checksum += samples_row[0];
+      ++replayed;
+    });
+    const double replay_seconds = seconds_since(replay_start);
+    report.store_replay_mb_per_sec =
+        static_cast<double>(reader.payload_bytes()) / (1024.0 * 1024.0) /
+        replay_seconds;
+    report.store_replay_traces_per_sec =
+        static_cast<double>(replayed) / replay_seconds;
+    if (checksum == 0.0) {
+      std::fprintf(stderr, "(degenerate replay checksum)\n");
+    }
+  }
+  std::remove(store_path.c_str());
   return report;
 }
 
@@ -290,14 +363,22 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                "  \"ooo_traces_per_sec\": %.1f,\n"
                "  \"ooo_sim_cycles_per_sec\": %.0f,\n"
                "  \"cpa_accumulate_ns_per_sample\": %.3f,\n"
-               "  \"tvla_accumulate_ns_per_sample\": %.3f\n"
+               "  \"tvla_accumulate_ns_per_sample\": %.3f,\n"
+               "  \"store_write_mb_per_sec\": %.1f,\n"
+               "  \"store_replay_mb_per_sec\": %.1f,\n"
+               "  \"store_replay_traces_per_sec\": %.0f,\n"
+               "  \"store_bytes_per_trace\": %.0f\n"
                "}\n",
                r.traces, r.averaging, r.threads, r.samples_per_trace,
                r.seconds, r.traces_per_sec, r.sim_cycles_per_sec,
                r.ooo_samples_per_trace, r.ooo_seconds, r.ooo_traces_per_sec,
                r.ooo_sim_cycles_per_sec,
                r.cpa_accumulate_ns_per_sample,
-               r.tvla_accumulate_ns_per_sample);
+               r.tvla_accumulate_ns_per_sample,
+               r.store_write_mb_per_sec,
+               r.store_replay_mb_per_sec,
+               r.store_replay_traces_per_sec,
+               r.store_bytes_per_trace);
 }
 
 int run_json_mode(const std::string& json_arg, int argc, char** argv) {

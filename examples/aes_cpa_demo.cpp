@@ -1,30 +1,86 @@
 // End-to-end CPA attack demo against the generated AES-128 (a compact
-// version of the paper's Section 5), runnable on either core model:
+// version of the paper's Section 5), runnable on either core model and
+// on archived traces:
 //
 //   ./build/example_aes_cpa_demo [--backend=inorder|ooo] [--traces=N]
+//                                [--dump-traces=PATH] [--replay=PATH]
 //
 // Recovers key byte 0 from synthesized power traces with the coarse
 // Hamming-weight-of-SubBytes-output model and prints the top candidates.
 // Acquisition runs through the generic core::acquisition_campaign — the
 // same parallel, per-index-seeded hot path the full-size experiments use
-// — with the backend selected by flag, so the demo doubles as the
-// smallest possible in-order-vs-OoO leakage comparison.
+// — streamed through the trace source/sink architecture, so the same
+// CPA sink consumes either a live simulation (optionally archived on the
+// side with --dump-traces) or an mmap replay of a previous archive
+// (--replay, no simulation at all).  The two paths produce bit-identical
+// correlations; the demo doubles as the smallest possible
+// simulate-once/analyse-many walkthrough.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <vector>
 
-#include "core/acquisition.h"
+#include "core/analysis_sinks.h"
+#include "core/trace_archive.h"
 #include "crypto/aes_codegen.h"
+#include "power/trace_store_reader.h"
 #include "stats/cpa.h"
 #include "util/bitops.h"
+#include "util/error.h"
 
 using namespace usca;
+
+namespace {
+
+const crypto::aes_key demo_key = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23,
+                                  0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+                                  0x10, 0x32, 0x54, 0x76};
+
+/// Narrates acquisition progress alongside the analysis sinks.
+class progress_sink final : public core::trace_sink {
+public:
+  void consume(const core::trace_view& view) override {
+    if ((view.index + 1) % 250 == 0) {
+      std::printf("  collected %zu traces...\n", view.index + 1);
+    }
+  }
+};
+
+int report_and_check(const stats::cpa_result& result) {
+  std::vector<std::size_t> order(256);
+  for (std::size_t g = 0; g < 256; ++g) {
+    order[g] = g;
+  }
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::fabs(result.peak_of(a).corr) >
+           std::fabs(result.peak_of(b).corr);
+  });
+
+  std::printf("\ntop-5 key guesses:\n");
+  for (int i = 0; i < 5; ++i) {
+    const auto peak = result.peak_of(order[static_cast<std::size_t>(i)]);
+    std::printf("  %d. guess 0x%02zx  |corr| %.4f at cycle %zu%s\n", i + 1,
+                peak.guess, std::fabs(peak.corr), peak.sample,
+                peak.guess == demo_key[0] ? "   <== true key byte" : "");
+  }
+  std::printf("\ndistinguishing z-score of the true key: %.2f "
+              "(>2.33 = 99%% confidence)\n",
+              result.distinguishing_z(demo_key[0]));
+  return result.best().guess == demo_key[0] ? 0 : 1;
+}
+
+} // namespace
 
 int main(int argc, char** argv) {
   sim::backend_kind backend = sim::backend_kind::inorder;
   std::size_t traces = 1'000;
+  std::string dump_path;
+  std::string replay_path;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.rfind("--backend=", 0) == 0) {
@@ -44,24 +100,65 @@ int main(int argc, char** argv) {
         return 2;
       }
       traces = static_cast<std::size_t>(value);
+    } else if (arg.rfind("--dump-traces=", 0) == 0) {
+      dump_path = arg.substr(14);
+    } else if (arg.rfind("--replay=", 0) == 0) {
+      replay_path = arg.substr(9);
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--backend=inorder|ooo] [--traces=N]\n",
+                   "usage: %s [--backend=inorder|ooo] [--traces=N] "
+                   "[--dump-traces=PATH] [--replay=PATH]\n",
                    argv[0]);
       return 2;
     }
   }
+  if (!replay_path.empty() && !dump_path.empty()) {
+    std::fprintf(stderr, "--replay and --dump-traces are exclusive\n");
+    return 2;
+  }
 
+  const auto model = [](std::size_t guess, std::size_t pt_byte) {
+    return static_cast<double>(util::hamming_weight(
+        crypto::subbytes_hypothesis(static_cast<std::uint8_t>(pt_byte),
+                                    static_cast<std::uint8_t>(guess))));
+  };
+
+  if (!replay_path.empty()) {
+    // ---- replay path: CPA over the archive, no simulation -------------
+    std::optional<power::trace_store_reader> opened;
+    try {
+      opened.emplace(replay_path);
+    } catch (const util::usca_error& e) {
+      std::fprintf(stderr, "cannot replay: %s\n", e.what());
+      return 2;
+    }
+    const power::trace_store_reader& reader = *opened;
+    std::printf("== CPA attack replayed from '%s' ==\n\n",
+                replay_path.c_str());
+    std::printf("  archive: %zu traces x %zu samples, indices [%zu, %zu), "
+                "%zu chunk(s), %.1f MiB payload\n",
+                reader.traces(), reader.samples(), reader.first_index(),
+                reader.next_index(), reader.chunk_count(),
+                static_cast<double>(reader.payload_bytes()) /
+                    (1024.0 * 1024.0));
+    if (reader.traces() == 0) {
+      std::fprintf(stderr, "archive holds no traces\n");
+      return 2;
+    }
+    core::archive_source source(reader);
+    core::cpa_sink cpa(0);
+    core::pump(source, cpa);
+    return report_and_check(cpa.cpa().solve(model, 256));
+  }
+
+  // ---- live path: acquisition campaign, optionally archived -----------
   std::printf("== CPA attack on simulated AES-128 (key byte 0, %zu traces, "
               "%s backend) ==\n\n",
               traces,
               std::string(sim::backend_kind_name(backend)).c_str());
 
   const crypto::aes_program_layout layout = crypto::generate_aes128_program();
-  const crypto::aes_key key = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23,
-                               0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
-                               0x10, 0x32, 0x54, 0x76};
-  const crypto::aes_round_keys rk = crypto::expand_key(key);
+  const crypto::aes_round_keys rk = crypto::expand_key(demo_key);
 
   core::acquisition_config config;
   config.traces = traces;
@@ -83,49 +180,32 @@ int main(int argc, char** argv) {
       b = rng.next_u8();
     }
     crypto::install_aes_inputs(core.memory(), layout, rk, pt);
-    labels.assign(1, static_cast<double>(pt[0]));
-  });
-
-  stats::partitioned_cpa cpa(0);
-  bool ready = false;
-  campaign.run([&](core::acquisition_record&& rec) {
-    if (!ready) {
-      cpa = stats::partitioned_cpa(rec.samples.size());
-      ready = true;
-    }
-    cpa.add_trace(static_cast<std::uint8_t>(rec.labels[0]), rec.samples);
-    if ((rec.index + 1) % 250 == 0) {
-      std::printf("  collected %zu traces...\n", rec.index + 1);
+    labels.resize(pt.size());
+    for (std::size_t b = 0; b < pt.size(); ++b) {
+      labels[b] = static_cast<double>(pt[b]); // all 16 -> full-key replay
     }
   });
 
-  const stats::cpa_result result = cpa.solve(
-      [](std::size_t guess, std::size_t pt_byte) {
-        return static_cast<double>(util::hamming_weight(
-            crypto::subbytes_hypothesis(static_cast<std::uint8_t>(pt_byte),
-                                        static_cast<std::uint8_t>(guess))));
-      },
-      256);
-
-  // Rank all guesses by their correlation peak.
-  std::vector<std::size_t> order(256);
-  for (std::size_t g = 0; g < 256; ++g) {
-    order[g] = g;
+  core::cpa_sink cpa(0);
+  progress_sink progress;
+  std::vector<core::trace_sink*> sinks = {&cpa, &progress};
+  std::optional<core::store_sink> store;
+  if (!dump_path.empty()) {
+    power::trace_store_descriptor desc;
+    desc.seed = config.seed;
+    desc.config_hash =
+        core::salted_config_hash(core::acquisition_config_hash(config), 0);
+    store.emplace(dump_path, desc);
+    sinks.push_back(&*store);
   }
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return std::fabs(result.peak_of(a).corr) >
-           std::fabs(result.peak_of(b).corr);
-  });
 
-  std::printf("\ntop-5 key guesses:\n");
-  for (int i = 0; i < 5; ++i) {
-    const auto peak = result.peak_of(order[static_cast<std::size_t>(i)]);
-    std::printf("  %d. guess 0x%02zx  |corr| %.4f at cycle %zu%s\n", i + 1,
-                peak.guess, std::fabs(peak.corr), peak.sample,
-                peak.guess == key[0] ? "   <== true key byte" : "");
+  core::acquisition_source source(campaign);
+  core::pump(source, sinks);
+
+  if (store) {
+    std::printf("  archived %zu traces to '%s' (replay with "
+                "--replay=%s)\n",
+                store->records(), dump_path.c_str(), dump_path.c_str());
   }
-  std::printf("\ndistinguishing z-score of the true key: %.2f "
-              "(>2.33 = 99%% confidence)\n",
-              result.distinguishing_z(key[0]));
-  return result.best().guess == key[0] ? 0 : 1;
+  return report_and_check(cpa.cpa().solve(model, 256));
 }

@@ -1,7 +1,8 @@
 // The complete defensive loop of the paper's proposal: statically detect
 // micro-architectural share combinations in a masked gadget, let the
 // leakage-aware scheduling pass rewrite the code, and *dynamically verify*
-// on the pipeline that the secret-dependent correlations are gone.
+// on the cycle-level models that the secret-dependent correlations are
+// gone.
 //
 // Gadget: first-order masked XOR, c = a ^ b with a = a0^a1, b = b0^b1:
 //
@@ -12,17 +13,22 @@
 // the modelled Cortex-A7 the first-operand bus combines a0 with a1
 // (leaking HW(a)) and the write-back buffer combines c0 with c1 (leaking
 // HW(a ^ b)).  Neither combination is visible at ISA level.
+//
+// Verification runs through core::acquisition_campaign (the same
+// parallel, per-index-seeded engine as the full-size experiments) and is
+// repeated on the out-of-order backend: a schedule that is safe on the
+// in-order pipeline is not automatically safe after rename/dynamic
+// scheduling, so the hardened gadget must be re-verified per design
+// point — exactly the paper's portability argument.
 #include <cmath>
 #include <cstdio>
 
 #include "asmx/assembler.h"
+#include "core/acquisition.h"
 #include "core/leakage_aware_scheduler.h"
 #include "isa/disasm.h"
-#include "power/synthesizer.h"
-#include "sim/pipeline.h"
 #include "stats/pearson.h"
 #include "util/bitops.h"
-#include "util/rng.h"
 
 using namespace usca;
 using isa::reg;
@@ -37,21 +43,27 @@ void print_program(const char* title, const asmx::program& prog) {
 }
 
 struct leak_probe {
-  double hw_a = 0.0;     ///< max |corr| of HW(a) = HD(a0, a1)
+  double hw_a = 0.0;       ///< max |corr| of HW(a) = HD(a0, a1)
   double hw_a_xor_b = 0.0; ///< max |corr| of HW(a^b) = HD(c0, c1)
 };
 
-leak_probe probe(const asmx::program& prog, std::uint64_t seed) {
-  const std::size_t trials = 8'000;
-  util::xoshiro256 rng(seed);
-  power::trace_synthesizer synth(power::synthesis_config{}, seed ^ 0xf00);
+constexpr std::size_t probe_trials = 8'000;
 
-  std::vector<double> model_a;
-  std::vector<double> model_c;
-  std::vector<power::trace> traces;
-  std::size_t samples = 0;
-  for (std::size_t t = 0; t < trials; ++t) {
-    sim::pipeline pipe(prog, sim::cortex_a7());
+/// Correlates the two share-combination models against the power of
+/// every cycle of the gadget, on the selected core model.
+leak_probe probe(const asmx::program& prog, std::uint64_t seed,
+                 sim::backend_kind kind) {
+  core::acquisition_config config;
+  config.traces = probe_trials;
+  config.seed = seed;
+  config.averaging = 1;
+  config.full_run_window = true;
+  config.backend = kind;
+  config.uarch = kind == sim::backend_kind::ooo ? sim::cortex_a7_ooo()
+                                                : sim::cortex_a7();
+  core::acquisition_campaign campaign(sim::program_image(prog), config);
+  campaign.set_setup([](std::size_t, util::xoshiro256& rng,
+                        sim::backend& pipe, std::vector<double>& labels) {
     const std::uint32_t a = rng.next_u32();
     const std::uint32_t b = rng.next_u32();
     const std::uint32_t mask_a = rng.next_u32();
@@ -60,31 +72,46 @@ leak_probe probe(const asmx::program& prog, std::uint64_t seed) {
     pipe.state().set_reg(reg::r3, mask_a);     // a1
     pipe.state().set_reg(reg::r4, b ^ mask_b); // b0
     pipe.state().set_reg(reg::r6, mask_b);     // b1
-    pipe.warm_caches();
-    pipe.run();
-    traces.push_back(synth.synthesize(
-        pipe.activity(), 0, static_cast<std::uint32_t>(pipe.cycles() + 4)));
-    samples = traces.back().size();
-    model_a.push_back(static_cast<double>(util::hamming_weight(a)));
-    model_c.push_back(static_cast<double>(util::hamming_weight(a ^ b)));
-  }
-  leak_probe out;
-  for (std::size_t s = 0; s < samples; ++s) {
-    stats::pearson_accumulator acc_a;
-    stats::pearson_accumulator acc_c;
-    for (std::size_t t = 0; t < trials; ++t) {
-      acc_a.add(model_a[t], traces[t][s]);
-      acc_c.add(model_c[t], traces[t][s]);
+    labels.assign({static_cast<double>(util::hamming_weight(a)),
+                   static_cast<double>(util::hamming_weight(a ^ b))});
+  });
+
+  std::vector<stats::pearson_accumulator> acc_a;
+  std::vector<stats::pearson_accumulator> acc_c;
+  campaign.run([&](core::acquisition_record&& rec) {
+    if (rec.index == 0) {
+      acc_a.resize(rec.samples.size());
+      acc_c.resize(rec.samples.size());
     }
-    out.hw_a = std::max(out.hw_a, std::fabs(acc_a.correlation()));
+    for (std::size_t s = 0; s < rec.samples.size(); ++s) {
+      acc_a[s].add(rec.labels[0], rec.samples[s]);
+      acc_c[s].add(rec.labels[1], rec.samples[s]);
+    }
+  });
+
+  leak_probe out;
+  for (std::size_t s = 0; s < acc_a.size(); ++s) {
+    out.hw_a = std::max(out.hw_a, std::fabs(acc_a[s].correlation()));
     out.hw_a_xor_b =
-        std::max(out.hw_a_xor_b, std::fabs(acc_c.correlation()));
+        std::max(out.hw_a_xor_b, std::fabs(acc_c[s].correlation()));
   }
   return out;
 }
 
 const char* verdict(double corr, double threshold) {
   return corr > threshold ? "LEAKS" : "clean";
+}
+
+void print_probe_table(const char* backend_name, const leak_probe& before,
+                       const leak_probe& after, double threshold) {
+  std::printf("  [%s]\n", backend_name);
+  std::printf("  model        original   hardened\n");
+  std::printf("  HW(a)        %.4f %-7s %.4f %s\n", before.hw_a,
+              verdict(before.hw_a, threshold), after.hw_a,
+              verdict(after.hw_a, threshold));
+  std::printf("  HW(a^b)      %.4f %-7s %.4f %s\n", before.hw_a_xor_b,
+              verdict(before.hw_a_xor_b, threshold), after.hw_a_xor_b,
+              verdict(after.hw_a_xor_b, threshold));
 }
 
 } // namespace
@@ -108,22 +135,50 @@ int main() {
               result.reorders, result.separators);
   print_program("hardened gadget:", result.hardened);
 
-  std::printf("\ndynamic verification (8k traces):\n");
-  const double threshold = stats::significance_threshold(8'000, 0.995);
-  const leak_probe before = probe(original, 21);
-  const leak_probe after = probe(result.hardened, 21);
-  std::printf("  model        original   hardened\n");
-  std::printf("  HW(a)        %.4f %-7s %.4f %s\n", before.hw_a,
-              verdict(before.hw_a, threshold), after.hw_a,
-              verdict(after.hw_a, threshold));
-  std::printf("  HW(a^b)      %.4f %-7s %.4f %s\n", before.hw_a_xor_b,
-              verdict(before.hw_a_xor_b, threshold), after.hw_a_xor_b,
-              verdict(after.hw_a_xor_b, threshold));
+  const double threshold =
+      stats::significance_threshold(probe_trials, 0.995);
+
+  std::printf("\ndynamic verification (%zu traces each, in-order "
+              "pipeline):\n",
+              probe_trials);
+  const leak_probe before = probe(original, 21, sim::backend_kind::inorder);
+  const leak_probe after =
+      probe(result.hardened, 21, sim::backend_kind::inorder);
+  print_probe_table("in-order", before, after, threshold);
   std::printf("\nBoth combinations predicted by the scanner are real on the\n"
               "pipeline (operand bus: HW(a); write-back buffer: HW(a^b)),\n"
               "and the transformed code removes them.\n");
-  const bool ok = before.hw_a > threshold && before.hw_a_xor_b > threshold &&
-                  after.hw_a < threshold && after.hw_a_xor_b < threshold;
-  std::printf("%s\n", ok ? "HARDENING VERIFIED" : "UNEXPECTED OUTCOME");
-  return ok ? 0 : 1;
+
+  // The scheduler reasoned about the in-order pipeline; re-verify the
+  // same binary on the OoO backend, where rename and dynamic scheduling
+  // reshape which values meet in which structure.
+  std::printf("\ncross-design-point verification (out-of-order backend):\n");
+  const leak_probe ooo_before = probe(original, 21, sim::backend_kind::ooo);
+  const leak_probe ooo_after =
+      probe(result.hardened, 21, sim::backend_kind::ooo);
+  print_probe_table("out-of-order", ooo_before, ooo_after, threshold);
+
+  const bool inorder_ok =
+      before.hw_a > threshold && before.hw_a_xor_b > threshold &&
+      after.hw_a < threshold && after.hw_a_xor_b < threshold;
+  const bool ooo_ok =
+      ooo_after.hw_a < threshold && ooo_after.hw_a_xor_b < threshold;
+  if (ooo_ok) {
+    std::printf("\nthe hardened schedule stays clean under rename/OoO "
+                "issue on this design point.\n");
+  } else {
+    std::printf(
+        "\nthe hardened schedule LEAKS AGAIN under rename/OoO issue: the\n"
+        "separator that splits the shares on the in-order pipeline does\n"
+        "not survive dynamic scheduling, which re-packs the two eors onto\n"
+        "shared issue/broadcast structures.  This is the paper's\n"
+        "portability argument made concrete — a hardening is a property\n"
+        "of one micro-architecture, not of the binary; re-run the\n"
+        "scheduler against the deployment core.\n");
+  }
+  std::printf("%s\n", inorder_ok
+                          ? "HARDENING VERIFIED on the target (in-order) "
+                            "core; see the cross-design-point table above"
+                          : "UNEXPECTED OUTCOME");
+  return inorder_ok ? 0 : 1;
 }

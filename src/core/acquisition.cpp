@@ -90,6 +90,18 @@ acquisition_record acquisition_campaign::produce(std::size_t index) const {
   return rec;
 }
 
+void acquisition_campaign::run(trace_sink& sink) {
+  acquisition_source source(*this);
+  pump(source, sink);
+}
+
+void acquisition_source::for_each(
+    const std::function<void(const trace_view&)>& fn) {
+  campaign_.run([&fn](acquisition_record&& rec) {
+    fn(trace_view{rec.index, rec.labels, rec.samples});
+  });
+}
+
 void acquisition_campaign::run(const sink_fn& sink) {
   const std::size_t first = config_.first_index;
 

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/campaign.h"
+#include "core/trace_stream.h"
 #include "power/synthesizer.h"
 #include "sim/backend.h"
 #include "sim/micro_arch_config.h"
@@ -90,6 +91,11 @@ public:
   /// exceptions abort the campaign and rethrow here.
   void run(const sink_fn& sink);
 
+  /// Streams the campaign through the source/sink architecture: begin()
+  /// with the shape of the first record, one consume() per record (labels
+  /// and samples of the acquisition_record), finish() at the end.
+  void run(trace_sink& sink);
+
   /// Produces record `index` synchronously on a fresh pipeline; run()
   /// yields exactly this record for every index.
   acquisition_record produce(std::size_t index) const;
@@ -106,6 +112,25 @@ private:
   sim::program_image image_;
   acquisition_config config_;
   setup_fn setup_;
+};
+
+/// Presents an acquisition campaign as a trace_source, so the same
+/// analysis sinks run on live simulation and on archived stores
+/// (core::archive_source) without caring which.  The campaign must
+/// outlive the source; each for_each() call runs the campaign once.
+class acquisition_source final : public trace_source {
+public:
+  explicit acquisition_source(acquisition_campaign& campaign)
+      : campaign_(campaign) {}
+
+  std::size_t traces() const override {
+    return campaign_.config().traces;
+  }
+
+  void for_each(const std::function<void(const trace_view&)>& fn) override;
+
+private:
+  acquisition_campaign& campaign_;
 };
 
 } // namespace usca::core

@@ -1,0 +1,135 @@
+// Standard sinks for the trace source/sink architecture: the blocked
+// CPA/TVLA accumulators and the binary trace store writer, each wrapped
+// as a core::trace_sink so a campaign (or an archive replay) can fan its
+// record stream into any combination of analyses and persistence in one
+// pass.
+#ifndef USCA_CORE_ANALYSIS_SINKS_H
+#define USCA_CORE_ANALYSIS_SINKS_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/trace_stream.h"
+#include "power/trace_io.h"
+#include "stats/cpa.h"
+#include "stats/ttest.h"
+#include "util/error.h"
+
+namespace usca::core {
+
+/// Streams records into a partitioned CPA accumulator; the partition byte
+/// is the record's label `partition_label` (e.g. the attacked plaintext
+/// byte).  The accumulator is sized on the first record.
+class cpa_sink final : public trace_sink {
+public:
+  explicit cpa_sink(std::size_t partition_label = 0)
+      : partition_label_(partition_label) {}
+
+  void begin(std::size_t samples, std::size_t labels) override {
+    if (partition_label_ >= labels) {
+      throw util::analysis_error(
+          "cpa_sink partition label index out of range");
+    }
+    cpa_.emplace(samples);
+  }
+
+  void consume(const trace_view& view) override {
+    cpa_->add_trace(static_cast<std::uint8_t>(view.labels[partition_label_]),
+                    view.samples);
+  }
+
+  /// The accumulated engine; throws if the pumped source delivered no
+  /// records (begin() is shape-driven, so an empty stream never sizes
+  /// the accumulator).
+  const stats::partitioned_cpa& cpa() const {
+    if (!cpa_) {
+      throw util::analysis_error(
+          "cpa_sink received no records (empty trace source)");
+    }
+    return *cpa_;
+  }
+
+private:
+  std::size_t partition_label_;
+  std::optional<stats::partitioned_cpa> cpa_;
+};
+
+/// Streams records into a TVLA accumulator; `is_fixed` classifies each
+/// record into the fixed or the random population (default: the TVLA
+/// campaign convention — even indices are the fixed class).
+class tvla_sink final : public trace_sink {
+public:
+  using classifier_fn = std::function<bool(const trace_view&)>;
+
+  explicit tvla_sink(classifier_fn is_fixed = {})
+      : is_fixed_(is_fixed ? std::move(is_fixed)
+                           : [](const trace_view& v) {
+                               return v.index % 2 == 0;
+                             }) {}
+
+  void begin(std::size_t samples, std::size_t) override {
+    tvla_.emplace(samples);
+  }
+
+  void consume(const trace_view& view) override {
+    if (is_fixed_(view)) {
+      tvla_->add_fixed(view.samples);
+    } else {
+      tvla_->add_random(view.samples);
+    }
+  }
+
+  /// The accumulated assessment; throws on an empty stream (see
+  /// cpa_sink::cpa()).
+  const stats::tvla_accumulator& tvla() const {
+    if (!tvla_) {
+      throw util::analysis_error(
+          "tvla_sink received no records (empty trace source)");
+    }
+    return *tvla_;
+  }
+
+private:
+  classifier_fn is_fixed_;
+  std::optional<stats::tvla_accumulator> tvla_;
+};
+
+/// Archives the stream into a (new) binary trace store at `path`.  The
+/// descriptor's sample/label counts may be left 0 — they are completed
+/// from the first record; finish() flushes and closes the file.
+class store_sink final : public trace_sink {
+public:
+  store_sink(std::string path, power::trace_store_descriptor desc)
+      : path_(std::move(path)), desc_(desc) {}
+
+  void begin(std::size_t samples, std::size_t labels) override {
+    desc_.samples = samples;
+    desc_.labels = static_cast<std::uint32_t>(labels);
+    writer_.emplace(power::trace_store_writer::create(path_, desc_));
+  }
+
+  void consume(const trace_view& view) override {
+    writer_->append(view.labels, view.samples);
+  }
+
+  void finish() override {
+    if (writer_) {
+      writer_->close();
+    }
+  }
+
+  /// Records written so far (valid after the pump has begun).
+  std::size_t records() const { return writer_ ? writer_->records() : 0; }
+
+private:
+  std::string path_;
+  power::trace_store_descriptor desc_;
+  std::optional<power::trace_store_writer> writer_;
+};
+
+} // namespace usca::core
+
+#endif // USCA_CORE_ANALYSIS_SINKS_H

@@ -1,5 +1,6 @@
 #include "core/campaign.h"
 
+#include <array>
 #include <utility>
 
 #include "core/ordered_dispatch.h"
@@ -125,6 +126,22 @@ trace_record trace_campaign::produce(std::size_t index) const {
   trace_record rec;
   produce_into(*core, synth, index, rec);
   return rec;
+}
+
+void trace_campaign::run(trace_sink& sink) {
+  aes_campaign_source source(*this);
+  pump(source, sink);
+}
+
+void aes_campaign_source::for_each(
+    const std::function<void(const trace_view&)>& fn) {
+  std::array<double, std::tuple_size_v<crypto::aes_block>> labels;
+  campaign_.run([&fn, &labels](trace_record&& rec) {
+    for (std::size_t b = 0; b < labels.size(); ++b) {
+      labels[b] = static_cast<double>(rec.plaintext[b]);
+    }
+    fn(trace_view{rec.index, labels, rec.samples});
+  });
 }
 
 void trace_campaign::run(const sink_fn& sink) {

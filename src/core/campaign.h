@@ -32,6 +32,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/trace_stream.h"
 #include "crypto/aes_codegen.h"
 #include "power/second_core.h"
 #include "power/synthesizer.h"
@@ -111,6 +112,12 @@ public:
   /// and sink exceptions abort the campaign and rethrow here.
   void run(const sink_fn& sink);
 
+  /// Streams the campaign through the source/sink architecture.  Each
+  /// record's labels are the 16 plaintext bytes (as doubles), so an
+  /// archived AES campaign supports per-byte CPA for every key byte and
+  /// index-parity TVLA on replay.
+  void run(trace_sink& sink);
+
   /// Produces trace `index` of the campaign synchronously; run() yields
   /// exactly this record for every index (the determinism contract is
   /// checked against it in the tests).
@@ -148,6 +155,24 @@ private:
   sim::program_image image_;
   std::shared_ptr<const power::second_core_noise> second_core_;
   plaintext_fn plaintext_;
+};
+
+/// Presents an AES trace campaign as a trace_source (labels = the 16
+/// plaintext bytes).  The campaign must outlive the source; each
+/// for_each() call runs the campaign once.
+class aes_campaign_source final : public trace_source {
+public:
+  explicit aes_campaign_source(trace_campaign& campaign)
+      : campaign_(campaign) {}
+
+  std::size_t traces() const override {
+    return campaign_.config().traces;
+  }
+
+  void for_each(const std::function<void(const trace_view&)>& fn) override;
+
+private:
+  trace_campaign& campaign_;
 };
 
 } // namespace usca::core

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 
-#include "core/acquisition.h"
 #include "stats/pearson.h"
 #include "util/error.h"
 
@@ -86,112 +85,96 @@ leakage_characterizer::leakage_characterizer(sim::micro_arch_config arch,
                                              power::synthesis_config power)
     : arch_(arch), power_(power) {}
 
-benchmark_report
-leakage_characterizer::characterize(const characterization_benchmark& bench,
-                                    const options& opts) const {
-  const bench_program bp = bench.build();
+namespace {
 
-  benchmark_report report;
-  report.name = bench.name;
-  report.sequence_text = bench.sequence_text;
-  report.expect_dual_issue = bench.expect_dual_issue;
-  report.traces = opts.traces;
+/// [model][sample] total-power correlation accumulators.
+using model_grid = std::vector<std::vector<stats::pearson_accumulator>>;
+/// [model][column][sample] attribution accumulators.
+using column_grid =
+    std::vector<std::vector<std::vector<stats::pearson_accumulator>>>;
 
+void size_grids(std::size_t n_models, std::size_t samples,
+                model_grid& power_acc, column_grid& column_acc) {
+  for (std::size_t m = 0; m < n_models; ++m) {
+    power_acc[m].resize(samples);
+    column_acc[m].assign(num_table2_columns, {});
+    for (auto& col : column_acc[m]) {
+      col.resize(samples);
+    }
+  }
+}
+
+/// Per-trial randomization shared by every characterizer pass: run the
+/// benchmark's setup and evaluate its models into the record labels.
+/// `bench` and `bp` must outlive the returned callback.
+acquisition_campaign::setup_fn
+make_bench_setup(const characterization_benchmark& bench,
+                 const bench_program& bp) {
   const std::size_t n_models = bench.models.size();
-  std::vector<std::vector<stats::pearson_accumulator>> power_acc(n_models);
-  std::vector<std::vector<std::vector<stats::pearson_accumulator>>>
-      column_acc(n_models); ///< [model][column][sample]
-  std::size_t samples = 0;
-
-  std::vector<double> column_contrib; ///< per-sample scratch, one column
-
-  // Trials stream through the generic acquisition engine: simulation and
-  // synthesis run on worker-owned resettable pipelines, records arrive
-  // here in index order, so all accumulation below is deterministic at
-  // any thread count.
-  acquisition_config acq;
-  acq.traces = opts.traces;
-  acq.threads = opts.threads;
-  acq.seed = opts.seed;
-  acq.averaging = opts.averaging;
-  acq.window = campaign_window{1, 2};
-  acq.keep_activity_first = opts.attribution_trials;
-  acq.power = power_;
-  acq.uarch = arch_;
-  acquisition_campaign campaign(sim::program_image(bp.prog), acq);
-  campaign.set_setup([&bench, &bp, n_models](std::size_t, util::xoshiro256& rng,
-                                             sim::backend& pipe,
-                                             std::vector<double>& labels) {
+  return [&bench, &bp, n_models](std::size_t, util::xoshiro256& rng,
+                                 sim::backend& pipe,
+                                 std::vector<double>& labels) {
     trial_context ctx;
     bench.setup(pipe, rng, bp, ctx);
     labels.resize(n_models);
     for (std::size_t m = 0; m < n_models; ++m) {
       labels[m] = bench.models[m].eval(ctx);
     }
-  });
+  };
+}
 
-  campaign.run([&](acquisition_record&& rec) {
-    std::uint64_t dual_begin = 0;
-    std::uint64_t dual_end = 0;
-    for (const auto& m : rec.marks) {
-      if (m.id == 1) {
-        dual_begin = m.dual_pairs;
-      } else if (m.id == 2) {
-        dual_end = m.dual_pairs;
-      }
+bool dual_issue_of(const std::vector<sim::mark_stamp>& marks) noexcept {
+  std::uint64_t dual_begin = 0;
+  std::uint64_t dual_end = 0;
+  for (const auto& m : marks) {
+    if (m.id == 1) {
+      dual_begin = m.dual_pairs;
+    } else if (m.id == 2) {
+      dual_end = m.dual_pairs;
     }
-    if (rec.index == 0) {
-      samples = static_cast<std::size_t>(rec.window_end - rec.window_begin);
-      report.samples = samples;
-      report.observed_dual_issue = dual_end > dual_begin;
-      for (std::size_t m = 0; m < n_models; ++m) {
-        power_acc[m].resize(samples);
-        column_acc[m].assign(num_table2_columns, {});
-        for (auto& col : column_acc[m]) {
-          col.resize(samples);
-        }
-      }
-    } else if (rec.samples.size() != samples) {
-      throw util::simulation_error(
-          "data-dependent timing in characterization benchmark");
-    }
+  }
+  return dual_end > dual_begin;
+}
 
+/// Attribution pass for one trial: correlate the model values against
+/// each column's own (noise-free) power contribution, rebuilt from the
+/// trial's window activity.
+void accumulate_attribution(const acquisition_record& rec,
+                            const power::synthesis_config& power,
+                            std::size_t samples,
+                            std::vector<double>& column_contrib,
+                            column_grid& column_acc) {
+  const std::size_t n_models = column_acc.size();
+  const auto first = static_cast<std::uint32_t>(rec.window_begin);
+  for (std::size_t col = 0; col < num_table2_columns; ++col) {
+    column_contrib.assign(samples, 0.0);
+    for (const sim::activity_event& ev : rec.window_activity) {
+      if (static_cast<std::size_t>(column_of(ev.comp)) != col) {
+        continue;
+      }
+      column_contrib[ev.cycle - first] +=
+          power.weights[ev.comp] * static_cast<double>(ev.toggles);
+    }
     for (std::size_t m = 0; m < n_models; ++m) {
       for (std::size_t s = 0; s < samples; ++s) {
-        power_acc[m][s].add(rec.labels[m], rec.samples[s]);
+        column_acc[m][col][s].add(rec.labels[m], column_contrib[s]);
       }
     }
+  }
+}
 
-    // Attribution pass: correlate models against each column's own
-    // (noise-free) power contribution on a subset of the trials (the
-    // engine keeps the window activity for exactly those).
-    if (rec.index < opts.attribution_trials) {
-      const auto first = static_cast<std::uint32_t>(rec.window_begin);
-      for (std::size_t col = 0; col < num_table2_columns; ++col) {
-        column_contrib.assign(samples, 0.0);
-        for (const sim::activity_event& ev : rec.window_activity) {
-          if (static_cast<std::size_t>(column_of(ev.comp)) != col) {
-            continue;
-          }
-          column_contrib[ev.cycle - first] +=
-              power_.weights[ev.comp] * static_cast<double>(ev.toggles);
-        }
-        for (std::size_t m = 0; m < n_models; ++m) {
-          for (std::size_t s = 0; s < samples; ++s) {
-            column_acc[m][col][s].add(rec.labels[m], column_contrib[s]);
-          }
-        }
-      }
-    }
-  });
-
-  // Verdicts: significant total-power correlation at a cycle attributed to
-  // the model's own column.
+/// Verdicts: significant total-power correlation at a cycle attributed to
+/// the model's own column.
+void build_verdicts(const characterization_benchmark& bench,
+                    const model_grid& power_acc, const column_grid& column_acc,
+                    std::size_t samples, std::size_t traces,
+                    const characterizer_options& opts,
+                    benchmark_report& report) {
   const double alpha =
       (1.0 - opts.confidence) / static_cast<double>(samples);
   const double per_sample_confidence = 1.0 - alpha;
 
-  for (std::size_t m = 0; m < n_models; ++m) {
+  for (std::size_t m = 0; m < bench.models.size(); ++m) {
     const model_spec& spec = bench.models[m];
     model_verdict verdict;
     verdict.label = spec.label;
@@ -199,11 +182,11 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
     verdict.expected = spec.expected_leak;
     verdict.border_effect = spec.border_effect;
     verdict.threshold =
-        stats::significance_threshold(opts.traces, per_sample_confidence);
+        stats::significance_threshold(traces, per_sample_confidence);
     const auto col = static_cast<std::size_t>(spec.column);
     for (std::size_t s = 0; s < samples; ++s) {
       const double r = power_acc[m][s].correlation();
-      if (!stats::correlation_significant(r, opts.traces,
+      if (!stats::correlation_significant(r, traces,
                                           per_sample_confidence)) {
         continue;
       }
@@ -219,7 +202,197 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
     }
     report.verdicts.push_back(std::move(verdict));
   }
+}
+
+/// Benchmark identity folded into the archive's config hash (the
+/// acquisition config alone cannot distinguish two benchmarks).
+std::uint64_t bench_salt(const characterization_benchmark& bench) noexcept {
+  config_hasher h;
+  h.mix(bench.name);
+  h.mix(bench.sequence_text);
+  for (const model_spec& m : bench.models) {
+    h.mix(m.label);
+  }
+  return h.value();
+}
+
+benchmark_report report_header(const characterization_benchmark& bench) {
+  benchmark_report report;
+  report.name = bench.name;
+  report.sequence_text = bench.sequence_text;
+  report.expect_dual_issue = bench.expect_dual_issue;
   return report;
+}
+
+} // namespace
+
+acquisition_config
+leakage_characterizer::acquisition_plan(const options& opts) const {
+  acquisition_config acq;
+  acq.traces = opts.traces;
+  acq.threads = opts.threads;
+  acq.seed = opts.seed;
+  acq.averaging = opts.averaging;
+  acq.window = campaign_window{1, 2};
+  acq.keep_activity_first = opts.attribution_trials;
+  acq.power = power_;
+  acq.uarch = arch_;
+  return acq;
+}
+
+benchmark_report
+leakage_characterizer::characterize(const characterization_benchmark& bench,
+                                    const options& opts) const {
+  const bench_program bp = bench.build();
+
+  benchmark_report report = report_header(bench);
+  report.traces = opts.traces;
+
+  const std::size_t n_models = bench.models.size();
+  model_grid power_acc(n_models);
+  column_grid column_acc(n_models);
+  std::size_t samples = 0;
+  std::vector<double> column_contrib; ///< per-sample scratch, one column
+
+  // Trials stream through the generic acquisition engine: simulation and
+  // synthesis run on worker-owned resettable pipelines, records arrive
+  // here in index order, so all accumulation below is deterministic at
+  // any thread count.
+  acquisition_campaign campaign(sim::program_image(bp.prog),
+                                acquisition_plan(opts));
+  campaign.set_setup(make_bench_setup(bench, bp));
+
+  campaign.run([&](acquisition_record&& rec) {
+    if (rec.index == 0) {
+      samples = static_cast<std::size_t>(rec.window_end - rec.window_begin);
+      report.samples = samples;
+      report.observed_dual_issue = dual_issue_of(rec.marks);
+      size_grids(n_models, samples, power_acc, column_acc);
+    } else if (rec.samples.size() != samples) {
+      throw util::simulation_error(
+          "data-dependent timing in characterization benchmark");
+    }
+
+    for (std::size_t m = 0; m < n_models; ++m) {
+      for (std::size_t s = 0; s < samples; ++s) {
+        power_acc[m][s].add(rec.labels[m], rec.samples[s]);
+      }
+    }
+
+    // Attribution pass on the trial prefix (the engine keeps the window
+    // activity for exactly those indices).
+    if (rec.index < opts.attribution_trials) {
+      accumulate_attribution(rec, power_, samples, column_contrib,
+                             column_acc);
+    }
+  });
+
+  build_verdicts(bench, power_acc, column_acc, samples, opts.traces, opts,
+                 report);
+  return report;
+}
+
+benchmark_report
+leakage_characterizer::characterize(const characterization_benchmark& bench,
+                                    trace_source& source,
+                                    const options& opts) const {
+  const bench_program bp = bench.build();
+
+  benchmark_report report = report_header(bench);
+
+  const std::size_t n_models = bench.models.size();
+  model_grid power_acc(n_models);
+  column_grid column_acc(n_models);
+  std::size_t samples = 0;
+  std::size_t streamed = 0;
+
+  // Total-power pass from the (typically archived) source.
+  source.for_each([&](const trace_view& view) {
+    if (view.labels.size() != n_models) {
+      throw util::analysis_error(
+          "trace source labels do not match the benchmark's models");
+    }
+    if (streamed == 0) {
+      samples = view.samples.size();
+      report.samples = samples;
+      size_grids(n_models, samples, power_acc, column_acc);
+    } else if (view.samples.size() != samples) {
+      throw util::analysis_error(
+          "trace source delivers inconsistent sample counts");
+    }
+    for (std::size_t m = 0; m < n_models; ++m) {
+      for (std::size_t s = 0; s < samples; ++s) {
+        power_acc[m][s].add(view.labels[m], view.samples[s]);
+      }
+    }
+    ++streamed;
+  });
+  if (streamed == 0) {
+    throw util::analysis_error("trace source delivered no records");
+  }
+  report.traces = streamed;
+
+  // Attribution + dual-issue need pipeline activity, which the source
+  // does not carry: re-simulate the trial prefix live.  Per-index seeding
+  // makes these trials bit-identical to the ones behind the archived
+  // records, so the verdicts equal the single-pass path exactly.
+  const std::size_t n_attr = std::min(opts.attribution_trials, streamed);
+  acquisition_config acq = acquisition_plan(opts);
+  acq.traces = n_attr;
+  acq.keep_activity_first = n_attr;
+  acquisition_campaign campaign(sim::program_image(bp.prog), acq);
+  campaign.set_setup(make_bench_setup(bench, bp));
+  if (n_attr > 0) {
+    std::vector<double> column_contrib;
+    campaign.run([&](acquisition_record&& rec) {
+      if (rec.index == 0) {
+        report.observed_dual_issue = dual_issue_of(rec.marks);
+      }
+      if (rec.window_end - rec.window_begin != samples) {
+        throw util::analysis_error(
+            "archived records do not match this benchmark's window");
+      }
+      accumulate_attribution(rec, power_, samples, column_contrib,
+                             column_acc);
+    });
+  } else {
+    report.observed_dual_issue = dual_issue_of(campaign.produce(0).marks);
+  }
+
+  build_verdicts(bench, power_acc, column_acc, samples, streamed, opts,
+                 report);
+  return report;
+}
+
+archive_result
+leakage_characterizer::archive(const characterization_benchmark& bench,
+                               const std::string& path, const options& opts,
+                               const archive_options& store) const {
+  const bench_program bp = bench.build();
+  acquisition_config acq = acquisition_plan(opts);
+  acq.keep_activity_first = 0;
+  archive_options salted = store;
+  salted.config_salt = bench_salt(bench);
+  return archive_acquisition(sim::program_image(bp.prog), acq,
+                             make_bench_setup(bench, bp), path, salted);
+}
+
+benchmark_report leakage_characterizer::characterize_replayed(
+    const characterization_benchmark& bench, const std::string& path,
+    const options& opts) const {
+  power::trace_store_reader reader(path);
+  acquisition_config acq = acquisition_plan(opts);
+  acq.keep_activity_first = 0;
+  const std::uint64_t expected =
+      salted_config_hash(acquisition_config_hash(acq), bench_salt(bench));
+  if (reader.descriptor().seed != acq.seed ||
+      reader.descriptor().config_hash != expected) {
+    throw util::analysis_error(
+        "trace store '" + path +
+        "' was not archived from this benchmark/configuration");
+  }
+  archive_source source(reader);
+  return characterize(bench, source, opts);
 }
 
 std::vector<benchmark_report>

@@ -28,6 +28,9 @@
 #include <vector>
 
 #include "asmx/program.h"
+#include "core/acquisition.h"
+#include "core/trace_archive.h"
+#include "core/trace_stream.h"
 #include "power/synthesizer.h"
 #include "sim/backend.h"
 #include "sim/micro_arch_config.h"
@@ -153,10 +156,41 @@ public:
   benchmark_report characterize(const characterization_benchmark& bench,
                                 const options& opts = {}) const;
 
+  /// Characterizes from a trace source whose records carry the
+  /// benchmark's model values as labels (in model order) — the archived
+  /// half of simulate-once/analyse-many.  The total-power correlation
+  /// pass streams from the source; the cycle-attribution pass and the
+  /// dual-issue observation need pipeline activity, which archives do not
+  /// carry, so the (small) trial prefix is re-simulated live — per-index
+  /// seeding makes those trials bit-identical to the ones behind the
+  /// archived records.
+  benchmark_report characterize(const characterization_benchmark& bench,
+                                trace_source& source,
+                                const options& opts = {}) const;
+
+  /// Archives the benchmark's trial stream (labels = model values) into
+  /// a trace store at `path`; resumable like any campaign archive.
+  archive_result archive(const characterization_benchmark& bench,
+                         const std::string& path, const options& opts = {},
+                         const archive_options& store = {}) const;
+
+  /// Opens the store at `path`, validates that it was archived from this
+  /// benchmark/configuration (seed + config hash), and characterizes from
+  /// it.  Bit-identical to characterize(bench, opts) for a store written
+  /// by archive() with the same options (pinned by tests).
+  benchmark_report
+  characterize_replayed(const characterization_benchmark& bench,
+                        const std::string& path,
+                        const options& opts = {}) const;
+
   /// Runs all Table-2 benchmarks.
   std::vector<benchmark_report> characterize_all(const options& opts = {}) const;
 
 private:
+  /// The acquisition configuration every characterizer pass runs on
+  /// (live, archive and attribution share it so their records agree).
+  acquisition_config acquisition_plan(const options& opts) const;
+
   sim::micro_arch_config arch_;
   power::synthesis_config power_;
 };

@@ -1,0 +1,218 @@
+#include "core/trace_archive.h"
+
+#include <array>
+#include <bit>
+
+namespace usca::core {
+
+void config_hasher::mix(double value) noexcept {
+  mix(std::bit_cast<std::uint64_t>(value));
+}
+
+namespace {
+
+void mix_power(config_hasher& h, const power::synthesis_config& power) {
+  for (const double w : power.weights.weight) {
+    h.mix(w);
+  }
+  h.mix(power.baseline);
+  h.mix(power.gaussian_sigma);
+  const power::os_noise_config& os = power.os_noise;
+  h.mix(os.enabled);
+  h.mix(os.second_core_mean);
+  h.mix(os.second_core_sigma);
+  h.mix(os.second_core_max);
+  h.mix(os.preemption_probability);
+  h.mix(os.preemption_amplitude);
+  h.mix(static_cast<std::uint64_t>(os.preemption_duration));
+}
+
+void mix_cache(config_hasher& h, const mem::cache_config& cache) {
+  h.mix(cache.enabled);
+  h.mix(static_cast<std::uint64_t>(cache.size_bytes));
+  h.mix(static_cast<std::uint64_t>(cache.line_bytes));
+  h.mix(static_cast<std::uint64_t>(cache.ways));
+  h.mix(static_cast<std::uint64_t>(cache.miss_penalty));
+}
+
+void mix_uarch(config_hasher& h, const sim::micro_arch_config& uarch) {
+  h.mix(static_cast<std::uint64_t>(uarch.issue_width));
+  h.mix(static_cast<std::uint64_t>(uarch.policy));
+  for (const auto& row : uarch.pair_table) {
+    for (const bool cell : row) {
+      h.mix(cell);
+    }
+  }
+  h.mix(static_cast<std::uint64_t>(uarch.rf_read_ports));
+  h.mix(static_cast<std::uint64_t>(uarch.rf_write_ports));
+  h.mix(uarch.nop_dual_issues);
+  h.mix(uarch.pair_aligned_fetch_only);
+  h.mix(static_cast<std::uint64_t>(uarch.alu_count));
+  h.mix(uarch.alu0_has_shifter);
+  h.mix(uarch.alu0_has_multiplier);
+  h.mix(uarch.mul_pipelined);
+  h.mix(static_cast<std::uint64_t>(uarch.mul_latency));
+  h.mix(static_cast<std::uint64_t>(uarch.shift_extra_latency));
+  h.mix(uarch.lsu_pipelined);
+  h.mix(static_cast<std::uint64_t>(uarch.lsu_latency));
+  h.mix(static_cast<std::uint64_t>(uarch.fetch_width));
+  h.mix(static_cast<std::uint64_t>(uarch.front_stages));
+  h.mix(static_cast<std::uint64_t>(uarch.branch_mispredict_penalty));
+  h.mix(uarch.perfect_branch_prediction);
+  h.mix(uarch.nop_drives_zero_operands);
+  h.mix(uarch.nop_zeroes_wb_bus);
+  h.mix(uarch.alu_latch_holds_on_idle);
+  h.mix(uarch.has_align_buffer);
+  mix_cache(h, uarch.icache);
+  mix_cache(h, uarch.dcache);
+  const sim::ooo_config& ooo = uarch.ooo;
+  h.mix(static_cast<std::uint64_t>(ooo.rob_entries));
+  h.mix(static_cast<std::uint64_t>(ooo.rename_width));
+  h.mix(static_cast<std::uint64_t>(ooo.retire_width));
+  h.mix(static_cast<std::uint64_t>(ooo.rs_entries));
+  h.mix(static_cast<std::uint64_t>(ooo.prf_size));
+  h.mix(static_cast<std::uint64_t>(ooo.cdb_width));
+  h.mix(static_cast<std::uint64_t>(ooo.store_buffer_entries));
+}
+
+/// Creates-or-resumes the store for the target range and returns the
+/// writer plus the already-archived prefix length.
+power::trace_store_writer open_archive(const std::string& path,
+                                       power::trace_store_descriptor desc,
+                                       const archive_options& options) {
+  desc.scalar = options.scalar;
+  desc.chunk_traces = options.chunk_traces;
+  desc.config_hash = salted_config_hash(desc.config_hash, options.config_salt);
+  return power::trace_store_writer::resume(path, desc);
+}
+
+} // namespace
+
+std::uint64_t salted_config_hash(std::uint64_t config_hash,
+                                 std::uint64_t salt) noexcept {
+  std::uint64_t state = salt;
+  return config_hash ^ util::splitmix64(state);
+}
+
+std::uint64_t
+acquisition_config_hash(const acquisition_config& config) noexcept {
+  config_hasher h;
+  h.mix(std::uint64_t{0xacc}); // domain tag: acquisition records
+  h.mix(static_cast<std::uint64_t>(config.averaging));
+  h.mix(std::uint64_t{config.window.begin_mark});
+  h.mix(std::uint64_t{config.window.end_mark});
+  h.mix(config.full_run_window);
+  h.mix(std::uint64_t{config.full_run_tail_pad});
+  h.mix(config.synthesize);
+  h.mix(static_cast<std::uint64_t>(config.backend));
+  mix_power(h, config.power);
+  mix_uarch(h, config.uarch);
+  return h.value();
+}
+
+std::uint64_t
+aes_campaign_config_hash(const campaign_config& config,
+                         const crypto::aes_key& key) noexcept {
+  config_hasher h;
+  h.mix(std::uint64_t{0xae5}); // domain tag: AES campaign records
+  h.mix(static_cast<std::uint64_t>(config.averaging));
+  h.mix(std::uint64_t{config.window.begin_mark});
+  h.mix(std::uint64_t{config.window.end_mark});
+  h.mix(static_cast<std::uint64_t>(config.backend));
+  h.mix(config.simulated_second_core);
+  h.mix(static_cast<std::uint64_t>(config.second_core_cycles));
+  mix_power(h, config.power);
+  mix_uarch(h, config.uarch);
+  for (const std::uint8_t byte : key) {
+    h.mix(std::uint64_t{byte});
+  }
+  return h.value();
+}
+
+archive_result
+archive_acquisition(const sim::program_image& image,
+                    const acquisition_config& config,
+                    const acquisition_campaign::setup_fn& setup,
+                    const std::string& path,
+                    const archive_options& options) {
+  const std::size_t end = config.first_index + config.traces;
+
+  power::trace_store_descriptor desc;
+  desc.seed = config.seed;
+  desc.config_hash = acquisition_config_hash(config);
+  desc.first_index = config.first_index;
+  {
+    // One probe record fixes the shape so a resume can validate the
+    // existing header before any simulation is spent on the suffix.
+    acquisition_campaign probe(image, config);
+    probe.set_setup(setup);
+    const acquisition_record rec = probe.produce(config.first_index);
+    desc.samples = rec.samples.size();
+    desc.labels = static_cast<std::uint32_t>(rec.labels.size());
+  }
+
+  power::trace_store_writer writer = open_archive(path, desc, options);
+  const std::size_t next = writer.next_index();
+  archive_result result;
+  if (next < end) {
+    acquisition_config sub = config;
+    sub.first_index = next;
+    sub.traces = end - next;
+    sub.keep_activity_first = 0;
+    acquisition_campaign campaign(image, sub);
+    campaign.set_setup(setup);
+    campaign.run([&writer](acquisition_record&& rec) {
+      writer.append(rec.labels, rec.samples);
+    });
+    result.simulated = end - next;
+  }
+  writer.close();
+  result.total = writer.records();
+  return result;
+}
+
+archive_result
+archive_aes_campaign(const campaign_config& config, const crypto::aes_key& key,
+                     const std::string& path, const archive_options& options,
+                     const trace_campaign::plaintext_fn& plaintext) {
+  const std::size_t end = config.first_index + config.traces;
+
+  power::trace_store_descriptor desc;
+  desc.seed = config.seed;
+  desc.config_hash = aes_campaign_config_hash(config, key);
+  desc.first_index = config.first_index;
+  desc.labels = std::tuple_size_v<crypto::aes_block>;
+  {
+    trace_campaign probe(config, key);
+    if (plaintext) {
+      probe.set_plaintext_policy(plaintext);
+    }
+    desc.samples = probe.produce(config.first_index).samples.size();
+  }
+
+  power::trace_store_writer writer = open_archive(path, desc, options);
+  const std::size_t next = writer.next_index();
+  archive_result result;
+  if (next < end) {
+    campaign_config sub = config;
+    sub.first_index = next;
+    sub.traces = end - next;
+    trace_campaign campaign(sub, key);
+    if (plaintext) {
+      campaign.set_plaintext_policy(plaintext);
+    }
+    std::array<double, std::tuple_size_v<crypto::aes_block>> labels;
+    campaign.run([&writer, &labels](trace_record&& rec) {
+      for (std::size_t b = 0; b < labels.size(); ++b) {
+        labels[b] = static_cast<double>(rec.plaintext[b]);
+      }
+      writer.append(labels, rec.samples);
+    });
+    result.simulated = end - next;
+  }
+  writer.close();
+  result.total = writer.records();
+  return result;
+}
+
+} // namespace usca::core

@@ -1,0 +1,116 @@
+// The trace source / trace sink architecture.
+//
+// Every analysis in this repository consumes the same thing: an ordered
+// stream of (index, labels, samples) records.  Where the stream comes
+// from — a live parallel simulation campaign or an archived trace store
+// replayed from disk — is irrelevant to the CPA/TVLA/characterizer
+// stack, so the two ends are decoupled behind two small interfaces:
+//
+//  * trace_source — produces the stream in strict index order
+//    (core::acquisition_source, core::aes_campaign_source for live
+//    acquisition; core::archive_source for mmap replay);
+//  * trace_sink — consumes it (core/analysis_sinks.h wraps the blocked
+//    CPA/TVLA accumulators and the binary trace store writer).
+//
+// pump() connects one source to any number of sinks: shape discovery on
+// the first record, per-record fan-out, and a finish() flush.  Because
+// every source delivers in index order and every accumulator is blocked
+// with a fixed block size, an analysis fed from an archive is
+// bit-identical to the same analysis fed from the live campaign that
+// wrote the archive — the property the replay tests pin.
+#ifndef USCA_CORE_TRACE_STREAM_H
+#define USCA_CORE_TRACE_STREAM_H
+
+#include <cstddef>
+#include <functional>
+#include <span>
+
+#include "power/trace_store_reader.h"
+
+namespace usca::core {
+
+/// One record of the stream.  The spans are valid only during the
+/// consume() call (live sources reuse buffers; archive sources may remap).
+struct trace_view {
+  std::size_t index = 0;
+  std::span<const double> labels;
+  std::span<const double> samples;
+};
+
+class trace_sink {
+public:
+  virtual ~trace_sink() = default;
+
+  /// Called once, before the first record, with the discovered shape.
+  virtual void begin(std::size_t samples, std::size_t labels) {
+    (void)samples;
+    (void)labels;
+  }
+
+  /// Called once per record, in strict index order.
+  virtual void consume(const trace_view& view) = 0;
+
+  /// Called once after the last record — flush/close point.
+  virtual void finish() {}
+};
+
+class trace_source {
+public:
+  virtual ~trace_source() = default;
+
+  /// Records this source will deliver.
+  virtual std::size_t traces() const = 0;
+
+  /// Streams every record, in strict index order.
+  virtual void for_each(const std::function<void(const trace_view&)>& fn) = 0;
+};
+
+/// Replays an archived trace store as a source (zero-copy for f64
+/// stores).  The reader must outlive the source.
+class archive_source final : public trace_source {
+public:
+  explicit archive_source(const power::trace_store_reader& reader)
+      : reader_(reader) {}
+
+  std::size_t traces() const override { return reader_.traces(); }
+
+  void for_each(const std::function<void(const trace_view&)>& fn) override {
+    reader_.stream([&fn](std::size_t index, std::span<const double> labels,
+                         std::span<const double> samples) {
+      fn(trace_view{index, labels, samples});
+    });
+  }
+
+private:
+  const power::trace_store_reader& reader_;
+};
+
+/// Streams `source` into every sink: begin() with the shape of the first
+/// record, consume() per record, finish() at the end (sinks finish even
+/// when the source is empty).
+inline void pump(trace_source& source, std::span<trace_sink* const> sinks) {
+  bool begun = false;
+  source.for_each([&](const trace_view& view) {
+    if (!begun) {
+      for (trace_sink* sink : sinks) {
+        sink->begin(view.samples.size(), view.labels.size());
+      }
+      begun = true;
+    }
+    for (trace_sink* sink : sinks) {
+      sink->consume(view);
+    }
+  });
+  for (trace_sink* sink : sinks) {
+    sink->finish();
+  }
+}
+
+inline void pump(trace_source& source, trace_sink& sink) {
+  trace_sink* sinks[] = {&sink};
+  pump(source, sinks);
+}
+
+} // namespace usca::core
+
+#endif // USCA_CORE_TRACE_STREAM_H

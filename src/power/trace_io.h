@@ -1,30 +1,170 @@
-// Trace persistence: a simple binary container plus CSV export.
+// Trace persistence: the chunked binary trace store plus legacy matrix
+// and CSV export helpers.
 //
-// Campaigns that take minutes to simulate (100k-trace Table-2 runs) can be
-// captured once and re-analysed offline; CSV export feeds external
-// plotting of the Figure-3/4 series.
+// The paper's methodology is simulate-once, analyse-many: the Figure-3/4
+// CPA sweeps, the Table-2 attribution and the TVLA assessment all consume
+// the *same* synthesized traces.  The trace store makes that workflow
+// literal — a campaign archives its ordered (index, labels, samples)
+// stream once, and any number of later analyses replay it through the
+// mmap reader (power/trace_store_reader.h) without re-simulation.
 //
-// Binary layout (little endian): magic "USCA", u32 version, u64 traces,
-// u64 samples, traces*samples float64 row-major.
+// Store layout (all little endian):
+//
+//   file_header (64 bytes)
+//     char      magic[8]   = "USCATRC2"
+//     u32       version    = 2
+//     u32       scalar     (0 = float64, 1 = float32 samples)
+//     u64       samples    per trace
+//     u32       labels     per trace (always stored as float64)
+//     u32       chunk_traces  nominal records per chunk (last may be short)
+//     u64       seed          campaign master seed
+//     u64       config_hash   hash of the producing configuration
+//     u64       first_index   global index of record 0
+//     u32       reserved   = 0
+//     u32       header_crc    CRC-32 of the preceding 60 bytes
+//
+//   chunk*  — each:
+//     chunk_header (32 bytes)
+//       u32     magic      = "CHNK"
+//       u32     trace_count
+//       u64     first_index   global index of the chunk's first record
+//       u64     payload_bytes = trace_count * record_bytes
+//       u32     payload_crc   CRC-32 of the payload
+//       u32     header_crc    CRC-32 of the preceding 28 bytes
+//     payload — trace_count records, each:
+//       labels  × f64,  samples × (f64 | f32)
+//
+// Both header sizes are multiples of 8 and a float64 record is too, so
+// every record of an f64 store is 8-byte aligned in the file — the mmap
+// reader hands out zero-copy std::span<const double> views.  Chunks are
+// written atomically (buffered in memory, flushed as one write), so a
+// killed campaign leaves a prefix of whole chunks; resume() drops a
+// trailing short chunk and any torn bytes, and appending the re-simulated
+// records reproduces the uninterrupted file byte for byte.
+//
+// The version-1 whole-matrix format (save_traces/load_traces) and the
+// CSV export are kept for small one-shot dumps and external plotting.
 #ifndef USCA_POWER_TRACE_IO_H
 #define USCA_POWER_TRACE_IO_H
 
+#include <cstdint>
 #include <iosfwd>
+#include <span>
 #include <string>
+#include <vector>
 
 #include "power/trace.h"
 
 namespace usca::power {
 
-/// Writes a trace matrix; throws util::analysis_error on I/O failure.
+// ------------------------------------------------------------------ store
+
+enum class trace_scalar : std::uint32_t {
+  f64 = 0, ///< bit-exact archive (replay reproduces live analyses exactly)
+  f32 = 1, ///< half-size archive; samples quantized to float
+};
+
+/// Self-describing shape and provenance of a store, written into the file
+/// header and validated on open/resume.
+struct trace_store_descriptor {
+  std::uint64_t samples = 0; ///< samples per trace (0 = learn from record 0)
+  std::uint32_t labels = 0;  ///< labels per trace
+  trace_scalar scalar = trace_scalar::f64;
+  std::uint32_t chunk_traces = 256; ///< nominal records per chunk
+  std::uint64_t seed = 0;           ///< producing campaign's master seed
+  std::uint64_t config_hash = 0;    ///< hash of the producing configuration
+  std::uint64_t first_index = 0;    ///< global index of record 0
+
+  /// Bytes of one serialized record under this descriptor.
+  std::uint64_t record_bytes() const noexcept;
+};
+
+/// Streaming chunked writer.  Records are buffered and written one whole
+/// chunk at a time; close() flushes the trailing short chunk.  Throws
+/// util::analysis_error on I/O failure or shape mismatch.
+class trace_store_writer {
+public:
+  /// Creates (truncates) `path`.  When desc.samples is 0, the sample
+  /// count is taken from the first appended record; nothing is written
+  /// until the first chunk flush, so an abandoned empty store stays an
+  /// empty file.
+  static trace_store_writer create(const std::string& path,
+                                   const trace_store_descriptor& desc);
+
+  /// Reopens an existing store for appending.  Validates the header
+  /// against `desc` (seed, config hash, scalar, chunk size, first index,
+  /// and — when nonzero in desc — samples and labels), verifies the chunk
+  /// chain, truncates any torn tail, and re-buffers a trailing chunk
+  /// shorter than chunk_traces as pending records — so appending after a
+  /// kill reproduces an uninterrupted file byte-identically, and resuming
+  /// an already-complete store re-simulates nothing.  next_index() is
+  /// positioned after the last intact record.  A missing or empty file
+  /// behaves like create().
+  static trace_store_writer resume(const std::string& path,
+                                   const trace_store_descriptor& desc);
+
+  trace_store_writer(trace_store_writer&& other) noexcept;
+  trace_store_writer& operator=(trace_store_writer&& other) noexcept;
+  ~trace_store_writer();
+
+  /// Appends one record; labels/samples sizes must match the descriptor
+  /// (the first append fixes a deferred sample count).
+  void append(std::span<const double> labels, std::span<const double> samples);
+
+  /// Flushes buffered records and closes the file; further appends throw.
+  void close();
+
+  /// Global index the next append() will receive.
+  std::size_t next_index() const noexcept {
+    return static_cast<std::size_t>(desc_.first_index + written_ + buffered_);
+  }
+
+  /// Records already durably flushed plus buffered.
+  std::size_t records() const noexcept {
+    return static_cast<std::size_t>(written_ + buffered_);
+  }
+
+  const trace_store_descriptor& descriptor() const noexcept { return desc_; }
+
+private:
+  trace_store_writer(std::string path, const trace_store_descriptor& desc);
+
+  /// The resume() body once the file is open: validate, walk, truncate,
+  /// re-buffer.  Throws without touching the file's bytes.
+  void resume_existing(const std::string& path,
+                       const trace_store_descriptor& desc);
+  void write_header();
+  void flush_chunk();
+
+  std::string path_;
+  trace_store_descriptor desc_;
+  int fd_ = -1;
+  bool header_written_ = false;
+  std::uint64_t written_ = 0;  ///< records in flushed chunks
+  std::uint32_t buffered_ = 0; ///< records in the pending chunk
+  std::vector<unsigned char> chunk_buf_;
+};
+
+// --------------------------------------------------- legacy v1 + CSV
+
+/// Writes a trace matrix (v1 whole-matrix format); throws
+/// util::analysis_error on I/O failure.
 void save_traces(const trace_matrix& traces, std::ostream& out);
 void save_traces(const trace_matrix& traces, const std::string& path);
 
-/// Reads a trace matrix; throws util::analysis_error on a malformed file.
+/// Reads a v1 trace matrix; throws util::analysis_error on a malformed
+/// file.
 trace_matrix load_traces(std::istream& in);
 trace_matrix load_traces(const std::string& path);
 
-/// CSV export: one row per trace, samples comma-separated.
+/// Formats one trace as a CSV row (comma-separated samples + newline)
+/// into a caller-reused line buffer and writes it — the streaming unit
+/// of every CSV export here, so a 100k-trace archive never needs a full
+/// matrix (or a full matrix string) in memory.
+void export_csv_row(std::span<const double> samples, std::string& line,
+                    std::ostream& out);
+
+/// CSV export of an in-memory matrix, streamed row by row.
 void export_csv(const trace_matrix& traces, std::ostream& out);
 
 } // namespace usca::power

@@ -1,0 +1,256 @@
+#include "power/trace_store_reader.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cassert>
+#include <cstring>
+#include <ostream>
+#include <utility>
+
+#include "util/crc32.h"
+#include "util/error.h"
+
+namespace usca::power {
+
+namespace {
+
+constexpr char store_magic[8] = {'U', 'S', 'C', 'A', 'T', 'R', 'C', '2'};
+constexpr std::uint32_t store_version = 2;
+constexpr std::uint32_t chunk_magic = 0x4b4e4843; // "CHNK"
+constexpr std::uint64_t file_header_bytes = 64;
+constexpr std::uint64_t chunk_header_bytes = 32;
+
+template <typename T> T get(const unsigned char* buf, std::uint64_t offset) {
+  T value{};
+  std::memcpy(&value, buf + offset, sizeof value);
+  return value;
+}
+
+[[noreturn]] void reject(const std::string& path, const std::string& what) {
+  throw util::analysis_error("trace store '" + path + "': " + what);
+}
+
+} // namespace
+
+trace_store_reader::trace_store_reader(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw util::analysis_error("cannot open trace store '" + path + "'");
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    throw util::analysis_error("cannot stat trace store '" + path + "'");
+  }
+  map_size_ = static_cast<std::uint64_t>(st.st_size);
+  if (map_size_ < file_header_bytes) {
+    ::close(fd);
+    reject(path, "too small to hold a header");
+  }
+  void* map = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd); // the mapping keeps the file alive
+  if (map == MAP_FAILED) {
+    throw util::analysis_error("cannot mmap trace store '" + path + "'");
+  }
+  map_ = static_cast<const unsigned char*>(map);
+  try {
+    parse(path);
+  } catch (...) {
+    ::munmap(const_cast<unsigned char*>(map_), map_size_);
+    throw;
+  }
+}
+
+void trace_store_reader::parse(const std::string& path) {
+  // --- header ----------------------------------------------------------
+  if (std::memcmp(map_, store_magic, sizeof store_magic) != 0) {
+    reject(path, "bad magic (not a usca trace store)");
+  }
+  if (get<std::uint32_t>(map_, 8) != store_version) {
+    reject(path, "unsupported version");
+  }
+  if (get<std::uint32_t>(map_, 60) != util::crc32(map_, 60)) {
+    reject(path, "header checksum mismatch");
+  }
+  const auto scalar = get<std::uint32_t>(map_, 12);
+  if (scalar > static_cast<std::uint32_t>(trace_scalar::f32)) {
+    reject(path, "unknown sample scalar kind");
+  }
+  desc_.scalar = static_cast<trace_scalar>(scalar);
+  desc_.samples = get<std::uint64_t>(map_, 16);
+  desc_.labels = get<std::uint32_t>(map_, 24);
+  desc_.chunk_traces = get<std::uint32_t>(map_, 28);
+  desc_.seed = get<std::uint64_t>(map_, 32);
+  desc_.config_hash = get<std::uint64_t>(map_, 40);
+  desc_.first_index = get<std::uint64_t>(map_, 48);
+  // Bound the shape before any arithmetic on it: a corrupt header must
+  // not be able to overflow record_bytes / payload computations into
+  // "valid" ranges (the CRC catches honest bit rot, but the reject path
+  // must be safe for arbitrary bytes too).  With samples <= 2^32 and
+  // 32-bit labels, record_bytes < 2^36, so no product or sum below can
+  // wrap.  A header-only file (zero records) is a valid empty store.
+  if (desc_.samples > (1ULL << 32)) {
+    reject(path, "implausible sample count");
+  }
+  const std::uint64_t record_bytes = desc_.record_bytes();
+  if (desc_.chunk_traces == 0 || record_bytes == 0) {
+    reject(path, "degenerate record shape");
+  }
+
+  // --- chunk chain -----------------------------------------------------
+  std::uint64_t offset = file_header_bytes;
+  while (offset != map_size_) {
+    if (offset + chunk_header_bytes > map_size_) {
+      reject(path, "torn chunk header at end of file");
+    }
+    const unsigned char* chdr = map_ + offset;
+    if (get<std::uint32_t>(chdr, 0) != chunk_magic) {
+      reject(path, "bad chunk magic");
+    }
+    if (get<std::uint32_t>(chdr, 28) != util::crc32(chdr, 28)) {
+      reject(path, "chunk header checksum mismatch");
+    }
+    const std::uint32_t count = get<std::uint32_t>(chdr, 4);
+    const std::uint64_t payload_bytes = get<std::uint64_t>(chdr, 16);
+    // Overflow-safe bounds: the payload must fit in what remains of the
+    // mapping (offset + header is already known <= map_size_), and the
+    // count comparison divides instead of multiplying, so neither check
+    // can wrap whatever the forged fields hold.
+    if (payload_bytes > map_size_ - offset - chunk_header_bytes) {
+      reject(path, "truncated chunk payload");
+    }
+    if (count == 0 || count > desc_.chunk_traces ||
+        payload_bytes / record_bytes != count ||
+        payload_bytes % record_bytes != 0) {
+      reject(path, "inconsistent chunk geometry");
+    }
+    if (!chunks_.empty() &&
+        chunks_.size() * desc_.chunk_traces != traces_) {
+      // The previous chunk was short but is not the last one.
+      reject(path, "short chunk in the middle of the store");
+    }
+    if (get<std::uint64_t>(chdr, 8) != desc_.first_index + traces_) {
+      reject(path, "chunk index discontinuity");
+    }
+    const unsigned char* payload = chdr + chunk_header_bytes;
+    if (get<std::uint32_t>(chdr, 24) !=
+        util::crc32(payload, payload_bytes)) {
+      reject(path, "chunk payload checksum mismatch");
+    }
+    chunks_.push_back(offset + chunk_header_bytes);
+    traces_ += count;
+    offset += chunk_header_bytes + payload_bytes;
+  }
+  // The decode scratch row is allocated lazily by stream(): the common
+  // (f64, aligned) path never needs it, and a forged header must not be
+  // able to trigger a huge allocation before any record exists.
+}
+
+trace_store_reader::trace_store_reader(trace_store_reader&& other) noexcept
+    : desc_(other.desc_), map_(std::exchange(other.map_, nullptr)),
+      map_size_(std::exchange(other.map_size_, 0)), traces_(other.traces_),
+      chunks_(std::move(other.chunks_)),
+      scratch_(std::move(other.scratch_)) {}
+
+trace_store_reader&
+trace_store_reader::operator=(trace_store_reader&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) {
+      ::munmap(const_cast<unsigned char*>(map_), map_size_);
+    }
+    desc_ = other.desc_;
+    map_ = std::exchange(other.map_, nullptr);
+    map_size_ = std::exchange(other.map_size_, 0);
+    traces_ = other.traces_;
+    chunks_ = std::move(other.chunks_);
+    scratch_ = std::move(other.scratch_);
+  }
+  return *this;
+}
+
+trace_store_reader::~trace_store_reader() {
+  if (map_ != nullptr) {
+    ::munmap(const_cast<unsigned char*>(map_), map_size_);
+  }
+}
+
+const unsigned char*
+trace_store_reader::record_ptr(std::size_t record) const {
+  if (record >= traces_) {
+    throw util::analysis_error("trace store record index out of range");
+  }
+  const std::size_t chunk = record / desc_.chunk_traces;
+  const std::size_t within = record % desc_.chunk_traces;
+  return map_ + chunks_[chunk] + within * desc_.record_bytes();
+}
+
+std::span<const double>
+trace_store_reader::labels_row(std::size_t record) const {
+  const unsigned char* rec = record_ptr(record);
+  if (desc_.record_bytes() % alignof(double) != 0) {
+    throw util::analysis_error(
+        "labels of this store are not uniformly aligned; use stream()");
+  }
+  assert(reinterpret_cast<std::uintptr_t>(rec) % alignof(double) == 0);
+  return {reinterpret_cast<const double*>(rec), desc_.labels};
+}
+
+std::span<const double>
+trace_store_reader::samples_row(std::size_t record) const {
+  if (desc_.scalar != trace_scalar::f64) {
+    throw util::analysis_error(
+        "zero-copy sample views require a float64 store; use stream()");
+  }
+  const unsigned char* rec = record_ptr(record);
+  assert(reinterpret_cast<std::uintptr_t>(rec) % alignof(double) == 0);
+  return {reinterpret_cast<const double*>(rec) + desc_.labels,
+          static_cast<std::size_t>(desc_.samples)};
+}
+
+void trace_store_reader::stream(const record_fn& fn) const {
+  const std::size_t n_labels = desc_.labels;
+  const std::size_t n_samples = static_cast<std::size_t>(desc_.samples);
+  const bool f64 = desc_.scalar == trace_scalar::f64;
+  const bool aligned = desc_.record_bytes() % alignof(double) == 0;
+  if (traces_ > 0 && !(f64 && aligned)) {
+    scratch_.resize(n_labels + n_samples);
+  }
+  for (std::size_t i = 0; i < traces_; ++i) {
+    const unsigned char* rec = record_ptr(i);
+    const std::size_t index = first_index() + i;
+    if (f64 && aligned) {
+      const auto* row = reinterpret_cast<const double*>(rec);
+      fn(index, {row, n_labels}, {row + n_labels, n_samples});
+      continue;
+    }
+    // Decode through the scratch row: unaligned f64 labels and/or f32
+    // samples.
+    std::memcpy(scratch_.data(), rec, n_labels * sizeof(double));
+    const unsigned char* src = rec + n_labels * sizeof(double);
+    double* dst = scratch_.data() + n_labels;
+    if (f64) {
+      std::memcpy(dst, src, n_samples * sizeof(double));
+    } else {
+      for (std::size_t s = 0; s < n_samples; ++s) {
+        float f;
+        std::memcpy(&f, src + s * sizeof(float), sizeof f);
+        dst[s] = static_cast<double>(f);
+      }
+    }
+    fn(index, {scratch_.data(), n_labels}, {dst, n_samples});
+  }
+}
+
+void export_csv(const trace_store_reader& reader, std::ostream& out) {
+  std::string line;
+  line.reserve(reader.samples() * 12);
+  reader.stream([&line, &out](std::size_t, std::span<const double>,
+                              std::span<const double> samples) {
+    export_csv_row(samples, line, out);
+  });
+}
+
+} // namespace usca::power

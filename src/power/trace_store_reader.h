@@ -1,0 +1,97 @@
+// Zero-copy mmap reader for the chunked trace store (power/trace_io.h).
+//
+// The whole file is mapped read-only once; the constructor validates the
+// header and every chunk (structure, index contiguity, CRC-32 of header
+// and payload), so a reader that constructs successfully is a verified
+// archive.  Float64 stores hand out std::span<const double> views
+// straight into the mapping — replaying a 100k-trace campaign into the
+// CPA/TVLA accumulators touches each page exactly once and copies
+// nothing.  Float32 stores are decoded trace-by-trace into a reused
+// scratch row.
+#ifndef USCA_POWER_TRACE_STORE_READER_H
+#define USCA_POWER_TRACE_STORE_READER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "power/trace_io.h"
+
+namespace usca::power {
+
+class trace_store_reader {
+public:
+  /// Maps and fully validates `path`; throws util::analysis_error on any
+  /// structural damage (bad magic/version, checksum mismatch, torn or
+  /// out-of-order chunk).
+  explicit trace_store_reader(const std::string& path);
+  trace_store_reader(trace_store_reader&& other) noexcept;
+  trace_store_reader& operator=(trace_store_reader&& other) noexcept;
+  ~trace_store_reader();
+
+  const trace_store_descriptor& descriptor() const noexcept { return desc_; }
+
+  /// Records in the store.
+  std::size_t traces() const noexcept { return traces_; }
+  std::size_t samples() const noexcept {
+    return static_cast<std::size_t>(desc_.samples);
+  }
+  std::size_t labels() const noexcept { return desc_.labels; }
+
+  /// Global index range [first_index, next_index) held by the archive —
+  /// the campaign-manifest view a resumed run appends after.
+  std::size_t first_index() const noexcept {
+    return static_cast<std::size_t>(desc_.first_index);
+  }
+  std::size_t next_index() const noexcept {
+    return first_index() + traces();
+  }
+
+  std::size_t chunk_count() const noexcept { return chunks_.size(); }
+  /// Total record payload in the file (MB/s accounting).
+  std::uint64_t payload_bytes() const noexcept {
+    return desc_.record_bytes() * traces();
+  }
+
+  /// Zero-copy row views into the mapping; valid while the reader lives.
+  /// samples_row requires an f64 store (throws on f32); labels_row works
+  /// on either (labels are always stored as f64, but are only aligned —
+  /// and therefore only viewable — when the record stride is).
+  std::span<const double> labels_row(std::size_t record) const;
+  std::span<const double> samples_row(std::size_t record) const;
+
+  /// Streams every record in index order.  For f64 stores the spans alias
+  /// the mapping; for f32 stores each trace is decoded into an internal
+  /// scratch row that is overwritten by the next record.
+  using record_fn = std::function<void(
+      std::size_t index, std::span<const double> labels,
+      std::span<const double> samples)>;
+  void stream(const record_fn& fn) const;
+
+private:
+  void parse(const std::string& path);
+  const unsigned char* record_ptr(std::size_t record) const;
+
+  trace_store_descriptor desc_;
+  const unsigned char* map_ = nullptr;
+  std::uint64_t map_size_ = 0;
+  std::size_t traces_ = 0;
+  /// Payload offset per chunk; every chunk except the last holds exactly
+  /// chunk_traces records (a format invariant the constructor verifies),
+  /// so record lookup is pure arithmetic.
+  std::vector<std::uint64_t> chunks_;
+  mutable std::vector<double> scratch_; ///< f32 decode row (+ labels)
+};
+
+/// Streams an archive's samples as CSV, one row per trace, through a
+/// reused line buffer — a 100k-trace store exports without a matrix (or
+/// a full matrix string) ever being materialized.
+void export_csv(const trace_store_reader& reader, std::ostream& out);
+
+} // namespace usca::power
+
+#endif // USCA_POWER_TRACE_STORE_READER_H

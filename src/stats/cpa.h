@@ -14,6 +14,12 @@
 // Both produce identical correlations (cross-checked by the test suite);
 // the partitioned engine turns the 100k-trace AES experiments of the
 // paper's Section 5 from minutes into milliseconds.
+//
+// In the trace source/sink architecture the partitioned engine is the
+// payload of core::cpa_sink (core/analysis_sinks.h): because the blocked
+// accumulation order is fixed and every source delivers in index order,
+// feeding it from a live campaign or from an archived trace store
+// (mmap replay) yields bit-identical correlation matrices.
 #ifndef USCA_STATS_CPA_H
 #define USCA_STATS_CPA_H
 

@@ -32,7 +32,10 @@ welch_result welch_t_from_moments(std::uint64_t count_a, double mean_a,
                                   double mean_b, double var_b) noexcept;
 
 /// Sample-wise TVLA accumulator: feed traces labelled fixed or random,
-/// read back the per-sample t statistics.
+/// read back the per-sample t statistics.  core::tvla_sink
+/// (core/analysis_sinks.h) adapts it to the trace source/sink
+/// architecture, so the assessment runs identically on live campaigns
+/// and archived trace stores.
 ///
 /// Internally a blocked structure-of-arrays accumulator: each population
 /// keeps contiguous per-sample sum and sum-of-squares arrays updated in

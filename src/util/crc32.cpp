@@ -1,0 +1,35 @@
+#include "util/crc32.h"
+
+#include <array>
+
+namespace usca::util {
+
+namespace {
+
+constexpr std::array<std::uint32_t, 256> make_table() noexcept {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int bit = 0; bit < 8; ++bit) {
+      c = (c & 1u) ? 0xedb88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+constexpr std::array<std::uint32_t, 256> crc_table = make_table();
+
+} // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed) noexcept {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = crc_table[(crc ^ bytes[i]) & 0xffu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+} // namespace usca::util

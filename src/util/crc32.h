@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3 polynomial, reflected) for file-format integrity
+// checks.
+//
+// The chunked trace store writes one checksum per chunk header and per
+// chunk payload so that a torn write (killed campaign, full disk) or
+// bit rot is detected at open time instead of silently corrupting a
+// re-analysis.  Speed is a non-goal here — the store is I/O bound — so
+// the implementation is the classic single 256-entry table.
+#ifndef USCA_UTIL_CRC32_H
+#define USCA_UTIL_CRC32_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace usca::util {
+
+/// CRC-32 of `size` bytes continuing from `seed` (pass the previous
+/// return value to checksum discontiguous regions as one stream).
+std::uint32_t crc32(const void* data, std::size_t size,
+                    std::uint32_t seed = 0) noexcept;
+
+} // namespace usca::util
+
+#endif // USCA_UTIL_CRC32_H

@@ -1,0 +1,100 @@
+// The characterizer's half of simulate-once/analyse-many: archiving a
+// benchmark's trial stream and re-characterizing from the store produces
+// a report bit-identical to the single-pass live path (the attribution
+// prefix re-simulates deterministically), resumes like any archive, and
+// refuses stores from other benchmarks or configurations.
+#include "core/leakage_characterizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/error.h"
+
+namespace usca::core {
+namespace {
+
+characterizer_options replay_options() {
+  characterizer_options opts;
+  opts.traces = 1'500;
+  opts.averaging = 4;
+  opts.attribution_trials = 300;
+  return opts;
+}
+
+const characterization_benchmark& benchmark_named(const std::string& name) {
+  static const std::vector<characterization_benchmark> all =
+      table2_benchmarks();
+  for (const auto& b : all) {
+    if (b.name.find(name) != std::string::npos) {
+      return b;
+    }
+  }
+  throw std::runtime_error("benchmark not found: " + name);
+}
+
+void expect_identical(const benchmark_report& live,
+                      const benchmark_report& replayed) {
+  EXPECT_EQ(live.traces, replayed.traces);
+  EXPECT_EQ(live.samples, replayed.samples);
+  EXPECT_EQ(live.observed_dual_issue, replayed.observed_dual_issue);
+  ASSERT_EQ(live.verdicts.size(), replayed.verdicts.size());
+  for (std::size_t v = 0; v < live.verdicts.size(); ++v) {
+    const model_verdict& a = live.verdicts[v];
+    const model_verdict& b = replayed.verdicts[v];
+    EXPECT_EQ(a.label, b.label);
+    EXPECT_EQ(a.detected, b.detected);
+    // Bit-identical, not approximately equal: the archive stores f64 and
+    // delivery order is fixed.
+    EXPECT_EQ(a.max_abs_corr, b.max_abs_corr);
+    EXPECT_EQ(a.peak_sample, b.peak_sample);
+    EXPECT_EQ(a.threshold, b.threshold);
+  }
+}
+
+TEST(CharacterizerReplay, ReplayedReportIsBitIdenticalToLive) {
+  const std::string path = "/tmp/usca_chr_replay.trc";
+  std::remove(path.c_str());
+  const leakage_characterizer chr(sim::cortex_a7(),
+                                  power::synthesis_config{});
+  const characterization_benchmark& bench = benchmark_named("mov-nop-mov");
+  const characterizer_options opts = replay_options();
+
+  const benchmark_report live = chr.characterize(bench, opts);
+
+  const archive_result archived = chr.archive(bench, path, opts);
+  EXPECT_EQ(archived.total, opts.traces);
+  const benchmark_report replayed =
+      chr.characterize_replayed(bench, path, opts);
+
+  expect_identical(live, replayed);
+
+  // Archiving again is a no-op (checkpoint already complete)...
+  EXPECT_EQ(chr.archive(bench, path, opts).simulated, 0u);
+  // ...and the store refuses to characterize a different benchmark.
+  EXPECT_THROW(
+      chr.characterize_replayed(benchmark_named("add-add"), path, opts),
+      util::analysis_error);
+  std::remove(path.c_str());
+}
+
+TEST(CharacterizerReplay, ReplayRejectsMismatchedOptions) {
+  const std::string path = "/tmp/usca_chr_replay_opts.trc";
+  std::remove(path.c_str());
+  const leakage_characterizer chr(sim::cortex_a7(),
+                                  power::synthesis_config{});
+  const characterization_benchmark& bench = benchmark_named("mov-nop-mov");
+  characterizer_options opts = replay_options();
+  opts.traces = 200;
+  chr.archive(bench, path, opts);
+
+  characterizer_options other = opts;
+  other.averaging = opts.averaging * 2; // changes record content
+  EXPECT_THROW(chr.characterize_replayed(bench, path, other),
+               util::analysis_error);
+  std::remove(path.c_str());
+}
+
+} // namespace
+} // namespace usca::core

@@ -83,5 +83,27 @@ TEST(TraceIo, CsvExportShape) {
   EXPECT_EQ(lines, 3);
 }
 
+TEST(TraceIo, CsvRowsRoundTripShortestRepresentation) {
+  const trace_matrix m = sample_matrix();
+  std::stringstream out;
+  export_csv(m, out);
+  // Every exported value parses back to the exact double (std::to_chars
+  // shortest-round-trip formatting).
+  std::string line;
+  std::size_t row = 0;
+  while (std::getline(out, line)) {
+    std::stringstream cells(line);
+    std::string cell;
+    std::size_t col = 0;
+    while (std::getline(cells, cell, ',')) {
+      EXPECT_EQ(std::stod(cell), m.at(row, col));
+      ++col;
+    }
+    EXPECT_EQ(col, m.samples());
+    ++row;
+  }
+  EXPECT_EQ(row, m.traces());
+}
+
 } // namespace
 } // namespace usca::power
