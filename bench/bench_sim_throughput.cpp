@@ -23,7 +23,9 @@
 
 #include "asmx/program.h"
 #include "bench_util.h"
+#include "core/analysis_sinks.h"
 #include "core/campaign.h"
+#include "stats/batch_kernels.h"
 #include "crypto/aes_codegen.h"
 #include "power/synthesizer.h"
 #include "power/trace_io.h"
@@ -184,10 +186,15 @@ struct hot_path_report {
   double ooo_sim_cycles_per_sec = 0.0;
   double cpa_accumulate_ns_per_sample = 0.0;
   double tvla_accumulate_ns_per_sample = 0.0;
+  // Batched accumulator throughput (stats/batch_kernels.h dispatch).
+  const char* batch_kernel = "generic";
+  double cpa_batch_accumulate_gb_per_sec = 0.0;
+  double tvla_batch_accumulate_gb_per_sec = 0.0;
   // Trace-store throughput (pure I/O, no simulation in the loop).
   double store_write_mb_per_sec = 0.0;
   double store_replay_mb_per_sec = 0.0;
   double store_replay_traces_per_sec = 0.0;
+  double store_replay_batched_traces_per_sec = 0.0;
   double store_bytes_per_trace = 0.0;
 };
 
@@ -300,6 +307,44 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
         }
       });
 
+  // Batched accumulator throughput: one 256-row SoA tile streamed through
+  // the dispatched batch kernels, reported as accumulator GB/s (bytes of
+  // trace data consumed per second).
+  report.batch_kernel = stats::active_kernels().name;
+  {
+    const std::size_t rows = 256;
+    util::xoshiro256 rng(0xba7c);
+    std::vector<double> tile(rows * samples);
+    for (auto& v : tile) {
+      v = 5.0 + rng.next_gaussian();
+    }
+    std::vector<std::uint8_t> partitions(rows);
+    std::vector<unsigned char> classes(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+      partitions[r] = static_cast<std::uint8_t>(rng.next_u8());
+      classes[r] = r % 2 == 0 ? 1 : 0;
+    }
+    const std::size_t batch_reps = std::max<std::size_t>(1, reps / rows);
+    const double tile_bytes =
+        static_cast<double>(rows * samples * sizeof(double));
+    stats::partitioned_cpa batch_cpa(samples);
+    auto start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < batch_reps; ++r) {
+      batch_cpa.add_batch(partitions, tile.data(), samples, rows);
+    }
+    report.cpa_batch_accumulate_gb_per_sec =
+        tile_bytes * static_cast<double>(batch_reps) /
+        seconds_since(start) / 1e9;
+    stats::tvla_accumulator batch_tvla(samples);
+    start = std::chrono::steady_clock::now();
+    for (std::size_t r = 0; r < batch_reps; ++r) {
+      batch_tvla.add_batch(tile.data(), samples, rows, classes);
+    }
+    report.tvla_batch_accumulate_gb_per_sec =
+        tile_bytes * static_cast<double>(batch_reps) /
+        seconds_since(start) / 1e9;
+  }
+
   // Trace-store throughput on the campaign's own records: chunked+CRC'd
   // write of the collected traces, then a full mmap replay — pure I/O,
   // no simulation in either loop.
@@ -342,6 +387,16 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
     if (checksum == 0.0) {
       std::fprintf(stderr, "(degenerate replay checksum)\n");
     }
+    // Batched replay INTO an analysis: zero-copy chunks pumped through
+    // the CPA pass — the analysis-loaded counterpart of the raw replay
+    // number above.
+    const auto batched_start = std::chrono::steady_clock::now();
+    core::archive_source source(reader);
+    core::cpa_sink cpa_pass(0);
+    core::pump(source, cpa_pass);
+    report.store_replay_batched_traces_per_sec =
+        static_cast<double>(cpa_pass.cpa().traces()) /
+        seconds_since(batched_start);
   }
   std::remove(store_path.c_str());
   return report;
@@ -364,9 +419,13 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                "  \"ooo_sim_cycles_per_sec\": %.0f,\n"
                "  \"cpa_accumulate_ns_per_sample\": %.3f,\n"
                "  \"tvla_accumulate_ns_per_sample\": %.3f,\n"
+               "  \"batch_kernel\": \"%s\",\n"
+               "  \"cpa_batch_accumulate_gb_per_sec\": %.2f,\n"
+               "  \"tvla_batch_accumulate_gb_per_sec\": %.2f,\n"
                "  \"store_write_mb_per_sec\": %.1f,\n"
                "  \"store_replay_mb_per_sec\": %.1f,\n"
                "  \"store_replay_traces_per_sec\": %.0f,\n"
+               "  \"store_replay_batched_traces_per_sec\": %.0f,\n"
                "  \"store_bytes_per_trace\": %.0f\n"
                "}\n",
                r.traces, r.averaging, r.threads, r.samples_per_trace,
@@ -375,9 +434,13 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                r.ooo_sim_cycles_per_sec,
                r.cpa_accumulate_ns_per_sample,
                r.tvla_accumulate_ns_per_sample,
+               r.batch_kernel,
+               r.cpa_batch_accumulate_gb_per_sec,
+               r.tvla_batch_accumulate_gb_per_sec,
                r.store_write_mb_per_sec,
                r.store_replay_mb_per_sec,
                r.store_replay_traces_per_sec,
+               r.store_replay_batched_traces_per_sec,
                r.store_bytes_per_trace);
 }
 

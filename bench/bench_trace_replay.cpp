@@ -1,19 +1,23 @@
 // Experiment P2 — simulate-once/analyse-many: live vs replayed CPA.
 //
 //   ./build/bench_trace_replay [traces=N] [averaging=M] [threads=T]
-//                              [seed=S] [f32=0|1] [keep=0|1]
+//                              [seed=S] [f32=0|1] [keep=0|1] [reps=R]
 //
-// Measures the three phases of the archived workflow on the same AES
-// campaign: (1) the live path — acquisition straight into the CPA
-// accumulator; (2) archiving — the identical campaign streamed into the
-// chunked trace store; (3) replay — the mmap reader feeding the same CPA
-// sink with zero simulation.  Verifies that the replayed correlation
-// ranks are bit-identical to the live ones (the whole point of the
-// store), and reports archive size per 10k traces plus pure store
-// read/write throughput measured without any simulation in the loop.
+// Measures the phases of the archived workflow on the same AES campaign:
+// (1) the live path — acquisition straight into the CPA accumulator;
+// (2) archiving — the identical campaign streamed into the chunked trace
+// store; (3) per-trace replay — the mmap reader feeding add_trace one
+// record at a time (the pre-batch architecture); (4) batched replay —
+// whole zero-copy chunks pumped through the batched analysis pass and
+// the register-blocked accumulate kernels.  Verifies that BOTH replay
+// paths produce correlation ranks bit-identical to the live ones, and
+// reports archive size per 10k traces plus pure store read/write
+// throughput measured without any simulation in the loop.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <optional>
 #include <string>
 
 #include "bench_util.h"
@@ -82,20 +86,51 @@ int main(int argc, char** argv) {
   core::archive_aes_campaign(config, bench_key, path, store);
   const double archive_seconds = archive_watch.seconds();
 
-  // ---- (3) replay: mmap the archive into the same sink ---------------
-  const bench::stopwatch replay_watch;
+  // ---- (3) per-trace replay: one add_trace per record (PR4 path) -----
+  // The reader is constructed (mmap + full CRC validation) and warmed
+  // outside both timed replay regions, so the per-trace vs batched
+  // comparison charges each phase only for its own accumulation work;
+  // each phase repeats `reps` times (fresh accumulator per repetition)
+  // so the sub-10ms analyses time stably.
+  const std::size_t reps =
+      std::max<std::size_t>(1, args.get_size("reps", 4));
   const power::trace_store_reader reader(path);
-  core::cpa_sink replayed(0);
-  core::archive_source source(reader);
-  core::pump(source, replayed);
-  const double replay_seconds = replay_watch.seconds();
+  reader.stream([](std::size_t, std::span<const double>,
+                   std::span<const double>) {});
+  std::optional<stats::partitioned_cpa> per_trace_cpa;
+  const bench::stopwatch per_trace_watch;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    per_trace_cpa.emplace(reader.samples());
+    reader.stream([&per_trace_cpa](std::size_t,
+                                   std::span<const double> labels,
+                                   std::span<const double> samples) {
+      per_trace_cpa->add_trace(static_cast<std::uint8_t>(labels[0]),
+                               samples);
+    });
+  }
+  const double per_trace_seconds =
+      per_trace_watch.seconds() / static_cast<double>(reps);
+  const stats::cpa_result per_trace_result =
+      per_trace_cpa->solve(subbytes_hw_model, 256);
+
+  // ---- (4) batched replay: zero-copy chunks into the batch kernels ---
+  std::optional<core::cpa_sink> replayed;
+  const bench::stopwatch replay_watch;
+  for (std::size_t rep = 0; rep < reps; ++rep) {
+    replayed.emplace(0);
+    core::archive_source source(reader);
+    core::pump(source, *replayed);
+  }
+  const double replay_seconds =
+      replay_watch.seconds() / static_cast<double>(reps);
   const stats::cpa_result replay_result =
-      replayed.cpa().solve(subbytes_hw_model, 256);
+      replayed->cpa().solve(subbytes_hw_model, 256);
 
   // Rank identity check (f64 stores are bit-exact; f32 quantizes).
   bool identical = true;
   for (std::size_t g = 0; g < 256 && identical; ++g) {
-    identical = live_result.rank_of(g) == replay_result.rank_of(g);
+    identical = live_result.rank_of(g) == replay_result.rank_of(g) &&
+                live_result.rank_of(g) == per_trace_result.rank_of(g);
   }
 
   // ---- pure store I/O: no simulation in the loop ---------------------
@@ -116,17 +151,23 @@ int main(int argc, char** argv) {
   const double per_trace = static_cast<double>(reader.payload_bytes()) /
                            static_cast<double>(traces);
 
-  std::printf("  phase         seconds   traces/s\n");
-  bench::print_rule(44);
-  std::printf("  live CPA      %7.2f   %8.0f\n", live_seconds,
+  std::printf("  phase              seconds   traces/s\n");
+  bench::print_rule(52);
+  std::printf("  live CPA           %7.2f   %8.0f\n", live_seconds,
               static_cast<double>(traces) / live_seconds);
-  std::printf("  archive       %7.2f   %8.0f   (simulate + write)\n",
+  std::printf("  archive            %7.2f   %8.0f   (simulate + write)\n",
               archive_seconds,
               static_cast<double>(traces) / archive_seconds);
-  std::printf("  replay CPA    %7.2f   %8.0f   (%.0fx live)\n",
+  std::printf("  replay per-trace   %7.2f   %8.0f   (%.0fx live)\n",
+              per_trace_seconds,
+              static_cast<double>(traces) / per_trace_seconds,
+              live_seconds / per_trace_seconds);
+  std::printf("  replay batched     %7.2f   %8.0f   (%.0fx live, "
+              "%.2fx per-trace)\n",
               replay_seconds,
               static_cast<double>(traces) / replay_seconds,
-              live_seconds / replay_seconds);
+              live_seconds / replay_seconds,
+              per_trace_seconds / replay_seconds);
   std::printf("\n  archive: %zu traces x %zu samples = %.1f MiB "
               "(%.1f MiB per 10k traces)\n",
               reader.traces(), reader.samples(), payload_mib,

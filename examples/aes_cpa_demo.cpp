@@ -4,17 +4,23 @@
 //
 //   ./build/example_aes_cpa_demo [--backend=inorder|ooo] [--traces=N]
 //                                [--dump-traces=PATH] [--replay=PATH]
+//                                [--window=first:last] [--per-round]
 //
 // Recovers key byte 0 from synthesized power traces with the coarse
 // Hamming-weight-of-SubBytes-output model and prints the top candidates.
 // Acquisition runs through the generic core::acquisition_campaign — the
 // same parallel, per-index-seeded hot path the full-size experiments use
-// — streamed through the trace source/sink architecture, so the same
-// CPA sink consumes either a live simulation (optionally archived on the
+// — streamed through the batched analysis-pass architecture, so the same
+// CPA pass consumes either a live simulation (optionally archived on the
 // side with --dump-traces) or an mmap replay of a previous archive
-// (--replay, no simulation at all).  The two paths produce bit-identical
-// correlations; the demo doubles as the smallest possible
-// simulate-once/analyse-many walkthrough.
+// (--replay, whole chunks zero-copy, no simulation at all).  The two
+// paths produce bit-identical correlations; the demo doubles as the
+// smallest possible simulate-once/analyse-many walkthrough.
+//
+// --window restricts the attack to a sample slice of each trace, and
+// --per-round fans ONE pass over the data into per-AES-phase CPA passes
+// (initial AddRoundKey, round-1 SubBytes/ShiftRows/MixColumns) — the
+// multi-window workflow: N windowed analyses, one read of the stream.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -41,7 +47,8 @@ const crypto::aes_key demo_key = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23,
                                   0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
                                   0x10, 0x32, 0x54, 0x76};
 
-/// Narrates acquisition progress alongside the analysis sinks.
+/// Narrates acquisition progress alongside the analysis passes (kept a
+/// per-record trace_sink on purpose — it rides in a per_trace_adapter).
 class progress_sink final : public core::trace_sink {
 public:
   void consume(const core::trace_view& view) override {
@@ -50,6 +57,79 @@ public:
     }
   }
 };
+
+double subbytes_model(std::size_t guess, std::size_t pt_byte) {
+  return static_cast<double>(util::hamming_weight(
+      crypto::subbytes_hypothesis(static_cast<std::uint8_t>(pt_byte),
+                                  static_cast<std::uint8_t>(guess))));
+}
+
+core::acquisition_config
+demo_config(sim::backend_kind backend, std::size_t traces) {
+  core::acquisition_config config;
+  config.traces = traces;
+  config.seed = 42;
+  config.averaging = 8;
+  config.window = core::campaign_window{crypto::mark_encrypt_begin,
+                                        crypto::mark_round1_end};
+  config.backend = backend;
+  config.uarch = backend == sim::backend_kind::ooo ? sim::cortex_a7_ooo()
+                                                   : sim::cortex_a7();
+  return config;
+}
+
+core::acquisition_campaign
+make_campaign(const crypto::aes_program_layout& layout,
+              const crypto::aes_round_keys& rk,
+              const core::acquisition_config& config) {
+  core::acquisition_campaign campaign(sim::program_image(layout.prog),
+                                      config);
+  campaign.set_setup([&layout, &rk](std::size_t, util::xoshiro256& rng,
+                                    sim::backend& core,
+                                    std::vector<double>& labels) {
+    crypto::aes_block pt;
+    for (auto& b : pt) {
+      b = rng.next_u8();
+    }
+    crypto::install_aes_inputs(core.memory(), layout, rk, pt);
+    labels.resize(pt.size());
+    for (std::size_t b = 0; b < pt.size(); ++b) {
+      labels[b] = static_cast<double>(pt[b]); // all 16 -> full-key replay
+    }
+  });
+  return campaign;
+}
+
+struct phase_window {
+  std::string name;
+  core::window_spec window;
+};
+
+/// Derives the per-AES-phase sample windows from the trigger marks of
+/// one simulated trace (the phase boundaries are data-independent —
+/// constant-time AES — so trace 0 stands for all).
+std::vector<phase_window>
+aes_phase_windows(const core::acquisition_record& rec) {
+  const auto cycle_of = [&rec](std::uint16_t id) -> std::size_t {
+    for (const sim::mark_stamp& m : rec.marks) {
+      if (m.id == id) {
+        return static_cast<std::size_t>(m.cycle - rec.window_begin);
+      }
+    }
+    throw util::analysis_error("AES phase mark missing from the trace");
+  };
+  const std::size_t ark0 = cycle_of(crypto::mark_ark0_end);
+  const std::size_t sb1 = cycle_of(crypto::mark_sb1_end);
+  const std::size_t shr1 = cycle_of(crypto::mark_shr1_end);
+  const auto end =
+      static_cast<std::size_t>(rec.window_end - rec.window_begin);
+  return {
+      {"AddRoundKey 0", core::window_spec::range(0, ark0)},
+      {"SubBytes 1", core::window_spec::range(ark0, sb1)},
+      {"ShiftRows 1", core::window_spec::range(sb1, shr1)},
+      {"MixColumns 1", core::window_spec::range(shr1, end)},
+  };
+}
 
 int report_and_check(const stats::cpa_result& result) {
   std::vector<std::size_t> order(256);
@@ -74,6 +154,29 @@ int report_and_check(const stats::cpa_result& result) {
   return result.best().guess == demo_key[0] ? 0 : 1;
 }
 
+void report_phases(const std::vector<phase_window>& phases,
+                   const std::vector<core::cpa_sink*>& sinks) {
+  std::printf("\nper-AES-phase CPA (one pass over the data, %zu windowed "
+              "passes):\n",
+              phases.size());
+  std::printf("  %-14s %-12s %-10s %-8s %-6s %s\n", "phase", "window",
+              "best", "|corr|", "rank", "z(true)");
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const stats::cpa_result result =
+        sinks[p]->cpa().solve(subbytes_model, 256);
+    const auto best = result.best();
+    char window_text[32];
+    std::snprintf(window_text, sizeof window_text, "[%zu, %zu)",
+                  phases[p].window.first, phases[p].window.last);
+    std::printf("  %-14s %-12s 0x%02zx%s %8.4f %5zu %8.2f\n",
+                phases[p].name.c_str(), window_text, best.guess,
+                best.guess == demo_key[0] ? "*" : " ",
+                std::fabs(best.corr), result.rank_of(demo_key[0]),
+                result.distinguishing_z(demo_key[0]));
+  }
+  std::printf("  (* = true key byte recovered in that window alone)\n");
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -81,6 +184,8 @@ int main(int argc, char** argv) {
   std::size_t traces = 1'000;
   std::string dump_path;
   std::string replay_path;
+  std::optional<core::window_spec> window;
+  bool per_round = false;
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.rfind("--backend=", 0) == 0) {
@@ -104,10 +209,29 @@ int main(int argc, char** argv) {
       dump_path = arg.substr(14);
     } else if (arg.rfind("--replay=", 0) == 0) {
       replay_path = arg.substr(9);
+    } else if (arg.rfind("--window=", 0) == 0) {
+      char* end = nullptr;
+      const char* text = argv[i] + 9;
+      const unsigned long long first = std::strtoull(text, &end, 10);
+      if (end == text || *end != ':') {
+        std::fprintf(stderr, "--window wants first:last, got '%s'\n", text);
+        return 2;
+      }
+      const char* last_text = end + 1;
+      const unsigned long long last = std::strtoull(last_text, &end, 10);
+      if (end == last_text || *end != '\0' || last <= first) {
+        std::fprintf(stderr, "--window wants first:last, got '%s'\n", text);
+        return 2;
+      }
+      window = core::window_spec::range(static_cast<std::size_t>(first),
+                                       static_cast<std::size_t>(last));
+    } else if (arg == "--per-round") {
+      per_round = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--backend=inorder|ooo] [--traces=N] "
-                   "[--dump-traces=PATH] [--replay=PATH]\n",
+                   "[--dump-traces=PATH] [--replay=PATH] "
+                   "[--window=first:last] [--per-round]\n",
                    argv[0]);
       return 2;
     }
@@ -116,15 +240,33 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "--replay and --dump-traces are exclusive\n");
     return 2;
   }
+  if (window && per_round) {
+    std::fprintf(stderr, "--window and --per-round are exclusive\n");
+    return 2;
+  }
 
-  const auto model = [](std::size_t guess, std::size_t pt_byte) {
-    return static_cast<double>(util::hamming_weight(
-        crypto::subbytes_hypothesis(static_cast<std::uint8_t>(pt_byte),
-                                    static_cast<std::uint8_t>(guess))));
+  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
+  const crypto::aes_round_keys rk = crypto::expand_key(demo_key);
+
+  // The windowed passes: one full-window CPA plus (with --per-round) one
+  // CPA per AES phase — all consuming the SAME pumped stream.
+  core::cpa_sink cpa(0, window.value_or(core::window_spec::all()));
+  std::vector<phase_window> phases;
+  std::vector<core::cpa_sink> phase_storage;
+  std::vector<core::cpa_sink*> phase_sinks;
+  const auto build_phase_sinks = [&](const core::acquisition_record& rec) {
+    phases = aes_phase_windows(rec);
+    phase_storage.reserve(phases.size());
+    for (const phase_window& phase : phases) {
+      phase_storage.emplace_back(0, phase.window);
+    }
+    for (core::cpa_sink& sink : phase_storage) {
+      phase_sinks.push_back(&sink);
+    }
   };
 
   if (!replay_path.empty()) {
-    // ---- replay path: CPA over the archive, no simulation -------------
+    // ---- replay path: CPA over the archive, no re-simulation ----------
     std::optional<power::trace_store_reader> opened;
     try {
       opened.emplace(replay_path);
@@ -145,10 +287,43 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "archive holds no traces\n");
       return 2;
     }
+    if (per_round) {
+      // Phase boundaries come from the trigger marks, which archives do
+      // not carry: one trace re-simulated under the demo configuration
+      // recovers them (per-index seeding makes it THE trace behind
+      // record 0 when the archive came from --dump-traces).
+      core::acquisition_campaign probe = make_campaign(
+          layout, rk, demo_config(backend, 1));
+      const core::acquisition_record rec =
+          probe.produce(reader.first_index());
+      if (rec.window_end - rec.window_begin != reader.samples()) {
+        std::fprintf(stderr,
+                     "archive window (%zu samples) does not match the "
+                     "%s backend's window (%zu); pass the --backend the "
+                     "archive was recorded with\n",
+                     reader.samples(),
+                     std::string(sim::backend_kind_name(backend)).c_str(),
+                     static_cast<std::size_t>(rec.window_end -
+                                              rec.window_begin));
+        return 2;
+      }
+      build_phase_sinks(rec);
+    }
     core::archive_source source(reader);
-    core::cpa_sink cpa(0);
-    core::pump(source, cpa);
-    return report_and_check(cpa.cpa().solve(model, 256));
+    std::vector<core::analysis_pass*> passes = {&cpa};
+    for (core::cpa_sink* sink : phase_sinks) {
+      passes.push_back(sink);
+    }
+    try {
+      core::pump(source, passes);
+    } catch (const util::usca_error& e) {
+      std::fprintf(stderr, "analysis failed: %s\n", e.what());
+      return 2;
+    }
+    if (per_round) {
+      report_phases(phases, phase_sinks);
+    }
+    return report_and_check(cpa.cpa().solve(subbytes_model, 256));
   }
 
   // ---- live path: acquisition campaign, optionally archived -----------
@@ -157,55 +332,43 @@ int main(int argc, char** argv) {
               traces,
               std::string(sim::backend_kind_name(backend)).c_str());
 
-  const crypto::aes_program_layout layout = crypto::generate_aes128_program();
-  const crypto::aes_round_keys rk = crypto::expand_key(demo_key);
+  core::acquisition_campaign campaign =
+      make_campaign(layout, rk, demo_config(backend, traces));
+  if (per_round) {
+    build_phase_sinks(campaign.produce(0));
+  }
 
-  core::acquisition_config config;
-  config.traces = traces;
-  config.seed = 42;
-  config.averaging = 8;
-  config.window =
-      core::campaign_window{crypto::mark_encrypt_begin,
-                            crypto::mark_round1_end};
-  config.backend = backend;
-  config.uarch = backend == sim::backend_kind::ooo ? sim::cortex_a7_ooo()
-                                                   : sim::cortex_a7();
-  core::acquisition_campaign campaign(sim::program_image(layout.prog),
-                                      config);
-  campaign.set_setup([&layout, &rk](std::size_t, util::xoshiro256& rng,
-                                    sim::backend& core,
-                                    std::vector<double>& labels) {
-    crypto::aes_block pt;
-    for (auto& b : pt) {
-      b = rng.next_u8();
-    }
-    crypto::install_aes_inputs(core.memory(), layout, rk, pt);
-    labels.resize(pt.size());
-    for (std::size_t b = 0; b < pt.size(); ++b) {
-      labels[b] = static_cast<double>(pt[b]); // all 16 -> full-key replay
-    }
-  });
-
-  core::cpa_sink cpa(0);
   progress_sink progress;
-  std::vector<core::trace_sink*> sinks = {&cpa, &progress};
+  core::per_trace_adapter progress_pass(progress);
+  std::vector<core::analysis_pass*> passes = {&cpa, &progress_pass};
+  for (core::cpa_sink* sink : phase_sinks) {
+    passes.push_back(sink);
+  }
   std::optional<core::store_sink> store;
   if (!dump_path.empty()) {
     power::trace_store_descriptor desc;
-    desc.seed = config.seed;
-    desc.config_hash =
-        core::salted_config_hash(core::acquisition_config_hash(config), 0);
+    desc.seed = campaign.config().seed;
+    desc.config_hash = core::salted_config_hash(
+        core::acquisition_config_hash(campaign.config()), 0);
     store.emplace(dump_path, desc);
-    sinks.push_back(&*store);
+    passes.push_back(&*store);
   }
 
   core::acquisition_source source(campaign);
-  core::pump(source, sinks);
+  try {
+    core::pump(source, passes);
+  } catch (const util::usca_error& e) {
+    std::fprintf(stderr, "analysis failed: %s\n", e.what());
+    return 2;
+  }
 
   if (store) {
     std::printf("  archived %zu traces to '%s' (replay with "
                 "--replay=%s)\n",
                 store->records(), dump_path.c_str(), dump_path.c_str());
   }
-  return report_and_check(cpa.cpa().solve(model, 256));
+  if (per_round) {
+    report_phases(phases, phase_sinks);
+  }
+  return report_and_check(cpa.cpa().solve(subbytes_model, 256));
 }

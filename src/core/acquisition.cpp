@@ -90,16 +90,21 @@ acquisition_record acquisition_campaign::produce(std::size_t index) const {
   return rec;
 }
 
-void acquisition_campaign::run(trace_sink& sink) {
+void acquisition_campaign::run(analysis_pass& pass) {
   acquisition_source source(*this);
-  pump(source, sink);
+  pump(source, pass);
 }
 
-void acquisition_source::for_each(
-    const std::function<void(const trace_view&)>& fn) {
-  campaign_.run([&fn](acquisition_record&& rec) {
-    fn(trace_view{rec.index, rec.labels, rec.samples});
+void acquisition_source::for_each_batch(std::size_t max_batch,
+                                        const batch_fn& fn) {
+  if (max_batch == 0) {
+    max_batch = default_batch_traces;
+  }
+  batch_builder builder(max_batch);
+  campaign_.run([&](acquisition_record&& rec) {
+    builder.push(rec.index, rec.labels, rec.samples, fn);
   });
+  builder.flush(fn);
 }
 
 void acquisition_campaign::run(const sink_fn& sink) {

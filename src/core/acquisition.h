@@ -91,10 +91,11 @@ public:
   /// exceptions abort the campaign and rethrow here.
   void run(const sink_fn& sink);
 
-  /// Streams the campaign through the source/sink architecture: begin()
-  /// with the shape of the first record, one consume() per record (labels
-  /// and samples of the acquisition_record), finish() at the end.
-  void run(trace_sink& sink);
+  /// Streams the campaign through the batched analysis architecture:
+  /// records are packed into SoA tiles (labels and samples of the
+  /// acquisition_record) and pumped through the pass — begin() at the
+  /// first tile, consume_batch() per tile, finish() at the end.
+  void run(analysis_pass& pass);
 
   /// Produces record `index` synchronously on a fresh pipeline; run()
   /// yields exactly this record for every index.
@@ -114,10 +115,12 @@ private:
   setup_fn setup_;
 };
 
-/// Presents an acquisition campaign as a trace_source, so the same
-/// analysis sinks run on live simulation and on archived stores
-/// (core::archive_source) without caring which.  The campaign must
-/// outlive the source; each for_each() call runs the campaign once.
+/// Presents an acquisition campaign as a batched trace_source, so the
+/// same analysis passes run on live simulation and on archived stores
+/// (core::archive_source) without caring which.  The in-order record
+/// deliveries are packed into a reused SoA tile per batch; the campaign
+/// must outlive the source, and each for_each_batch() call runs the
+/// campaign once.
 class acquisition_source final : public trace_source {
 public:
   explicit acquisition_source(acquisition_campaign& campaign)
@@ -127,7 +130,7 @@ public:
     return campaign_.config().traces;
   }
 
-  void for_each(const std::function<void(const trace_view&)>& fn) override;
+  void for_each_batch(std::size_t max_batch, const batch_fn& fn) override;
 
 private:
   acquisition_campaign& campaign_;

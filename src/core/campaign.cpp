@@ -128,20 +128,25 @@ trace_record trace_campaign::produce(std::size_t index) const {
   return rec;
 }
 
-void trace_campaign::run(trace_sink& sink) {
+void trace_campaign::run(analysis_pass& pass) {
   aes_campaign_source source(*this);
-  pump(source, sink);
+  pump(source, pass);
 }
 
-void aes_campaign_source::for_each(
-    const std::function<void(const trace_view&)>& fn) {
+void aes_campaign_source::for_each_batch(std::size_t max_batch,
+                                         const batch_fn& fn) {
+  if (max_batch == 0) {
+    max_batch = default_batch_traces;
+  }
+  batch_builder builder(max_batch);
   std::array<double, std::tuple_size_v<crypto::aes_block>> labels;
-  campaign_.run([&fn, &labels](trace_record&& rec) {
+  campaign_.run([&](trace_record&& rec) {
     for (std::size_t b = 0; b < labels.size(); ++b) {
       labels[b] = static_cast<double>(rec.plaintext[b]);
     }
-    fn(trace_view{rec.index, labels, rec.samples});
+    builder.push(rec.index, labels, rec.samples, fn);
   });
+  builder.flush(fn);
 }
 
 void trace_campaign::run(const sink_fn& sink) {

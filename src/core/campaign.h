@@ -112,11 +112,11 @@ public:
   /// and sink exceptions abort the campaign and rethrow here.
   void run(const sink_fn& sink);
 
-  /// Streams the campaign through the source/sink architecture.  Each
-  /// record's labels are the 16 plaintext bytes (as doubles), so an
+  /// Streams the campaign through the batched analysis architecture.
+  /// Each record's labels are the 16 plaintext bytes (as doubles), so an
   /// archived AES campaign supports per-byte CPA for every key byte and
   /// index-parity TVLA on replay.
-  void run(trace_sink& sink);
+  void run(analysis_pass& pass);
 
   /// Produces trace `index` of the campaign synchronously; run() yields
   /// exactly this record for every index (the determinism contract is
@@ -157,9 +157,9 @@ private:
   plaintext_fn plaintext_;
 };
 
-/// Presents an AES trace campaign as a trace_source (labels = the 16
-/// plaintext bytes).  The campaign must outlive the source; each
-/// for_each() call runs the campaign once.
+/// Presents an AES trace campaign as a batched trace_source (labels =
+/// the 16 plaintext bytes).  The campaign must outlive the source; each
+/// for_each_batch() call runs the campaign once.
 class aes_campaign_source final : public trace_source {
 public:
   explicit aes_campaign_source(trace_campaign& campaign)
@@ -169,7 +169,7 @@ public:
     return campaign_.config().traces;
   }
 
-  void for_each(const std::function<void(const trace_view&)>& fn) override;
+  void for_each_batch(std::size_t max_batch, const batch_fn& fn) override;
 
 private:
   trace_campaign& campaign_;

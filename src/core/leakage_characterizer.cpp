@@ -224,6 +224,51 @@ benchmark_report report_header(const characterization_benchmark& bench) {
   return report;
 }
 
+/// Batched total-power pass of the characterizer: correlates every model
+/// label against every window sample.  Looping models outer and batch
+/// rows inner keeps each (model, sample) accumulator's update order
+/// ascending-index — bit-identical to the per-record formulation.
+class model_power_pass final : public analysis_pass {
+public:
+  model_power_pass(std::size_t n_models, model_grid& power_acc,
+                   column_grid& column_acc)
+      : n_models_(n_models), power_acc_(power_acc),
+        column_acc_(column_acc) {}
+
+  std::size_t samples() const noexcept { return samples_; }
+  std::size_t streamed() const noexcept { return streamed_; }
+
+  void begin(const stream_shape& shape) override {
+    if (shape.labels != n_models_) {
+      throw util::analysis_error(
+          "trace source labels do not match the benchmark's models");
+    }
+    samples_ = shape.samples;
+    size_grids(n_models_, samples_, power_acc_, column_acc_);
+  }
+
+  void consume_batch(const trace_batch_view& batch) override {
+    for (std::size_t m = 0; m < n_models_; ++m) {
+      std::vector<stats::pearson_accumulator>& row = power_acc_[m];
+      for (std::size_t r = 0; r < batch.count; ++r) {
+        const double label = batch.labels_row(r)[m];
+        const std::span<const double> samples = batch.samples_row(r);
+        for (std::size_t s = 0; s < samples_; ++s) {
+          row[s].add(label, samples[s]);
+        }
+      }
+    }
+    streamed_ += batch.count;
+  }
+
+private:
+  std::size_t n_models_;
+  model_grid& power_acc_;
+  column_grid& column_acc_;
+  std::size_t samples_ = 0;
+  std::size_t streamed_ = 0;
+};
+
 } // namespace
 
 acquisition_config
@@ -303,33 +348,17 @@ leakage_characterizer::characterize(const characterization_benchmark& bench,
   const std::size_t n_models = bench.models.size();
   model_grid power_acc(n_models);
   column_grid column_acc(n_models);
-  std::size_t samples = 0;
-  std::size_t streamed = 0;
 
-  // Total-power pass from the (typically archived) source.
-  source.for_each([&](const trace_view& view) {
-    if (view.labels.size() != n_models) {
-      throw util::analysis_error(
-          "trace source labels do not match the benchmark's models");
-    }
-    if (streamed == 0) {
-      samples = view.samples.size();
-      report.samples = samples;
-      size_grids(n_models, samples, power_acc, column_acc);
-    } else if (view.samples.size() != samples) {
-      throw util::analysis_error(
-          "trace source delivers inconsistent sample counts");
-    }
-    for (std::size_t m = 0; m < n_models; ++m) {
-      for (std::size_t s = 0; s < samples; ++s) {
-        power_acc[m][s].add(view.labels[m], view.samples[s]);
-      }
-    }
-    ++streamed;
-  });
+  // Total-power pass from the (typically archived) source, batched:
+  // archive sources deliver whole mmap'd chunks zero-copy.
+  model_power_pass power_pass(n_models, power_acc, column_acc);
+  pump(source, power_pass);
+  const std::size_t streamed = power_pass.streamed();
   if (streamed == 0) {
     throw util::analysis_error("trace source delivered no records");
   }
+  const std::size_t samples = power_pass.samples();
+  report.samples = samples;
   report.traces = streamed;
 
   // Attribution + dual-issue need pipeline activity, which the source

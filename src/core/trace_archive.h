@@ -101,6 +101,11 @@ archive_result archive_acquisition(const sim::program_image& image,
 /// `plaintext` to replace the default uniform-random policy (e.g. the
 /// TVLA fixed-vs-random split); like the campaign's own contract it must
 /// be a pure function of (index, rng) or the resume bit-identity breaks.
+/// CAUTION: the stored config hash cannot cover the policy callback —
+/// when archiving with a non-default policy, salt its identity in via
+/// archive_options.config_salt (as the characterizer does for its
+/// benchmarks), or a later resume with a different policy will pass the
+/// provenance check and silently mix trace populations.
 archive_result
 archive_aes_campaign(const campaign_config& config, const crypto::aes_key& key,
                      const std::string& path,

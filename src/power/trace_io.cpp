@@ -281,6 +281,14 @@ void trace_store_writer::resume_existing(const std::string& path,
     last_chunk_count = count;
     records += count;
     offset += chunk_header_bytes + payload_bytes;
+    if (count < file_desc.chunk_traces) {
+      // A short chunk is only valid as the LAST chunk (the reader
+      // rejects a short chunk mid-chain).  Stop the walk here: whatever
+      // follows is treated as torn tail, the short chunk is re-buffered
+      // below, and the truncated records re-simulate deterministically —
+      // the resumed file satisfies the reader's invariant again.
+      break;
+    }
   }
 
   // Re-buffer a trailing short chunk instead of keeping it on disk: its

@@ -5,6 +5,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
 #include <ostream>
@@ -210,37 +211,61 @@ trace_store_reader::samples_row(std::size_t record) const {
           static_cast<std::size_t>(desc_.samples)};
 }
 
+batch_rows trace_store_reader::chunk_rows(std::size_t chunk) const {
+  if (chunk >= chunks_.size()) {
+    throw util::analysis_error("trace store chunk index out of range");
+  }
+  const std::size_t n_labels = desc_.labels;
+  const std::size_t n_samples = static_cast<std::size_t>(desc_.samples);
+  batch_rows rows;
+  rows.first_record = chunk * desc_.chunk_traces;
+  rows.count = std::min<std::size_t>(desc_.chunk_traces,
+                                     traces_ - rows.first_record);
+  const unsigned char* payload = map_ + chunks_[chunk];
+  if (desc_.scalar == trace_scalar::f64) {
+    // An f64 record is labels*8 + samples*8 bytes and every payload
+    // offset is 8-aligned (header sizes are multiples of 8), so the
+    // mapping IS the tile.
+    assert(reinterpret_cast<std::uintptr_t>(payload) % alignof(double) ==
+           0);
+    rows.labels = reinterpret_cast<const double*>(payload);
+    rows.samples = rows.labels + n_labels;
+    rows.stride = n_labels + n_samples;
+    return rows;
+  }
+  // f32 store: decode the whole chunk into one packed scratch tile —
+  // one pass over the chunk, no per-record scratch churn on replay.
+  const std::size_t row_doubles = n_labels + n_samples;
+  scratch_.resize(rows.count * row_doubles);
+  const std::uint64_t record_bytes = desc_.record_bytes();
+  for (std::size_t r = 0; r < rows.count; ++r) {
+    const unsigned char* rec = payload + r * record_bytes;
+    double* dst = scratch_.data() + r * row_doubles;
+    std::memcpy(dst, rec, n_labels * sizeof(double));
+    const unsigned char* src = rec + n_labels * sizeof(double);
+    for (std::size_t s = 0; s < n_samples; ++s) {
+      float f;
+      std::memcpy(&f, src + s * sizeof(float), sizeof f);
+      dst[n_labels + s] = static_cast<double>(f);
+    }
+  }
+  rows.labels = scratch_.data();
+  rows.samples = scratch_.data() + n_labels;
+  rows.stride = row_doubles;
+  return rows;
+}
+
 void trace_store_reader::stream(const record_fn& fn) const {
   const std::size_t n_labels = desc_.labels;
   const std::size_t n_samples = static_cast<std::size_t>(desc_.samples);
-  const bool f64 = desc_.scalar == trace_scalar::f64;
-  const bool aligned = desc_.record_bytes() % alignof(double) == 0;
-  if (traces_ > 0 && !(f64 && aligned)) {
-    scratch_.resize(n_labels + n_samples);
-  }
-  for (std::size_t i = 0; i < traces_; ++i) {
-    const unsigned char* rec = record_ptr(i);
-    const std::size_t index = first_index() + i;
-    if (f64 && aligned) {
-      const auto* row = reinterpret_cast<const double*>(rec);
-      fn(index, {row, n_labels}, {row + n_labels, n_samples});
-      continue;
+  for (std::size_t c = 0; c < chunks_.size(); ++c) {
+    const batch_rows rows = chunk_rows(c);
+    for (std::size_t r = 0; r < rows.count; ++r) {
+      const double* row_labels = rows.labels + r * rows.stride;
+      const double* row_samples = rows.samples + r * rows.stride;
+      fn(first_index() + rows.first_record + r, {row_labels, n_labels},
+         {row_samples, n_samples});
     }
-    // Decode through the scratch row: unaligned f64 labels and/or f32
-    // samples.
-    std::memcpy(scratch_.data(), rec, n_labels * sizeof(double));
-    const unsigned char* src = rec + n_labels * sizeof(double);
-    double* dst = scratch_.data() + n_labels;
-    if (f64) {
-      std::memcpy(dst, src, n_samples * sizeof(double));
-    } else {
-      for (std::size_t s = 0; s < n_samples; ++s) {
-        float f;
-        std::memcpy(&f, src + s * sizeof(float), sizeof f);
-        dst[s] = static_cast<double>(f);
-      }
-    }
-    fn(index, {scratch_.data(), n_labels}, {dst, n_samples});
   }
 }
 

@@ -6,8 +6,15 @@
 // archive.  Float64 stores hand out std::span<const double> views
 // straight into the mapping — replaying a 100k-trace campaign into the
 // CPA/TVLA accumulators touches each page exactly once and copies
-// nothing.  Float32 stores are decoded trace-by-trace into a reused
-// scratch row.
+// nothing.  The batch unit is the store chunk: chunk_rows() exposes one
+// whole chunk as strided f64 rows, aliasing the mapping for f64 stores
+// and decoded chunk-at-once into a reused scratch tile for f32 stores
+// (no per-record copies on the replay hot path).
+//
+// Thread-safety: chunk_rows()/stream() of an f32 store share one
+// mutable scratch tile, so one reader serves ONE replaying thread at a
+// time; concurrent analyses of an f32 archive need a reader each (f64
+// replay is pure mmap aliasing and is safe to share).
 #ifndef USCA_POWER_TRACE_STORE_READER_H
 #define USCA_POWER_TRACE_STORE_READER_H
 
@@ -22,6 +29,19 @@
 #include "power/trace_io.h"
 
 namespace usca::power {
+
+/// One chunk of a store viewed as strided rows of doubles: row r's labels
+/// start at labels + r * stride, its samples at samples + r * stride.
+/// For f64 stores the pointers alias the mapping (zero-copy); for f32
+/// stores they point into the reader's chunk-wide scratch tile, which the
+/// next chunk_rows()/stream() call overwrites.
+struct batch_rows {
+  std::size_t first_record = 0; ///< store-relative record index of row 0
+  std::size_t count = 0;        ///< records in the chunk
+  const double* labels = nullptr;
+  const double* samples = nullptr;
+  std::size_t stride = 0; ///< doubles between consecutive rows
+};
 
 class trace_store_reader {
 public:
@@ -64,9 +84,15 @@ public:
   std::span<const double> labels_row(std::size_t record) const;
   std::span<const double> samples_row(std::size_t record) const;
 
-  /// Streams every record in index order.  For f64 stores the spans alias
-  /// the mapping; for f32 stores each trace is decoded into an internal
-  /// scratch row that is overwritten by the next record.
+  /// Views chunk `chunk` as strided rows.  f64 stores alias the mapping;
+  /// f32 stores are decoded whole-chunk into a reused scratch tile that
+  /// stays valid until the next chunk_rows()/stream() call.
+  batch_rows chunk_rows(std::size_t chunk) const;
+
+  /// Streams every record in index order (row unrolling of chunk_rows).
+  /// For f64 stores the spans alias the mapping; for f32 stores they
+  /// point into the chunk scratch tile and are overwritten chunk by
+  /// chunk.
   using record_fn = std::function<void(
       std::size_t index, std::span<const double> labels,
       std::span<const double> samples)>;
@@ -84,7 +110,7 @@ private:
   /// chunk_traces records (a format invariant the constructor verifies),
   /// so record lookup is pure arithmetic.
   std::vector<std::uint64_t> chunks_;
-  mutable std::vector<double> scratch_; ///< f32 decode row (+ labels)
+  mutable std::vector<double> scratch_; ///< f32 whole-chunk decode tile
 };
 
 /// Streams an archive's samples as CSV, one row per trace, through a

@@ -1,0 +1,71 @@
+// Register-blocked batch accumulate/solve kernels behind runtime
+// dispatch.
+//
+// The blocked CPA/TVLA accumulators stream traces through fixed sample
+// blocks; the batch kernels process one such block across a whole tile
+// of traces, so the block's accumulator lanes stay register/L1-resident
+// while every row of the batch streams past.  Each accumulator element
+// is still updated once per trace, in ascending trace order — exactly
+// the order of the per-trace path — so every kernel, at any batch size,
+// produces bit-identical sums (the batch-identity tests pin this, and it
+// is why the AVX2 variants use separate multiply/add instead of FMA: a
+// fused multiply-add rounds once, the scalar path rounds twice).
+//
+// Dispatch is resolved once at first use: the AVX2 set when the CPU
+// supports it, the portable auto-vectorized set otherwise; the
+// USCA_BATCH_KERNEL environment variable (generic|avx2) forces a set,
+// which the identity tests use to compare both on one machine.
+#ifndef USCA_STATS_BATCH_KERNELS_H
+#define USCA_STATS_BATCH_KERNELS_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace usca::stats {
+
+struct batch_kernels {
+  const char* name;
+
+  /// One sample block of a partitioned-CPA batch.  For each row r in
+  /// [0, rows), with t = samples + r * sample_stride and
+  /// part = part_base + partitions[r] * part_stride, and for each
+  /// i in [0, n): sum[i] += t[i]; sum_sq[i] += t[i]*t[i];
+  /// part[i] += t[i].  Rows ascend, so per-element accumulation order
+  /// equals the per-trace path.
+  void (*cpa_accumulate)(double* sum, double* sum_sq, double* part_base,
+                         std::size_t part_stride,
+                         const std::uint8_t* partitions,
+                         const double* samples, std::size_t sample_stride,
+                         std::size_t rows, std::size_t n);
+
+  /// One sample block of one TVLA population.  rows[r] points at row r's
+  /// block start; for each row in order and i in [0, n), with
+  /// dx = rows[r][i] - center[i]: sum[i] += dx; sum_sq[i] += dx*dx.
+  void (*tvla_accumulate)(double* sum, double* sum_sq,
+                          const double* center,
+                          const double* const* rows, std::size_t nrows,
+                          std::size_t n);
+
+  /// One sample block of the CPA solve cross-accumulation: for each
+  /// partition p in [0, partitions) with part_n[p] != 0, and each i in
+  /// [0, n): acc[i] += hyp[p] * (part_base + p * part_stride)[i].
+  /// Partitions ascend, matching the scalar solve loop.
+  void (*solve_accumulate)(double* acc, const double* hyp,
+                           const double* part_base,
+                           std::size_t part_stride,
+                           const std::uint64_t* part_n,
+                           std::size_t partitions, std::size_t n);
+};
+
+/// The portable set (plain loops the compiler auto-vectorizes).
+const batch_kernels& generic_kernels() noexcept;
+
+/// The AVX2 set, or nullptr when the build or the CPU lacks AVX2.
+const batch_kernels* avx2_kernels() noexcept;
+
+/// The runtime-dispatched active set (honours USCA_BATCH_KERNEL).
+const batch_kernels& active_kernels() noexcept;
+
+} // namespace usca::stats
+
+#endif // USCA_STATS_BATCH_KERNELS_H

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "stats/batch_kernels.h"
 #include "stats/pearson.h"
 #include "util/error.h"
 
@@ -180,6 +181,32 @@ void partitioned_cpa::add_trace(std::uint8_t partition,
   }
 }
 
+void partitioned_cpa::add_batch(std::span<const std::uint8_t> partitions,
+                                const double* samples,
+                                std::size_t sample_stride,
+                                std::size_t rows) {
+  if (partitions.size() != rows) {
+    throw util::analysis_error("partitioned_cpa: partition count does not "
+                               "match the batch row count");
+  }
+  if (rows > 0 && sample_stride < samples_) {
+    throw util::analysis_error("partitioned_cpa: batch rows shorter than "
+                               "the accumulator's trace length");
+  }
+  traces_ += rows;
+  for (std::size_t r = 0; r < rows; ++r) {
+    ++part_n_[partitions[r]];
+  }
+  const batch_kernels& kernels = active_kernels();
+  for (std::size_t base = 0; base < samples_; base += block_samples) {
+    const std::size_t n = std::min(block_samples, samples_ - base);
+    kernels.cpa_accumulate(sum_t_.data() + base, sum_tt_.data() + base,
+                           part_sum_.data() + base, samples_,
+                           partitions.data(), samples + base,
+                           sample_stride, rows, n);
+  }
+}
+
 cpa_result partitioned_cpa::solve(const model_fn& model,
                                   std::size_t guesses) const {
   cpa_result out;
@@ -211,20 +238,14 @@ cpa_result partitioned_cpa::solve(const model_fn& model,
     std::fill(sum_ht.begin(), sum_ht.end(), 0.0);
     // Blocked cross-accumulation: every partition row streams through a
     // fixed sample block before the next partition is touched, keeping the
-    // sum_ht block cache-resident across all 256 rows.
+    // sum_ht block register/cache-resident across all 256 rows (the
+    // dispatch picks the register-blocked kernel the CPU supports).
+    const batch_kernels& kernels = active_kernels();
     for (std::size_t base = 0; base < samples_; base += block_samples) {
       const std::size_t len = std::min(block_samples, samples_ - base);
-      double* acc = sum_ht.data() + base;
-      for (std::size_t p = 0; p < num_partitions; ++p) {
-        if (part_n_[p] == 0) {
-          continue;
-        }
-        const double h = hypothesis[p];
-        const double* row = part_sum_.data() + p * samples_ + base;
-        for (std::size_t i = 0; i < len; ++i) {
-          acc[i] += h * row[i];
-        }
-      }
+      kernels.solve_accumulate(sum_ht.data() + base, hypothesis.data(),
+                               part_sum_.data() + base, samples_,
+                               part_n_.data(), num_partitions, len);
     }
     for (std::size_t s = 0; s < samples_; ++s) {
       out.corr[g][s] = correlation_from_sums(n, sum_h, sum_hh, sum_t_[s],

@@ -100,6 +100,16 @@ public:
   /// Adds one trace under its known input byte (the partition).
   void add_trace(std::uint8_t partition, std::span<const double> trace);
 
+  /// Adds a batch of `rows` traces at once: row r's samples start at
+  /// samples + r * sample_stride and belong to partitions[r].  Runs the
+  /// register-blocked batch kernels (stats/batch_kernels.h) but updates
+  /// every accumulator element in ascending row order, so the result is
+  /// bit-identical to the equivalent add_trace sequence at any batch
+  /// size.
+  void add_batch(std::span<const std::uint8_t> partitions,
+                 const double* samples, std::size_t sample_stride,
+                 std::size_t rows);
+
   /// Hypothesis function: model value for (guess, partition).
   using model_fn = std::function<double(std::size_t guess,
                                         std::size_t partition)>;
@@ -107,6 +117,7 @@ public:
   cpa_result solve(const model_fn& model, std::size_t guesses) const;
 
   std::size_t traces() const noexcept { return traces_; }
+  std::size_t samples() const noexcept { return samples_; }
 
 private:
   std::size_t samples_;

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
+#include "stats/batch_kernels.h"
 #include "util/error.h"
 
 namespace usca::stats {
@@ -63,6 +65,60 @@ void tvla_accumulator::add(population& group,
       sum_sq[i] += dx * dx;
     }
   }
+}
+
+void tvla_accumulator::add_batch(const double* samples,
+                                 std::size_t sample_stride,
+                                 std::size_t rows,
+                                 std::span<const unsigned char> is_fixed) {
+  if (is_fixed.size() != rows) {
+    throw util::analysis_error("tvla: classifier count does not match the "
+                               "batch row count");
+  }
+  if (rows == 0) {
+    return;
+  }
+  if (sample_stride < samples_) {
+    throw util::analysis_error(
+        "tvla: batch rows shorter than the accumulator's trace length");
+  }
+  if (!centered_) {
+    std::copy(samples, samples + samples_, center_.begin());
+    centered_ = true;
+  }
+  // Split the tile into per-population row pointers; each population's
+  // per-element accumulation order stays ascending-row, exactly the
+  // per-trace interleaving seen from that population's accumulator.
+  fixed_rows_.clear();
+  random_rows_.clear();
+  fixed_rows_.reserve(rows);
+  random_rows_.reserve(rows);
+  for (std::size_t r = 0; r < rows; ++r) {
+    (is_fixed[r] != 0 ? fixed_rows_ : random_rows_)
+        .push_back(samples + r * sample_stride);
+  }
+  fixed_.count += fixed_rows_.size();
+  random_.count += random_rows_.size();
+  const batch_kernels& kernels = active_kernels();
+  block_rows_.resize(rows);
+  const auto accumulate = [&](population& group,
+                              const std::vector<const double*>& group_rows) {
+    if (group_rows.empty()) {
+      return;
+    }
+    for (std::size_t base = 0; base < samples_; base += block_samples) {
+      const std::size_t n = std::min(block_samples, samples_ - base);
+      for (std::size_t r = 0; r < group_rows.size(); ++r) {
+        block_rows_[r] = group_rows[r] + base;
+      }
+      kernels.tvla_accumulate(group.sum.data() + base,
+                              group.sum_sq.data() + base,
+                              center_.data() + base, block_rows_.data(),
+                              group_rows.size(), n);
+    }
+  };
+  accumulate(fixed_, fixed_rows_);
+  accumulate(random_, random_rows_);
 }
 
 void tvla_accumulator::add_fixed(std::span<const double> trace) {

@@ -56,6 +56,15 @@ public:
   void add_fixed(std::span<const double> trace);
   void add_random(std::span<const double> trace);
 
+  /// Adds a batch of `rows` traces at once: row r's samples start at
+  /// samples + r * sample_stride and belong to the fixed population when
+  /// is_fixed[r] != 0.  Each population's accumulator is updated in
+  /// ascending row order through the register-blocked batch kernels
+  /// (stats/batch_kernels.h), so the result is bit-identical to the
+  /// equivalent add_fixed/add_random sequence at any batch size.
+  void add_batch(const double* samples, std::size_t sample_stride,
+                 std::size_t rows, std::span<const unsigned char> is_fixed);
+
   std::size_t samples() const noexcept { return samples_; }
   welch_result at(std::size_t sample) const noexcept;
 
@@ -82,6 +91,11 @@ private:
   std::vector<double> center_; ///< per-sample offset from the first trace
   population fixed_;
   population random_;
+  /// Row-pointer scratch reused across add_batch calls (hot path: one
+  /// call per tile, no per-call allocation).
+  std::vector<const double*> fixed_rows_;
+  std::vector<const double*> random_rows_;
+  std::vector<const double*> block_rows_;
 };
 
 } // namespace usca::stats

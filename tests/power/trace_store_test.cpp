@@ -369,6 +369,72 @@ TEST(TraceStore, ResumeLeavesNonStoreFilesUntouched) {
   std::remove(path.c_str());
 }
 
+TEST(TraceStore, ResumeTruncatesAtMidChainShortChunk) {
+  // A short chunk is only valid as the LAST chunk.  Craft a file with a
+  // short chunk FOLLOWED by a full one (valid CRCs, contiguous indices):
+  // the reader must reject it outright, and resume() must treat
+  // everything after the short chunk as torn tail — truncate, re-buffer,
+  // and re-simulating the dropped suffix must reproduce the
+  // uninterrupted file byte for byte.
+  const std::string path = temp_path("midshort");
+  {
+    auto writer = trace_store_writer::create(path, small_desc());
+    write_records(writer, 0, 4, 2, 5); // one short chunk (4 < 8)
+    writer.close();
+  }
+  std::string crafted = file_bytes(path);
+  {
+    // Append a hand-built FULL chunk holding records 4..11.
+    const std::size_t record_bytes = (2 + 5) * sizeof(double);
+    std::string payload;
+    for (std::size_t i = 4; i < 12; ++i) {
+      const record r = record_at(i, 2, 5);
+      for (const double v : r.labels) {
+        payload.append(reinterpret_cast<const char*>(&v), sizeof v);
+      }
+      for (const double v : r.samples) {
+        payload.append(reinterpret_cast<const char*>(&v), sizeof v);
+      }
+    }
+    ASSERT_EQ(payload.size(), 8 * record_bytes);
+    std::string chdr(32, '\0');
+    const std::uint32_t magic = 0x4b4e4843; // "CHNK"
+    const std::uint32_t count = 8;
+    const std::uint64_t first_index = 4;
+    const auto payload_bytes = static_cast<std::uint64_t>(payload.size());
+    const std::uint32_t payload_crc =
+        util::crc32(payload.data(), payload.size());
+    std::memcpy(chdr.data() + 0, &magic, 4);
+    std::memcpy(chdr.data() + 4, &count, 4);
+    std::memcpy(chdr.data() + 8, &first_index, 8);
+    std::memcpy(chdr.data() + 16, &payload_bytes, 8);
+    std::memcpy(chdr.data() + 24, &payload_crc, 4);
+    const std::uint32_t header_crc = util::crc32(chdr.data(), 28);
+    std::memcpy(chdr.data() + 28, &header_crc, 4);
+    crafted += chdr + payload;
+    std::ofstream(path, std::ios::binary) << crafted;
+  }
+  EXPECT_THROW(trace_store_reader reader(path), util::analysis_error);
+
+  auto writer = trace_store_writer::resume(path, small_desc());
+  EXPECT_EQ(writer.next_index(), 4u); // the full chunk after the short
+                                      // one was dropped as torn tail
+  write_records(writer, 4, 12, 2, 5);
+  writer.close();
+
+  const std::string reference_path = temp_path("midshort_ref");
+  {
+    auto reference = trace_store_writer::create(reference_path, small_desc());
+    write_records(reference, 0, 16, 2, 5);
+    reference.close();
+  }
+  EXPECT_EQ(file_bytes(path), file_bytes(reference_path));
+  const trace_store_reader repaired(path);
+  EXPECT_EQ(repaired.traces(), 16u);
+  std::remove(path.c_str());
+  std::remove(reference_path.c_str());
+}
+
 TEST(TraceStore, HeaderOnlyStoreIsAValidEmptyArchive) {
   const std::string path = temp_path("headeronly");
   trace_store_descriptor desc = small_desc();
