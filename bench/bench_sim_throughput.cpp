@@ -184,6 +184,14 @@ struct hot_path_report {
   double ooo_seconds = 0.0;
   double ooo_traces_per_sec = 0.0;
   double ooo_sim_cycles_per_sec = 0.0;
+  // Same OoO campaign forced onto the reference scan scheduler
+  // (sim::ooo_scheduler::reference).  The fast/reference ratio is a
+  // machine-independent speedup measurement — both numbers come from the
+  // same run on the same hardware — so CI can assert a hard floor on it
+  // where an absolute traces/sec threshold would be hostage to runner
+  // noise.
+  double ooo_reference_seconds = 0.0;
+  double ooo_reference_traces_per_sec = 0.0;
   double cpa_accumulate_ns_per_sample = 0.0;
   double tvla_accumulate_ns_per_sample = 0.0;
   // Batched accumulator throughput (stats/batch_kernels.h dispatch).
@@ -288,6 +296,18 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
       static_cast<double>(report.traces) / report.ooo_seconds;
   report.ooo_sim_cycles_per_sec =
       static_cast<double>(ooo_cycles) / report.ooo_seconds;
+
+  // Reference scan scheduler on the identical campaign: the denominator
+  // of the speedup ratio above.  Bit-identical traces are a tested
+  // invariant (ctest -L ooo_equiv), so only the clock differs.
+  config.uarch.ooo.scheduler = sim::ooo_scheduler::reference;
+  core::trace_campaign ooo_ref_campaign(config, key);
+  (void)ooo_ref_campaign.produce(0);
+  const auto ooo_ref_start = std::chrono::steady_clock::now();
+  ooo_ref_campaign.run([](core::trace_record&&) {});
+  report.ooo_reference_seconds = seconds_since(ooo_ref_start);
+  report.ooo_reference_traces_per_sec =
+      static_cast<double>(report.traces) / report.ooo_reference_seconds;
 
   // Accumulator throughput, measured on traces of the campaign's length.
   const std::size_t samples = report.samples_per_trace;
@@ -417,6 +437,8 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                "  \"ooo_seconds\": %.6f,\n"
                "  \"ooo_traces_per_sec\": %.1f,\n"
                "  \"ooo_sim_cycles_per_sec\": %.0f,\n"
+               "  \"ooo_reference_seconds\": %.6f,\n"
+               "  \"ooo_reference_traces_per_sec\": %.1f,\n"
                "  \"cpa_accumulate_ns_per_sample\": %.3f,\n"
                "  \"tvla_accumulate_ns_per_sample\": %.3f,\n"
                "  \"batch_kernel\": \"%s\",\n"
@@ -432,6 +454,7 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                r.seconds, r.traces_per_sec, r.sim_cycles_per_sec,
                r.ooo_samples_per_trace, r.ooo_seconds, r.ooo_traces_per_sec,
                r.ooo_sim_cycles_per_sec,
+               r.ooo_reference_seconds, r.ooo_reference_traces_per_sec,
                r.cpa_accumulate_ns_per_sample,
                r.tvla_accumulate_ns_per_sample,
                r.batch_kernel,

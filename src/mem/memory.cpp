@@ -19,15 +19,30 @@ constexpr std::size_t page_offset(std::uint32_t address) noexcept {
 } // namespace
 
 const memory::page* memory::find_page(std::uint32_t address) const noexcept {
-  const auto it = pages_.find(page_number(address));
-  return it == pages_.end() ? nullptr : &it->second;
+  const std::uint32_t number = page_number(address);
+  if (memo_page_ != nullptr && memo_number_ == number) {
+    return memo_page_;
+  }
+  const auto it = pages_.find(number);
+  if (it == pages_.end()) {
+    return nullptr;
+  }
+  memo_number_ = number;
+  memo_page_ = const_cast<page*>(&it->second);
+  return &it->second;
 }
 
 memory::page& memory::touch_page(std::uint32_t address) {
-  page& p = pages_[page_number(address)];
+  const std::uint32_t number = page_number(address);
+  if (memo_page_ != nullptr && memo_number_ == number) {
+    return *memo_page_;
+  }
+  page& p = pages_[number];
   if (p.empty()) {
     p.resize(page_size, 0);
   }
+  memo_number_ = number;
+  memo_page_ = &p;
   return p;
 }
 
@@ -86,7 +101,10 @@ std::uint32_t memory::containing_word(std::uint32_t address) const {
   return read32(address & ~3U);
 }
 
-void memory::clear() noexcept { pages_.clear(); }
+void memory::clear() noexcept {
+  pages_.clear();
+  memo_page_ = nullptr;
+}
 
 void memory::reset() noexcept {
   for (auto& [number, bytes] : pages_) {

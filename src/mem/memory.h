@@ -21,6 +21,18 @@ public:
   static constexpr std::size_t page_bits = 12;
   static constexpr std::size_t page_size = std::size_t{1} << page_bits;
 
+  memory() = default;
+  // The lookup memo points into pages_, so copies must not inherit it
+  // (moves may: map nodes keep their addresses across a move).
+  memory(const memory& other) : pages_(other.pages_) {}
+  memory& operator=(const memory& other) {
+    pages_ = other.pages_;
+    memo_page_ = nullptr;
+    return *this;
+  }
+  memory(memory&&) = default;
+  memory& operator=(memory&&) = default;
+
   std::uint8_t read8(std::uint32_t address) const noexcept;
   std::uint16_t read16(std::uint32_t address) const;
   std::uint32_t read32(std::uint32_t address) const;
@@ -54,6 +66,12 @@ private:
   page& touch_page(std::uint32_t address);
 
   std::unordered_map<std::uint32_t, page> pages_;
+  // One-entry lookup memo for the hot sequential-access pattern (AES state
+  // and S-box share few pages).  Node pointers of an unordered_map stay
+  // valid across inserts/rehash, so the memo only needs invalidation on
+  // clear().  Purely an access-path cache: no observable behaviour change.
+  mutable std::uint32_t memo_number_ = 0;
+  mutable page* memo_page_ = nullptr;
 };
 
 } // namespace usca::mem

@@ -8,33 +8,6 @@
 
 namespace usca::sim {
 
-void backend::emit(component comp, std::uint8_t lane, std::uint32_t before,
-                   std::uint32_t after, std::uint64_t at_cycle) {
-  if (!record_activity_ || before == after) {
-    return;
-  }
-  activity_event ev;
-  ev.cycle = static_cast<std::uint32_t>(at_cycle);
-  ev.comp = comp;
-  ev.lane = lane;
-  ev.toggles =
-      static_cast<std::uint8_t>(util::hamming_distance(before, after));
-  activity_.push_back(ev);
-}
-
-void backend::emit_weight(component comp, std::uint8_t lane,
-                          std::uint32_t value, std::uint64_t at_cycle) {
-  if (!record_activity_ || value == 0) {
-    return;
-  }
-  activity_event ev;
-  ev.cycle = static_cast<std::uint32_t>(at_cycle);
-  ev.comp = comp;
-  ev.lane = lane;
-  ev.toggles = static_cast<std::uint8_t>(util::hamming_weight(value));
-  activity_.push_back(ev);
-}
-
 std::string_view backend_kind_name(backend_kind kind) noexcept {
   switch (kind) {
   case backend_kind::inorder:

@@ -20,6 +20,7 @@
 #ifndef USCA_SIM_BACKEND_H
 #define USCA_SIM_BACKEND_H
 
+#include <bit>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -76,7 +77,11 @@ public:
   /// Runs until halt (or the cycle budget is exhausted, which throws).
   virtual void run(std::uint64_t max_cycles = 50'000'000) = 0;
 
-  /// Advances one cycle; returns false once halted.
+  /// Advances at least one cycle; returns false once halted.  A backend
+  /// may skip ahead over provably idle cycles (cycles in which it would
+  /// do no observable work), so cycles() can grow by more than one per
+  /// call — the recorded activity, marks and architectural state are
+  /// unaffected.
   virtual bool step_cycle() = 0;
 
   virtual cpu_state& state() noexcept = 0;
@@ -117,12 +122,37 @@ public:
   void clear_activity_cutoff_mark() noexcept { has_cutoff_mark_ = false; }
 
 protected:
+  // emit/emit_weight are defined here (not backend.cpp) so the core models'
+  // hot loops — tens of thousands of calls per simulated run — inline them.
+
   /// One switching event: `toggles` = HD(before, after) on `comp`/`lane`.
   void emit(component comp, std::uint8_t lane, std::uint32_t before,
-            std::uint32_t after, std::uint64_t at_cycle);
+            std::uint32_t after, std::uint64_t at_cycle) {
+    if (!record_activity_ || before == after) {
+      return;
+    }
+    activity_event ev;
+    ev.cycle = static_cast<std::uint32_t>(at_cycle);
+    ev.comp = comp;
+    ev.lane = lane;
+    ev.toggles = static_cast<std::uint8_t>(
+        std::popcount(before ^ after)); // HD(before, after)
+    activity_.push_back(ev);
+  }
+
   /// Zero-precharged network: `toggles` = HW(value).
   void emit_weight(component comp, std::uint8_t lane, std::uint32_t value,
-                   std::uint64_t at_cycle);
+                   std::uint64_t at_cycle) {
+    if (!record_activity_ || value == 0) {
+      return;
+    }
+    activity_event ev;
+    ev.cycle = static_cast<std::uint32_t>(at_cycle);
+    ev.comp = comp;
+    ev.lane = lane;
+    ev.toggles = static_cast<std::uint8_t>(std::popcount(value));
+    activity_.push_back(ev);
+  }
 
   std::vector<mark_stamp> marks_;
   activity_trace activity_;

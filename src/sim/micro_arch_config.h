@@ -53,18 +53,41 @@ enum class issue_policy : std::uint8_t {
   structural,
 };
 
+/// Scheduler implementation of the OoO backend.  Both produce bit-identical
+/// retirement order, architectural state and activity streams; `fast` is the
+/// production path, `reference` keeps the original per-cycle linear scans
+/// compiled in as the oracle for the differential equivalence suites
+/// (tests/sim/ooo_equivalence_fuzz_test.cpp).  The USCA_OOO_REFERENCE
+/// environment variable (set non-"0") forces `reference` at construction —
+/// a whole-suite toggle that needs no rebuild.  Not part of the archive
+/// config hash: an implementation choice, not a design point.
+enum class ooo_scheduler : std::uint8_t {
+  fast,      ///< ready bitmasks, tag-indexed wakeup, constant-time CDB
+  reference, ///< per-cycle linear scans (the original implementation)
+};
+
+/// Hard sizing caps of the OoO backend.  The fast scheduler keeps one
+/// 64-bit ready mask over an age-ordered ring indexed by `seq mod 64`; ring
+/// positions stay unique only while every in-flight µop lies inside a
+/// 64-sequence window, which the ROB capacity bounds.  Enforced for both
+/// scheduler implementations so a configuration is valid independent of the
+/// scheduler choice.
+constexpr int ooo_max_rob_entries = 64;
+constexpr int ooo_max_rs_entries = 64;
+
 /// Out-of-order issue backend parameters (sim::ooo_core).  Consumed only
 /// when a program runs on the OoO backend; the in-order pipeline ignores
 /// this block.  The defaults describe a modest 2-wide OoO core so that
 /// in-order-vs-OoO ablations start from comparable widths.
 struct ooo_config {
-  int rob_entries = 32;   ///< reorder-buffer capacity (circular)
+  int rob_entries = 32;   ///< reorder-buffer capacity; <= ooo_max_rob_entries
   int rename_width = 2;   ///< instructions renamed/dispatched per cycle
   int retire_width = 2;   ///< instructions committed per cycle
-  int rs_entries = 16;    ///< reservation-station (scheduler) capacity
+  int rs_entries = 16;    ///< reservation-station slots; <= ooo_max_rs_entries
   int prf_size = 64;      ///< physical registers; must exceed 16 + ROB dests
   int cdb_width = 2;      ///< results broadcast per cycle (CDB lanes)
   int store_buffer_entries = 4; ///< post-retirement store queue depth
+  ooo_scheduler scheduler = ooo_scheduler::fast;
 };
 
 struct micro_arch_config {

@@ -1,6 +1,8 @@
 #include "sim/ooo/ooo_core.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 
 #include "sim/alu.h"
 #include "util/bitops.h"
@@ -13,6 +15,18 @@ namespace {
 using isa::instruction;
 using isa::opcode;
 using isa::reg;
+
+/// USCA_OOO_REFERENCE (set non-"0") forces the reference scheduler for
+/// every ooo_core constructed in this process — the no-rebuild toggle the
+/// differential/equivalence suites and A/B perf runs use.
+bool force_reference_scheduler() {
+  static const bool force = [] {
+    const char* env = std::getenv("USCA_OOO_REFERENCE");
+    return env != nullptr && env[0] != '\0' &&
+           !(env[0] == '0' && env[1] == '\0');
+  }();
+  return force;
+}
 
 } // namespace
 
@@ -30,12 +44,25 @@ ooo_core::ooo_core(program_image image, micro_arch_config config)
   activity_.reserve(4096);
 
   const ooo_config& ooo = config_.ooo;
+  fast_ = ooo.scheduler == ooo_scheduler::fast && !force_reference_scheduler();
   rob_.resize(static_cast<std::size_t>(ooo.rob_entries));
   rs_.resize(static_cast<std::size_t>(ooo.rs_entries));
   exec_.reserve(rob_.size());
   free_pregs_.reserve(static_cast<std::size_t>(ooo.prf_size));
   preg_ready_.resize(static_cast<std::size_t>(ooo.prf_size));
   store_buffer_.reserve(static_cast<std::size_t>(ooo.store_buffer_entries));
+  preg_waiters_.resize(static_cast<std::size_t>(ooo.prf_size));
+  for (auto& waiters : preg_waiters_) {
+    waiters.reserve(max_sources);
+  }
+  rob_flag_waiters_.resize(rob_.size());
+  for (auto& waiters : rob_flag_waiters_) {
+    waiters.reserve(4);
+  }
+  for (auto& bucket : exec_wheel_) {
+    bucket.reserve(4);
+  }
+  pending_bcast_.reserve(rob_.size());
   reset_structures();
 }
 
@@ -53,6 +80,17 @@ void ooo_core::validate_config() const {
   if (ooo.rename_width > 4 || ooo.retire_width > 4 || ooo.cdb_width > 4) {
     throw util::simulation_error(
         "ooo_config: rename/retire/cdb width beyond the 4 modelled ports");
+  }
+  // The fast scheduler tracks readiness in one 64-bit mask over an
+  // age-ordered ring indexed by seq mod 64; positions stay unique only
+  // while the in-flight window (bounded by the ROB) fits in 64 sequence
+  // numbers.  Enforced regardless of the scheduler choice so that a
+  // configuration's validity never depends on the implementation.
+  if (ooo.rob_entries > ooo_max_rob_entries ||
+      ooo.rs_entries > ooo_max_rs_entries) {
+    throw util::simulation_error(
+        "ooo_config: rob_entries/rs_entries beyond the 64-entry scheduler "
+        "sizing cap (ooo_max_rob_entries/ooo_max_rs_entries)");
   }
   if (ooo.prf_size <= isa::num_registers + 1 || ooo.prf_size > 255) {
     throw util::simulation_error(
@@ -91,6 +129,23 @@ void ooo_core::reset_structures() {
   rs_used_ = 0;
   exec_.clear();
   store_buffer_.clear();
+
+  rs_busy_mask_ = 0;
+  ready_mask_ = 0;
+  age_to_slot_.fill(0);
+  for (auto& waiters : preg_waiters_) {
+    waiters.clear();
+  }
+  for (auto& waiters : rob_flag_waiters_) {
+    waiters.clear();
+  }
+  for (auto& bucket : exec_wheel_) {
+    bucket.clear();
+  }
+  exec_far_.clear();
+  exec_in_flight_ = 0;
+  pending_bcast_.clear();
+  cycle_dirty_ = false;
 
   lsu_busy_until_ = 0;
   mul_busy_until_ = 0;
@@ -215,6 +270,7 @@ void ooo_core::retire_stage() {
     ++retired_;
     ++retired_now;
   }
+  cycle_dirty_ |= retired_now > 0;
 }
 
 void ooo_core::drain_store_buffer() {
@@ -225,6 +281,7 @@ void ooo_core::drain_store_buffer() {
   // the architectural write happened at rename).
   dcache_.access(store_buffer_.front());
   store_buffer_.erase(store_buffer_.begin());
+  cycle_dirty_ = true;
 }
 
 // ---------------------------------------------------------------------------
@@ -294,6 +351,110 @@ void ooo_core::broadcast_stage() {
   }
 }
 
+// Fast-path completion: the calendar heap delivers everything scheduled to
+// finish by now; dest-writing results queue on a seq-sorted pending list
+// from which the CDB lanes pop oldest-first — the same arbitration outcome
+// as the reference's per-lane scan, at O(cdb_width) per cycle.
+
+void ooo_core::deliver_operand(std::size_t slot) {
+  rs_entry& rs = rs_[slot];
+  if (--rs.wait_count == 0) {
+    ready_mask_ |= std::uint64_t{1} << (rs.seq & (age_ring_size - 1));
+  }
+}
+
+void ooo_core::complete_rob_fast(std::uint32_t slot) {
+  rob_[slot].completed = true;
+  auto& waiters = rob_flag_waiters_[slot];
+  for (const std::uint8_t rs_slot : waiters) {
+    rs_[rs_slot].flags_wait_slot = no_slot;
+    deliver_operand(rs_slot);
+  }
+  waiters.clear();
+}
+
+void ooo_core::add_exec(const exec_entry& ex) {
+  if (!fast_) {
+    exec_.push_back(ex);
+    return;
+  }
+  ++exec_in_flight_;
+  if (ex.complete_at - cycle_ < age_ring_size) {
+    exec_wheel_[ex.complete_at & (age_ring_size - 1)].push_back(ex);
+  } else {
+    exec_far_.push_back(ex);
+  }
+}
+
+void ooo_core::broadcast_stage_fast() {
+  if (!exec_far_.empty()) [[unlikely]] {
+    // Far-future completions migrate into the wheel once within range.
+    for (std::size_t i = 0; i < exec_far_.size();) {
+      if (exec_far_[i].complete_at - cycle_ < age_ring_size) {
+        exec_wheel_[exec_far_[i].complete_at & (age_ring_size - 1)]
+            .push_back(exec_far_[i]);
+        exec_far_[i] = exec_far_.back();
+        exec_far_.pop_back();
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Everything scheduled to complete now leaves the calendar; results that
+  // need a CDB lane join the pending list (kept seq-descending so the
+  // oldest µop sits at the back), the rest complete immediately.  The
+  // current bucket holds exactly this cycle's completions: entries land at
+  // most 63 cycles ahead, and the idle skip never jumps past a scheduled
+  // completion, so no bucket is ever drained late or early.
+  auto& bucket = exec_wheel_[cycle_ & (age_ring_size - 1)];
+  for (const exec_entry& done : bucket) {
+    cycle_dirty_ = true;
+    --exec_in_flight_;
+    if (!done.broadcasts) {
+      complete_rob_fast(done.rob_slot);
+      continue;
+    }
+    auto it = pending_bcast_.begin();
+    while (it != pending_bcast_.end() && it->seq > done.seq) {
+      ++it;
+    }
+    pending_bcast_.insert(it, done);
+  }
+  bucket.clear();
+
+  const int lanes =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(config_.ooo.cdb_width),
+          pending_bcast_.size()));
+  for (int lane = 0; lane < lanes; ++lane) {
+    const exec_entry done = pending_bcast_.back();
+    pending_bcast_.pop_back();
+    cycle_dirty_ = true;
+
+    const auto bus = static_cast<std::uint8_t>(
+        lane % static_cast<int>(cdb_state_.size()));
+    // The result value crosses the CDB to the PRF and every RS entry.
+    emit(component::cdb, bus, cdb_state_[bus], done.result, cycle_);
+    cdb_state_[bus] = done.result;
+    // The destination tag travels the wakeup network in parallel.
+    emit(component::rs_tag_bus, bus, tag_bus_state_[bus], done.dest_preg,
+         cycle_);
+    tag_bus_state_[bus] = done.dest_preg;
+
+    preg_ready_[done.dest_preg] = 1;
+    // Tag-indexed wakeup: only the registered dependents are touched.
+    auto& waiters = preg_waiters_[done.dest_preg];
+    for (const std::uint16_t w : waiters) {
+      const std::size_t slot = w >> 2;
+      rs_[slot].src_preg[w & 3] = no_reg;
+      deliver_operand(slot);
+    }
+    waiters.clear();
+    complete_rob_fast(done.rob_slot);
+  }
+}
+
 // ---------------------------------------------------------------------------
 // Select + issue
 // ---------------------------------------------------------------------------
@@ -308,6 +469,23 @@ bool ooo_core::rs_ready(const rs_entry& rs) const noexcept {
     return false;
   }
   return true;
+}
+
+bool ooo_core::rs_fits_units(const rs_entry& rs, int prf_ports, int alus_used,
+                             bool alu0_used, bool lsu_used) const noexcept {
+  if (prf_ports_used_this_cycle_ + static_cast<int>(rs.n_src) > prf_ports) {
+    return false;
+  }
+  if (rs.uses_lsu) {
+    return !(lsu_used || lsu_busy_until_ > cycle_);
+  }
+  if (rs.is_mul && mul_busy_until_ > cycle_) {
+    return false;
+  }
+  if (alus_used >= config_.alu_count) {
+    return false;
+  }
+  return !(rs.needs_alu0 && alu0_used);
 }
 
 void ooo_core::issue_entry(rs_entry& rs, int alu_index) {
@@ -408,10 +586,15 @@ void ooo_core::issue_entry(rs_entry& rs, int alu_index) {
   ex.dest_preg = rob_[rs.rob_slot].dest_preg;
   ex.broadcasts = ex.dest_preg != no_reg;
   ex.result = rs.result;
-  exec_.push_back(ex);
+  add_exec(ex);
 
   rs.busy = false;
   --rs_used_;
+  if (fast_) {
+    const auto slot = static_cast<std::size_t>(&rs - rs_.data());
+    rs_busy_mask_ &= ~(std::uint64_t{1} << slot);
+    ready_mask_ &= ~(std::uint64_t{1} << (rs.seq & (age_ring_size - 1)));
+  }
 }
 
 void ooo_core::schedule_stage() {
@@ -435,24 +618,8 @@ void ooo_core::schedule_stage() {
       if (!rs.busy || !rs_ready(rs)) {
         continue;
       }
-      if (prf_ports_used_this_cycle_ + static_cast<int>(rs.n_src) >
-          prf_ports) {
+      if (!rs_fits_units(rs, prf_ports, alus_used, alu0_used, lsu_used)) {
         continue;
-      }
-      const bool is_mem = rs.uses_lsu;
-      if (is_mem && (lsu_used || lsu_busy_until_ > cycle_)) {
-        continue;
-      }
-      if (rs.is_mul && mul_busy_until_ > cycle_) {
-        continue;
-      }
-      if (!is_mem) {
-        if (alus_used >= config_.alu_count) {
-          continue;
-        }
-        if (rs.needs_alu0 && alu0_used) {
-          continue;
-        }
       }
       if (pick == nullptr || rs.seq < pick->seq) {
         pick = &rs;
@@ -481,9 +648,114 @@ void ooo_core::schedule_stage() {
   }
 }
 
+void ooo_core::schedule_stage_fast() {
+  prf_ports_used_this_cycle_ = 0;
+  if (ready_mask_ == 0) {
+    return;
+  }
+  // PRF read-port budget: identical to the reference stage (see there).
+  const int prf_ports =
+      std::min(std::max(4, 2 * config_.issue_width),
+               static_cast<int>(prf_port_state_.size()));
+  int issued = 0;
+  int alus_used = 0;
+  bool alu0_used = false;
+  bool lsu_used = false;
+
+  // A resident RS entry implies a non-empty ROB, whose head carries the
+  // oldest in-flight sequence number — the rotation anchor that turns the
+  // seq-mod-64 ring into an age order.
+  const std::uint32_t head_pos =
+      rob_[rob_head_].seq & (age_ring_size - 1);
+  while (issued < config_.issue_width && ready_mask_ != 0) {
+    // Oldest-first select: rotate the ready mask so bit 0 is the oldest
+    // possible µop, then walk set bits in age order until one fits the
+    // free units — the same pick as the reference's min-seq scan.
+    std::uint64_t m = std::rotr(ready_mask_, static_cast<int>(head_pos));
+    rs_entry* pick = nullptr;
+    while (m != 0) {
+      const auto offset =
+          static_cast<std::uint32_t>(std::countr_zero(m));
+      const std::uint32_t pos = (head_pos + offset) & (age_ring_size - 1);
+      rs_entry& candidate = rs_[age_to_slot_[pos]];
+      if (rs_fits_units(candidate, prf_ports, alus_used, alu0_used,
+                        lsu_used)) {
+        pick = &candidate;
+        break;
+      }
+      m &= m - 1;
+    }
+    if (pick == nullptr) {
+      break;
+    }
+    int alu_index = 0;
+    if (pick->uses_lsu) {
+      lsu_used = true;
+    } else {
+      ++alus_used;
+      // ALU binding mirrors the reference stage: ALU0 first, then ALU1.
+      if (pick->needs_alu0 || !alu0_used) {
+        alu_index = 0;
+        alu0_used = true;
+      } else {
+        alu_index = 1;
+      }
+    }
+    issue_entry(*pick, alu_index);
+    ++issued;
+  }
+  cycle_dirty_ |= issued > 0;
+}
+
 // ---------------------------------------------------------------------------
 // Rename: in-order front end, architectural execution
 // ---------------------------------------------------------------------------
+
+void ooo_core::dispatch_to_rs(rs_entry& rs, std::uint32_t rob_slot) {
+  rs.busy = true;
+  rs.rob_slot = rob_slot;
+  if (!fast_) {
+    // Reference allocation: first free slot by index.
+    for (rs_entry& free_slot : rs_) {
+      if (!free_slot.busy) {
+        free_slot = rs;
+        ++rs_used_;
+        return;
+      }
+    }
+    return; // unreachable: rename_one checks rs_used_ < rs_.size()
+  }
+
+  // countr_zero over the inverted busy mask IS the reference's
+  // first-free-by-index scan; rename_one guarantees a free slot below
+  // rs_.size(), and bits at or above it are never set.
+  const auto slot =
+      static_cast<std::size_t>(std::countr_zero(~rs_busy_mask_));
+  rs_busy_mask_ |= std::uint64_t{1} << slot;
+  rs.wait_count = 0;
+  rs_[slot] = rs;
+  rs_entry& placed = rs_[slot];
+  // Register with the producers we are waiting on; each delivery
+  // decrements wait_count, and the entry turns ready at zero.
+  for (std::size_t s = 0; s < placed.n_src; ++s) {
+    if (placed.src_preg[s] != no_reg) {
+      preg_waiters_[placed.src_preg[s]].push_back(
+          static_cast<std::uint16_t>((slot << 2) | s));
+      ++placed.wait_count;
+    }
+  }
+  if (placed.flags_wait_slot != no_slot) {
+    rob_flag_waiters_[placed.flags_wait_slot].push_back(
+        static_cast<std::uint8_t>(slot));
+    ++placed.wait_count;
+  }
+  const std::uint32_t pos = placed.seq & (age_ring_size - 1);
+  age_to_slot_[pos] = static_cast<std::uint8_t>(slot);
+  if (placed.wait_count == 0) {
+    ready_mask_ |= std::uint64_t{1} << pos;
+  }
+  ++rs_used_;
+}
 
 std::uint8_t ooo_core::alloc_preg() {
   const std::uint8_t p = free_pregs_.back();
@@ -500,7 +772,7 @@ ooo_core::rename_result ooo_core::rename_one(int slot) {
   // All structural stalls are checked before any architectural effect so
   // that a stalled instruction re-renames cleanly next cycle.
   if (serializing &&
-      (rob_count_ > 0 || slot > 0 || !exec_.empty() || rs_used_ > 0)) {
+      (rob_count_ > 0 || slot > 0 || !in_flight_empty() || rs_used_ > 0)) {
     return rename_result::stall; // marks/halt drain the machine first
   }
   if (rob_count_ >= rob_.size() || rs_used_ >= rs_.size() ||
@@ -791,15 +1063,7 @@ ooo_core::rename_result ooo_core::rename_one(int slot) {
   rob_[rob_slot] = entry;
   ++rob_count_;
   if (to_rs) {
-    for (rs_entry& free_slot : rs_) {
-      if (!free_slot.busy) {
-        rs.busy = true;
-        rs.rob_slot = rob_slot;
-        free_slot = rs;
-        ++rs_used_;
-        break;
-      }
-    }
+    dispatch_to_rs(rs, rob_slot);
   }
   ++next_seq_;
   ++renamed_;
@@ -840,30 +1104,74 @@ void ooo_core::rename_stage() {
       break;
     }
   }
+  cycle_dirty_ |= renamed_now > 0;
   if (renamed_now >= 2) {
     ++multi_rename_cycles_;
   }
+}
+
+// Next cycle at which a frozen machine can change state: the earliest
+// pending completion, the fetch resume point, or a unit freeing up.  Only
+// consulted when the current cycle did no observable work, in which case
+// every cycle up to (exclusive) the returned one is provably a no-op in the
+// reference scheduler too — the basis of the idle-cycle skip.
+std::uint64_t ooo_core::next_event_cycle() const noexcept {
+  std::uint64_t next = ~std::uint64_t{0};
+  if (exec_in_flight_ > 0) {
+    // Nearest scheduled completion: first non-empty wheel bucket ahead of
+    // the current cycle (the current bucket was already drained), plus
+    // anything still parked beyond the wheel horizon.
+    for (std::uint64_t c = cycle_ + 1; c <= cycle_ + age_ring_size; ++c) {
+      if (!exec_wheel_[c & (age_ring_size - 1)].empty()) {
+        next = std::min(next, c);
+        break;
+      }
+    }
+    for (const exec_entry& ex : exec_far_) {
+      next = std::min(next, ex.complete_at);
+    }
+  }
+  if (!frontend_done_ && fetch_ready_ > cycle_) {
+    next = std::min(next, fetch_ready_);
+  }
+  if (lsu_busy_until_ > cycle_) {
+    next = std::min(next, lsu_busy_until_);
+  }
+  if (mul_busy_until_ > cycle_) {
+    next = std::min(next, mul_busy_until_);
+  }
+  return next == ~std::uint64_t{0} ? cycle_ + 1 : next;
 }
 
 bool ooo_core::step_cycle() {
   if (state_.halted) {
     return false;
   }
+  cycle_dirty_ = false;
   retire_stage();
   if (state_.halted) {
     ++cycle_;
     return false;
   }
   drain_store_buffer();
-  broadcast_stage();
-  schedule_stage();
+  if (fast_) {
+    broadcast_stage_fast();
+    schedule_stage_fast();
+  } else {
+    broadcast_stage();
+    schedule_stage();
+  }
   rename_stage();
 
-  if (frontend_done_ && rob_count_ == 0 && exec_.empty() &&
+  if (frontend_done_ && rob_count_ == 0 && in_flight_empty() &&
       store_buffer_.empty()) {
     state_.halted = true;
   }
-  ++cycle_;
+  if (fast_ && !state_.halted && !cycle_dirty_) {
+    cycle_ = next_event_cycle();
+  } else {
+    ++cycle_;
+  }
   return !state_.halted;
 }
 

@@ -37,6 +37,28 @@
 // marker-delimited acquisition window — never depends on data.  This
 // keeps the model fast enough for 100k-trace campaigns while making
 // "same ISA, different leakage" directly measurable.
+//
+// Two scheduler implementations share this architectural substrate (see
+// ooo_scheduler in micro_arch_config.h):
+//
+//   * `reference` — the original per-cycle linear scans: the RS ready scan
+//     re-walks every slot per issue slot, wakeup re-walks every RS entry
+//     per CDB broadcast, and CDB arbitration re-scans the in-flight list
+//     per lane;
+//   * `fast` — the production path: a 64-bit ready bitmask over an
+//     age-ordered ring (oldest-first select via masked rotate +
+//     countr_zero), per-physical-tag waiter lists so a CDB write touches
+//     only its dependents, a 64-bucket completion calendar wheel plus a
+//     seq-sorted pending list making CDB arbitration O(cdb_width) per
+//     cycle, and an
+//     idle-cycle skip that advances straight to the next scheduled event
+//     when no µop can dispatch, issue, complete, or retire.
+//
+// The two are bit-identical by contract — same retirement order, same
+// architectural state, same activity stream at every cycle — which the
+// differential suites (tests/sim/ooo_equivalence_fuzz_test.cpp and
+// friends) enforce; USCA_OOO_REFERENCE=1 in the environment forces the
+// reference scheduler process-wide for A/B runs without a rebuild.
 #ifndef USCA_SIM_OOO_OOO_CORE_H
 #define USCA_SIM_OOO_OOO_CORE_H
 
@@ -144,6 +166,10 @@ private:
     /// window) independent of condition outcomes.
     bool squashed = false;
     bool used_shifter = false;
+    /// Outstanding operand count (not-ready sources + a pending flag
+    /// producer); maintained by the fast scheduler only — the entry's
+    /// ready bit is set when it reaches zero.
+    std::uint8_t wait_count = 0;
     std::uint32_t address = 0;
     std::uint32_t mem_word = 0;   ///< MDR value (word containing address)
     std::uint32_t sub_value = 0;  ///< align-buffer value (sub-word ops)
@@ -171,6 +197,18 @@ private:
   void schedule_stage();
   void rename_stage();
 
+  // Fast-scheduler counterparts (bit-identical to the reference stages;
+  // see the header comment).
+  void broadcast_stage_fast();
+  void schedule_stage_fast();
+  void complete_rob_fast(std::uint32_t slot);
+  /// Marks one more of `rs_[slot]`'s outstanding operands delivered;
+  /// sets the entry's ready-ring bit when none remain.
+  void deliver_operand(std::size_t slot);
+  /// Skips directly to the next cycle with a scheduled event when the
+  /// current one did nothing; returns the new current cycle.
+  std::uint64_t next_event_cycle() const noexcept;
+
   enum class rename_result : std::uint8_t {
     stall,         ///< nothing accepted; the front end retries next cycle
     accepted,      ///< renamed; the group may continue this cycle
@@ -181,10 +219,22 @@ private:
   rename_result rename_one(int slot);
 
   bool rs_ready(const rs_entry& rs) const noexcept;
+  /// Unit/port eligibility shared by both select implementations (the
+  /// readiness check differs: reference re-derives it, fast reads the
+  /// ready ring).
+  bool rs_fits_units(const rs_entry& rs, int prf_ports, int alus_used,
+                     bool alu0_used, bool lsu_used) const noexcept;
   /// `alu_index` is the ALU the select stage bound this op to (0 or 1;
   /// meaningless for LSU-bound ops).
   void issue_entry(rs_entry& rs, int alu_index);
   void complete_rob(std::uint32_t slot);
+  /// Inserts the renamed µop into the reservation stations (mode-aware:
+  /// the fast path also registers its waiter-list subscriptions).
+  void dispatch_to_rs(rs_entry& rs, std::uint32_t rob_slot);
+  void add_exec(const exec_entry& ex);
+  bool in_flight_empty() const noexcept {
+    return exec_.empty() && exec_in_flight_ == 0 && pending_bcast_.empty();
+  }
   std::uint8_t alloc_preg();
 
   void drive_prf_port(std::uint32_t value);
@@ -212,7 +262,28 @@ private:
   std::size_t rob_count_ = 0;
   std::vector<rs_entry> rs_;
   std::size_t rs_used_ = 0;
-  std::vector<exec_entry> exec_;
+  std::vector<exec_entry> exec_; ///< in-flight ops (reference scheduler)
+
+  // Fast-scheduler state (unused when fast_ is false).
+  static constexpr std::uint32_t age_ring_size = 64;
+  bool fast_ = true;
+  std::uint64_t rs_busy_mask_ = 0; ///< bit per RS slot; allocation bitmap
+  std::uint64_t ready_mask_ = 0;   ///< bit per age-ring position (seq % 64)
+  std::array<std::uint8_t, age_ring_size> age_to_slot_{};
+  /// Per-physical-tag wakeup subscriptions: (rs_slot << 2) | src_index.
+  std::vector<std::vector<std::uint16_t>> preg_waiters_;
+  /// Per-ROB-slot flag-wait subscriptions: rs_slot.
+  std::vector<std::vector<std::uint8_t>> rob_flag_waiters_;
+  /// Completion calendar: a 64-bucket wheel indexed by complete_at mod 64.
+  /// FU latencies (1..lsu_latency + miss penalty) are far below 64 cycles,
+  /// so insert and drain are O(1); anything scheduled >= 64 cycles out
+  /// parks in exec_far_ and migrates into the wheel as cycles advance
+  /// (normally empty — only reachable with pathological sweep latencies).
+  std::array<std::vector<exec_entry>, age_ring_size> exec_wheel_;
+  std::vector<exec_entry> exec_far_;
+  std::size_t exec_in_flight_ = 0;        ///< wheel + far entry count
+  std::vector<exec_entry> pending_bcast_; ///< completed; seq-descending
+  bool cycle_dirty_ = false; ///< any stage did observable work this cycle
 
   // Post-commit store buffer (addresses only; data already architectural).
   std::vector<std::uint32_t> store_buffer_;

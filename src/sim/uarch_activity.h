@@ -130,6 +130,21 @@ private:
   std::vector<activity_event> sorted_;
 };
 
+/// Order-insensitive FNV-1a digest of a trace window: the per-(cycle,
+/// component) toggle sums of every event with cycle in [first, last),
+/// folded in ascending (cycle, component) order.
+///
+/// The toggle sums are exactly what the power synthesizer weights into a
+/// sample, aggregated across lanes — so two traces with equal digests
+/// drive the power model identically over the window, while event order
+/// and lane assignment (which the model does not observe) are free to
+/// differ.  Compact enough to check in: the golden-snapshot suites
+/// (tests/sim/ooo_activity_golden_test.cpp) pin one 64-bit constant per
+/// backend instead of a full per-cycle dump.
+std::uint64_t activity_window_digest(const activity_trace& events,
+                                     std::uint32_t first,
+                                     std::uint32_t last);
+
 } // namespace usca::sim
 
 #endif // USCA_SIM_UARCH_ACTIVITY_H

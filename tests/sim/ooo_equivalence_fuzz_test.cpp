@@ -1,0 +1,238 @@
+// Differential fuzzing of the two OoO scheduler implementations.
+//
+// The fast scheduler (ready bitmasks, tag-indexed wakeup, constant-time
+// CDB arbitration, idle-cycle skip) claims absolute bit-identity with the
+// reference per-cycle linear scans: identical retirement order, identical
+// architectural state, and an identical 14-component activity stream at
+// every cycle.  That contract is what makes the scheduler rewrite
+// trustworthy — the synthesizer's power model is driven directly by the
+// activity stream, so any divergence silently changes every downstream
+// trace.  This suite enforces it on hundreds of seeded random programs
+// across the default engine and the stress-sweep shapes, plus a directed
+// regression for the classic wakeup/select hazard.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+#include "asmx/program.h"
+#include "random_program.h"
+#include "sim/ooo/ooo_core.h"
+#include "util/rng.h"
+
+namespace usca::sim {
+namespace {
+
+using isa::reg;
+using testing::random_program;
+using testing::random_program_buffer_words;
+
+/// Everything the equivalence contract covers, snapshotted after a run.
+struct run_snapshot {
+  std::array<std::uint32_t, 16> regs{};
+  isa::flags flags;
+  std::vector<std::uint32_t> buffer_words;
+  std::uint64_t cycles = 0;
+  std::uint64_t renamed = 0;
+  std::uint64_t retired = 0;
+  std::uint64_t multi_rename_cycles = 0;
+  std::vector<mark_stamp> marks;
+  activity_trace activity;
+};
+
+run_snapshot run_program(const asmx::program& prog,
+                         const micro_arch_config& arch,
+                         const std::array<std::uint32_t, 8>& inputs,
+                         std::uint32_t index_r11) {
+  ooo_core core(prog, arch);
+  for (std::size_t r = 0; r < inputs.size(); ++r) {
+    core.state().regs[r] = inputs[r];
+  }
+  const std::uint32_t buffer = *prog.symbol("buffer");
+  core.state().set_reg(reg::r10, buffer);
+  core.state().set_reg(reg::r11, index_r11);
+  core.state().set_reg(reg::r12, buffer + 4 * random_program_buffer_words);
+  core.warm_caches();
+  core.run();
+
+  run_snapshot snap;
+  snap.regs = core.state().regs;
+  snap.flags = core.state().f;
+  snap.buffer_words.reserve(random_program_buffer_words);
+  for (std::uint32_t w = 0; w < random_program_buffer_words; ++w) {
+    snap.buffer_words.push_back(core.memory().read32(buffer + 4 * w));
+  }
+  snap.cycles = core.cycles();
+  snap.renamed = core.instructions_issued();
+  snap.retired = core.instructions_retired();
+  snap.multi_rename_cycles = core.multi_rename_cycles();
+  snap.marks = core.marks();
+  snap.activity = core.activity();
+  return snap;
+}
+
+void expect_identical(const run_snapshot& fast, const run_snapshot& ref,
+                      std::uint64_t seed) {
+  ASSERT_EQ(fast.regs, ref.regs) << "seed=" << seed;
+  ASSERT_EQ(fast.flags, ref.flags) << "seed=" << seed;
+  ASSERT_EQ(fast.buffer_words, ref.buffer_words) << "seed=" << seed;
+  ASSERT_EQ(fast.cycles, ref.cycles) << "seed=" << seed;
+  ASSERT_EQ(fast.renamed, ref.renamed) << "seed=" << seed;
+  ASSERT_EQ(fast.retired, ref.retired) << "seed=" << seed;
+  ASSERT_EQ(fast.multi_rename_cycles, ref.multi_rename_cycles)
+      << "seed=" << seed;
+  ASSERT_EQ(fast.marks.size(), ref.marks.size()) << "seed=" << seed;
+  for (std::size_t m = 0; m < fast.marks.size(); ++m) {
+    ASSERT_EQ(fast.marks[m].id, ref.marks[m].id) << "seed=" << seed;
+    ASSERT_EQ(fast.marks[m].cycle, ref.marks[m].cycle) << "seed=" << seed;
+    ASSERT_EQ(fast.marks[m].dual_pairs, ref.marks[m].dual_pairs)
+        << "seed=" << seed;
+  }
+  // vector<activity_event>::operator== — cycle-exact, order-exact.
+  ASSERT_EQ(fast.activity, ref.activity) << "seed=" << seed;
+}
+
+struct equivalence_case {
+  const char* name;
+  std::uint64_t seed_base;
+  ooo_config ooo;
+};
+
+class OooEquivalenceFuzzTest
+    : public ::testing::TestWithParam<equivalence_case> {};
+
+TEST_P(OooEquivalenceFuzzTest, FastSchedulerIsBitIdenticalToReference) {
+  const equivalence_case param = GetParam();
+
+  micro_arch_config fast_arch = cortex_a7_ooo(param.ooo);
+  micro_arch_config ref_arch = fast_arch;
+  ref_arch.ooo.scheduler = ooo_scheduler::reference;
+  ASSERT_EQ(fast_arch.ooo.scheduler, ooo_scheduler::fast);
+
+  constexpr int programs = 200;
+  for (int p = 0; p < programs; ++p) {
+    const std::uint64_t seed = param.seed_base + static_cast<std::uint64_t>(p);
+    util::xoshiro256 rng(seed);
+    // Vary program length so short drains and long structural-pressure
+    // runs are both covered.
+    const int length = 20 + static_cast<int>(rng.bounded(60));
+    const asmx::program prog = random_program(rng, length);
+    std::array<std::uint32_t, 8> inputs;
+    for (auto& v : inputs) {
+      v = rng.next_u32();
+    }
+    const auto index_r11 =
+        static_cast<std::uint32_t>(rng.bounded(random_program_buffer_words));
+
+    const run_snapshot fast = run_program(prog, fast_arch, inputs, index_r11);
+    const run_snapshot ref = run_program(prog, ref_arch, inputs, index_r11);
+    expect_identical(fast, ref, seed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomPrograms, OooEquivalenceFuzzTest,
+    ::testing::Values(
+        // The paper-facing design point.
+        equivalence_case{"default", 0xe0'0001, ooo_config{}},
+        // Tiny machine: 4-entry ROB, scalar rename/retire/CDB, 2 RS
+        // entries — every structural stall path, constant wrap-around of
+        // the age ring at minimal occupancy.
+        equivalence_case{"tiny", 0xe0'2000,
+                         ooo_config{4, 1, 1, 2, 24, 1, 1}},
+        // Wide machine at the 64-entry sizing cap: deep ROB/RS, 4-wide
+        // rename/retire/CDB — maximal in-flight window, full-ring
+        // occupancy, multi-lane CDB arbitration.
+        equivalence_case{"wide", 0xe0'4000,
+                         ooo_config{64, 4, 4, 32, 128, 4, 8}}),
+    [](const ::testing::TestParamInfo<equivalence_case>& info) {
+      return info.param.name;
+    });
+
+// Regression: same-cycle wakeup + select of a µop whose LAST outstanding
+// operand arrives on the FINAL CDB slot of the cycle.  The reference
+// linear scan covers this implicitly (every lane's broadcast rewrites the
+// full RS before select runs); the waiter-list rewrite must deliver the
+// final lane's wakeups — and set the ready-ring bit — before the select
+// stage of the same cycle, or the consumer issues a cycle late.
+TEST(OooSameCycleWakeup, LastOperandOnFinalCdbSlotIssuesSameCycle) {
+  namespace mk = isa::ins;
+
+  micro_arch_config fast_arch = cortex_a7_ooo(); // cdb_width = 2
+  micro_arch_config ref_arch = fast_arch;
+  ref_arch.ooo.scheduler = ooo_scheduler::reference;
+
+  // mul (3-cycle) and a later add (1-cycle) complete in the same cycle
+  // and broadcast together: the mul — older — takes lane 0, the add takes
+  // lane 1, the final CDB slot.  The consumer needs both, so its last
+  // operand arrives on that final slot.  The exact alignment depends on
+  // rename-width timing, so search over a small filler range and require
+  // that the scenario actually fires at least once.
+  bool scenario_covered = false;
+  for (int fillers = 0; fillers <= 6; ++fillers) {
+    asmx::program_builder b;
+    b.load_constant(reg::r1, 0x1234);
+    b.load_constant(reg::r2, 0x057);
+    b.load_constant(reg::r4, 0xbeef);
+    b.load_constant(reg::r5, 0x0111);
+    b.emit(mk::mul(reg::r0, reg::r1, reg::r2)); // producer A (slow)
+    for (int i = 0; i < fillers; ++i) {
+      b.emit(mk::nop());
+    }
+    b.emit(mk::add(reg::r3, reg::r4, reg::r5)); // producer B (fast)
+    b.emit(mk::add(reg::r6, reg::r0, reg::r3)); // consumer: needs A and B
+    b.emit(mk::halt());
+    const asmx::program prog = b.build();
+
+    ooo_core fast(prog, fast_arch);
+    fast.warm_caches();
+    fast.run();
+    ooo_core ref(prog, ref_arch);
+    ref.warm_caches();
+    ref.run();
+
+    // Bit-identity holds at every alignment, whether or not the
+    // double-broadcast lined up.
+    ASSERT_EQ(fast.activity(), ref.activity()) << "fillers=" << fillers;
+    ASSERT_EQ(fast.cycles(), ref.cycles()) << "fillers=" << fillers;
+    ASSERT_EQ(fast.state().regs, ref.state().regs) << "fillers=" << fillers;
+    EXPECT_EQ(fast.state().regs[6], 0x1234u * 0x57u + 0xbeefu + 0x111u);
+
+    // Did both producers broadcast in one cycle?  Count CDB events per
+    // cycle; the consumer is the last CDB broadcast of the program, so
+    // same-cycle wakeup+select means it lands exactly two cycles after
+    // the double broadcast (select at C, 1-cycle ALU completes at C+1,
+    // broadcast at C+1 — one cycle for its own CDB trip).
+    std::uint32_t double_cycle = 0;
+    bool found_double = false;
+    std::uint32_t last_cdb_cycle = 0;
+    for (const activity_event& ev : fast.activity()) {
+      if (ev.comp != component::cdb) {
+        continue;
+      }
+      last_cdb_cycle = std::max(last_cdb_cycle, ev.cycle);
+      for (const activity_event& other : fast.activity()) {
+        if (&other != &ev && other.comp == component::cdb &&
+            other.cycle == ev.cycle) {
+          // Track the latest double broadcast: the setup constants can
+          // pair up early, but the producers' pairing is the last one.
+          double_cycle = std::max(double_cycle, ev.cycle);
+          found_double = true;
+        }
+      }
+    }
+    if (found_double && last_cdb_cycle == double_cycle + 1) {
+      // The consumer woke on the double-broadcast cycle and issued that
+      // same cycle: its own result crossed the CDB one cycle later.
+      scenario_covered = true;
+    }
+  }
+  EXPECT_TRUE(scenario_covered)
+      << "no filler alignment produced a same-cycle double broadcast "
+         "with a same-cycle consumer issue — the directed scenario lost "
+         "its coverage";
+}
+
+} // namespace
+} // namespace usca::sim
