@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmx_assembler_test.dir/tests/asmx/assembler_test.cpp.o"
+  "CMakeFiles/asmx_assembler_test.dir/tests/asmx/assembler_test.cpp.o.d"
+  "asmx_assembler_test"
+  "asmx_assembler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmx_assembler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

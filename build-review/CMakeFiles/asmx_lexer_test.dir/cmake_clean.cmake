@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmx_lexer_test.dir/tests/asmx/lexer_test.cpp.o"
+  "CMakeFiles/asmx_lexer_test.dir/tests/asmx/lexer_test.cpp.o.d"
+  "asmx_lexer_test"
+  "asmx_lexer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmx_lexer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

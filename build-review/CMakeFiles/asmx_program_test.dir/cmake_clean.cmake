@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/asmx_program_test.dir/tests/asmx/program_test.cpp.o"
+  "CMakeFiles/asmx_program_test.dir/tests/asmx/program_test.cpp.o.d"
+  "asmx_program_test"
+  "asmx_program_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/asmx_program_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_microarch.dir/bench/bench_ablation_microarch.cpp.o"
+  "CMakeFiles/bench_ablation_microarch.dir/bench/bench_ablation_microarch.cpp.o.d"
+  "bench_ablation_microarch"
+  "bench_ablation_microarch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_microarch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_pipeline_inference.dir/bench/bench_fig2_pipeline_inference.cpp.o"
+  "CMakeFiles/bench_fig2_pipeline_inference.dir/bench/bench_fig2_pipeline_inference.cpp.o.d"
+  "bench_fig2_pipeline_inference"
+  "bench_fig2_pipeline_inference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_pipeline_inference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_cpa_baremetal.dir/bench/bench_fig3_cpa_baremetal.cpp.o"
+  "CMakeFiles/bench_fig3_cpa_baremetal.dir/bench/bench_fig3_cpa_baremetal.cpp.o.d"
+  "bench_fig3_cpa_baremetal"
+  "bench_fig3_cpa_baremetal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_cpa_baremetal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

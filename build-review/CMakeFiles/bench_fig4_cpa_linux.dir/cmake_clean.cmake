@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_cpa_linux.dir/bench/bench_fig4_cpa_linux.cpp.o"
+  "CMakeFiles/bench_fig4_cpa_linux.dir/bench/bench_fig4_cpa_linux.cpp.o.d"
+  "bench_fig4_cpa_linux"
+  "bench_fig4_cpa_linux.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_cpa_linux.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

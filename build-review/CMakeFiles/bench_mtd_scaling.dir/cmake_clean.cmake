@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mtd_scaling.dir/bench/bench_mtd_scaling.cpp.o"
+  "CMakeFiles/bench_mtd_scaling.dir/bench/bench_mtd_scaling.cpp.o.d"
+  "bench_mtd_scaling"
+  "bench_mtd_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mtd_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ooo_ablation.dir/bench/bench_ooo_ablation.cpp.o"
+  "CMakeFiles/bench_ooo_ablation.dir/bench/bench_ooo_ablation.cpp.o.d"
+  "bench_ooo_ablation"
+  "bench_ooo_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ooo_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_portability.dir/bench/bench_portability.cpp.o"
+  "CMakeFiles/bench_portability.dir/bench/bench_portability.cpp.o.d"
+  "bench_portability"
+  "bench_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_leakage.dir/bench/bench_table2_leakage.cpp.o"
+  "CMakeFiles/bench_table2_leakage.dir/bench/bench_table2_leakage.cpp.o.d"
+  "bench_table2_leakage"
+  "bench_table2_leakage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_leakage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tvla.dir/bench/bench_tvla.cpp.o"
+  "CMakeFiles/bench_tvla.dir/bench/bench_tvla.cpp.o.d"
+  "bench_tvla"
+  "bench_tvla.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tvla.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_batch_identity_test.dir/tests/core/batch_identity_test.cpp.o"
+  "CMakeFiles/core_batch_identity_test.dir/tests/core/batch_identity_test.cpp.o.d"
+  "core_batch_identity_test"
+  "core_batch_identity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_batch_identity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

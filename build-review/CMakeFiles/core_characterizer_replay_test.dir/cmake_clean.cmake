@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_characterizer_replay_test.dir/tests/core/characterizer_replay_test.cpp.o"
+  "CMakeFiles/core_characterizer_replay_test.dir/tests/core/characterizer_replay_test.cpp.o.d"
+  "core_characterizer_replay_test"
+  "core_characterizer_replay_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_characterizer_replay_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_characterizer_test.dir/tests/core/characterizer_test.cpp.o"
+  "CMakeFiles/core_characterizer_test.dir/tests/core/characterizer_test.cpp.o.d"
+  "core_characterizer_test"
+  "core_characterizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_characterizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

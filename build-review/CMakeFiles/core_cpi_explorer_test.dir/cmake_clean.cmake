@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_cpi_explorer_test.dir/tests/core/cpi_explorer_test.cpp.o"
+  "CMakeFiles/core_cpi_explorer_test.dir/tests/core/cpi_explorer_test.cpp.o.d"
+  "core_cpi_explorer_test"
+  "core_cpi_explorer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_cpi_explorer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

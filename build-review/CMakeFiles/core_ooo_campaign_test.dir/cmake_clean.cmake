@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_ooo_campaign_test.dir/tests/core/ooo_campaign_test.cpp.o"
+  "CMakeFiles/core_ooo_campaign_test.dir/tests/core/ooo_campaign_test.cpp.o.d"
+  "core_ooo_campaign_test"
+  "core_ooo_campaign_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_ooo_campaign_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scanner_test.dir/tests/core/scanner_test.cpp.o"
+  "CMakeFiles/core_scanner_test.dir/tests/core/scanner_test.cpp.o.d"
+  "core_scanner_test"
+  "core_scanner_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scanner_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_scheduler_test.dir/tests/core/scheduler_test.cpp.o"
+  "CMakeFiles/core_scheduler_test.dir/tests/core/scheduler_test.cpp.o.d"
+  "core_scheduler_test"
+  "core_scheduler_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_trace_archive_test.dir/tests/core/trace_archive_test.cpp.o"
+  "CMakeFiles/core_trace_archive_test.dir/tests/core/trace_archive_test.cpp.o.d"
+  "core_trace_archive_test"
+  "core_trace_archive_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_trace_archive_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

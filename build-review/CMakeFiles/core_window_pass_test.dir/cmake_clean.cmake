@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_window_pass_test.dir/tests/core/window_pass_test.cpp.o"
+  "CMakeFiles/core_window_pass_test.dir/tests/core/window_pass_test.cpp.o.d"
+  "core_window_pass_test"
+  "core_window_pass_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_window_pass_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

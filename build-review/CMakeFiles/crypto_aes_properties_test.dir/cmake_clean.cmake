@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_aes_properties_test.dir/tests/crypto/aes_properties_test.cpp.o"
+  "CMakeFiles/crypto_aes_properties_test.dir/tests/crypto/aes_properties_test.cpp.o.d"
+  "crypto_aes_properties_test"
+  "crypto_aes_properties_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_aes_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

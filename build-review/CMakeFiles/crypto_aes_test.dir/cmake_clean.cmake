@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crypto_aes_test.dir/tests/crypto/aes_test.cpp.o"
+  "CMakeFiles/crypto_aes_test.dir/tests/crypto/aes_test.cpp.o.d"
+  "crypto_aes_test"
+  "crypto_aes_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crypto_aes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_aes_cpa_demo.dir/examples/aes_cpa_demo.cpp.o"
+  "CMakeFiles/example_aes_cpa_demo.dir/examples/aes_cpa_demo.cpp.o.d"
+  "example_aes_cpa_demo"
+  "example_aes_cpa_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_aes_cpa_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_harden_gadget.dir/examples/harden_gadget.cpp.o"
+  "CMakeFiles/example_harden_gadget.dir/examples/harden_gadget.cpp.o.d"
+  "example_harden_gadget"
+  "example_harden_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_harden_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

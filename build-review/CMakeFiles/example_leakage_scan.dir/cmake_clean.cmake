@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_leakage_scan.dir/examples/leakage_scan.cpp.o"
+  "CMakeFiles/example_leakage_scan.dir/examples/leakage_scan.cpp.o.d"
+  "example_leakage_scan"
+  "example_leakage_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_leakage_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

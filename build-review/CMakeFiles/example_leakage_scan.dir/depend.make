@@ -1,0 +1,2 @@
+# Empty dependencies file for example_leakage_scan.
+# This may be replaced when dependencies are built.

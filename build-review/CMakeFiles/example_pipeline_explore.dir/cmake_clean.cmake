@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_pipeline_explore.dir/examples/pipeline_explore.cpp.o"
+  "CMakeFiles/example_pipeline_explore.dir/examples/pipeline_explore.cpp.o.d"
+  "example_pipeline_explore"
+  "example_pipeline_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_pipeline_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

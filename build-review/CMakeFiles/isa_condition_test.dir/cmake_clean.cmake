@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_condition_test.dir/tests/isa/condition_test.cpp.o"
+  "CMakeFiles/isa_condition_test.dir/tests/isa/condition_test.cpp.o.d"
+  "isa_condition_test"
+  "isa_condition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_condition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_disasm_test.dir/tests/isa/disasm_test.cpp.o"
+  "CMakeFiles/isa_disasm_test.dir/tests/isa/disasm_test.cpp.o.d"
+  "isa_disasm_test"
+  "isa_disasm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_disasm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

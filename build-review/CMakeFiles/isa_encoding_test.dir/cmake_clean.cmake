@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_encoding_test.dir/tests/isa/encoding_test.cpp.o"
+  "CMakeFiles/isa_encoding_test.dir/tests/isa/encoding_test.cpp.o.d"
+  "isa_encoding_test"
+  "isa_encoding_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_encoding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isa_instruction_test.dir/tests/isa/instruction_test.cpp.o"
+  "CMakeFiles/isa_instruction_test.dir/tests/isa/instruction_test.cpp.o.d"
+  "isa_instruction_test"
+  "isa_instruction_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isa_instruction_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mem_cache_test.dir/tests/mem/cache_test.cpp.o"
+  "CMakeFiles/mem_cache_test.dir/tests/mem/cache_test.cpp.o.d"
+  "mem_cache_test"
+  "mem_cache_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mem_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

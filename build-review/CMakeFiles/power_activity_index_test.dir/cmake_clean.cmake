@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_activity_index_test.dir/tests/power/activity_index_test.cpp.o"
+  "CMakeFiles/power_activity_index_test.dir/tests/power/activity_index_test.cpp.o.d"
+  "power_activity_index_test"
+  "power_activity_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_activity_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_leakage_weights_test.dir/tests/power/leakage_weights_test.cpp.o"
+  "CMakeFiles/power_leakage_weights_test.dir/tests/power/leakage_weights_test.cpp.o.d"
+  "power_leakage_weights_test"
+  "power_leakage_weights_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_leakage_weights_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

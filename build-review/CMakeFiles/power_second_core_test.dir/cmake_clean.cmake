@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_second_core_test.dir/tests/power/second_core_test.cpp.o"
+  "CMakeFiles/power_second_core_test.dir/tests/power/second_core_test.cpp.o.d"
+  "power_second_core_test"
+  "power_second_core_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_second_core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_synthesizer_test.dir/tests/power/synthesizer_test.cpp.o"
+  "CMakeFiles/power_synthesizer_test.dir/tests/power/synthesizer_test.cpp.o.d"
+  "power_synthesizer_test"
+  "power_synthesizer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_synthesizer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

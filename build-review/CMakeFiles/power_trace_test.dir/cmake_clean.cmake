@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_trace_test.dir/tests/power/trace_test.cpp.o"
+  "CMakeFiles/power_trace_test.dir/tests/power/trace_test.cpp.o.d"
+  "power_trace_test"
+  "power_trace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

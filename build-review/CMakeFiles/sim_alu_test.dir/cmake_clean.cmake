@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_alu_test.dir/tests/sim/alu_test.cpp.o"
+  "CMakeFiles/sim_alu_test.dir/tests/sim/alu_test.cpp.o.d"
+  "sim_alu_test"
+  "sim_alu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_alu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_differential_test.dir/tests/sim/differential_test.cpp.o"
+  "CMakeFiles/sim_differential_test.dir/tests/sim/differential_test.cpp.o.d"
+  "sim_differential_test"
+  "sim_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_functional_executor_test.dir/tests/sim/functional_executor_test.cpp.o"
+  "CMakeFiles/sim_functional_executor_test.dir/tests/sim/functional_executor_test.cpp.o.d"
+  "sim_functional_executor_test"
+  "sim_functional_executor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_functional_executor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ooo_differential_test.dir/tests/sim/ooo_differential_test.cpp.o"
+  "CMakeFiles/sim_ooo_differential_test.dir/tests/sim/ooo_differential_test.cpp.o.d"
+  "sim_ooo_differential_test"
+  "sim_ooo_differential_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ooo_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

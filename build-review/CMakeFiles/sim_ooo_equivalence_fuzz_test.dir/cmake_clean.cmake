@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_ooo_equivalence_fuzz_test.dir/tests/sim/ooo_equivalence_fuzz_test.cpp.o"
+  "CMakeFiles/sim_ooo_equivalence_fuzz_test.dir/tests/sim/ooo_equivalence_fuzz_test.cpp.o.d"
+  "sim_ooo_equivalence_fuzz_test"
+  "sim_ooo_equivalence_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_ooo_equivalence_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_pipeline_reset_test.dir/tests/sim/pipeline_reset_test.cpp.o"
+  "CMakeFiles/sim_pipeline_reset_test.dir/tests/sim/pipeline_reset_test.cpp.o.d"
+  "sim_pipeline_reset_test"
+  "sim_pipeline_reset_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_pipeline_reset_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_attack_metrics_test.dir/tests/stats/attack_metrics_test.cpp.o"
+  "CMakeFiles/stats_attack_metrics_test.dir/tests/stats/attack_metrics_test.cpp.o.d"
+  "stats_attack_metrics_test"
+  "stats_attack_metrics_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_attack_metrics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_batch_kernel_test.dir/tests/stats/batch_kernel_test.cpp.o"
+  "CMakeFiles/stats_batch_kernel_test.dir/tests/stats/batch_kernel_test.cpp.o.d"
+  "stats_batch_kernel_test"
+  "stats_batch_kernel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_batch_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

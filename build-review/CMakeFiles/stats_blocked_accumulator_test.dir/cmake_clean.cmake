@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_blocked_accumulator_test.dir/tests/stats/blocked_accumulator_test.cpp.o"
+  "CMakeFiles/stats_blocked_accumulator_test.dir/tests/stats/blocked_accumulator_test.cpp.o.d"
+  "stats_blocked_accumulator_test"
+  "stats_blocked_accumulator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_blocked_accumulator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_cpa_test.dir/tests/stats/cpa_test.cpp.o"
+  "CMakeFiles/stats_cpa_test.dir/tests/stats/cpa_test.cpp.o.d"
+  "stats_cpa_test"
+  "stats_cpa_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_cpa_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

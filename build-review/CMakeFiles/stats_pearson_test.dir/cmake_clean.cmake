@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stats_pearson_test.dir/tests/stats/pearson_test.cpp.o"
+  "CMakeFiles/stats_pearson_test.dir/tests/stats/pearson_test.cpp.o.d"
+  "stats_pearson_test"
+  "stats_pearson_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stats_pearson_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/asmx/assembler.cpp" "CMakeFiles/usca.dir/src/asmx/assembler.cpp.o" "gcc" "CMakeFiles/usca.dir/src/asmx/assembler.cpp.o.d"
+  "/root/repo/src/asmx/lexer.cpp" "CMakeFiles/usca.dir/src/asmx/lexer.cpp.o" "gcc" "CMakeFiles/usca.dir/src/asmx/lexer.cpp.o.d"
+  "/root/repo/src/asmx/program.cpp" "CMakeFiles/usca.dir/src/asmx/program.cpp.o" "gcc" "CMakeFiles/usca.dir/src/asmx/program.cpp.o.d"
+  "/root/repo/src/core/acquisition.cpp" "CMakeFiles/usca.dir/src/core/acquisition.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/acquisition.cpp.o.d"
+  "/root/repo/src/core/campaign.cpp" "CMakeFiles/usca.dir/src/core/campaign.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/campaign.cpp.o.d"
+  "/root/repo/src/core/cpi_explorer.cpp" "CMakeFiles/usca.dir/src/core/cpi_explorer.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/cpi_explorer.cpp.o.d"
+  "/root/repo/src/core/leakage_aware_scheduler.cpp" "CMakeFiles/usca.dir/src/core/leakage_aware_scheduler.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/leakage_aware_scheduler.cpp.o.d"
+  "/root/repo/src/core/leakage_characterizer.cpp" "CMakeFiles/usca.dir/src/core/leakage_characterizer.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/leakage_characterizer.cpp.o.d"
+  "/root/repo/src/core/leakage_scanner.cpp" "CMakeFiles/usca.dir/src/core/leakage_scanner.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/leakage_scanner.cpp.o.d"
+  "/root/repo/src/core/table2_benchmarks.cpp" "CMakeFiles/usca.dir/src/core/table2_benchmarks.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/table2_benchmarks.cpp.o.d"
+  "/root/repo/src/core/trace_archive.cpp" "CMakeFiles/usca.dir/src/core/trace_archive.cpp.o" "gcc" "CMakeFiles/usca.dir/src/core/trace_archive.cpp.o.d"
+  "/root/repo/src/crypto/aes128.cpp" "CMakeFiles/usca.dir/src/crypto/aes128.cpp.o" "gcc" "CMakeFiles/usca.dir/src/crypto/aes128.cpp.o.d"
+  "/root/repo/src/crypto/aes_codegen.cpp" "CMakeFiles/usca.dir/src/crypto/aes_codegen.cpp.o" "gcc" "CMakeFiles/usca.dir/src/crypto/aes_codegen.cpp.o.d"
+  "/root/repo/src/isa/condition.cpp" "CMakeFiles/usca.dir/src/isa/condition.cpp.o" "gcc" "CMakeFiles/usca.dir/src/isa/condition.cpp.o.d"
+  "/root/repo/src/isa/disasm.cpp" "CMakeFiles/usca.dir/src/isa/disasm.cpp.o" "gcc" "CMakeFiles/usca.dir/src/isa/disasm.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "CMakeFiles/usca.dir/src/isa/encoding.cpp.o" "gcc" "CMakeFiles/usca.dir/src/isa/encoding.cpp.o.d"
+  "/root/repo/src/isa/instruction.cpp" "CMakeFiles/usca.dir/src/isa/instruction.cpp.o" "gcc" "CMakeFiles/usca.dir/src/isa/instruction.cpp.o.d"
+  "/root/repo/src/isa/registers.cpp" "CMakeFiles/usca.dir/src/isa/registers.cpp.o" "gcc" "CMakeFiles/usca.dir/src/isa/registers.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "CMakeFiles/usca.dir/src/mem/cache.cpp.o" "gcc" "CMakeFiles/usca.dir/src/mem/cache.cpp.o.d"
+  "/root/repo/src/mem/memory.cpp" "CMakeFiles/usca.dir/src/mem/memory.cpp.o" "gcc" "CMakeFiles/usca.dir/src/mem/memory.cpp.o.d"
+  "/root/repo/src/power/noise.cpp" "CMakeFiles/usca.dir/src/power/noise.cpp.o" "gcc" "CMakeFiles/usca.dir/src/power/noise.cpp.o.d"
+  "/root/repo/src/power/second_core.cpp" "CMakeFiles/usca.dir/src/power/second_core.cpp.o" "gcc" "CMakeFiles/usca.dir/src/power/second_core.cpp.o.d"
+  "/root/repo/src/power/synthesizer.cpp" "CMakeFiles/usca.dir/src/power/synthesizer.cpp.o" "gcc" "CMakeFiles/usca.dir/src/power/synthesizer.cpp.o.d"
+  "/root/repo/src/power/trace.cpp" "CMakeFiles/usca.dir/src/power/trace.cpp.o" "gcc" "CMakeFiles/usca.dir/src/power/trace.cpp.o.d"
+  "/root/repo/src/power/trace_io.cpp" "CMakeFiles/usca.dir/src/power/trace_io.cpp.o" "gcc" "CMakeFiles/usca.dir/src/power/trace_io.cpp.o.d"
+  "/root/repo/src/power/trace_store_reader.cpp" "CMakeFiles/usca.dir/src/power/trace_store_reader.cpp.o" "gcc" "CMakeFiles/usca.dir/src/power/trace_store_reader.cpp.o.d"
+  "/root/repo/src/sim/alu.cpp" "CMakeFiles/usca.dir/src/sim/alu.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/alu.cpp.o.d"
+  "/root/repo/src/sim/backend.cpp" "CMakeFiles/usca.dir/src/sim/backend.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/backend.cpp.o.d"
+  "/root/repo/src/sim/functional_executor.cpp" "CMakeFiles/usca.dir/src/sim/functional_executor.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/functional_executor.cpp.o.d"
+  "/root/repo/src/sim/micro_arch_config.cpp" "CMakeFiles/usca.dir/src/sim/micro_arch_config.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/micro_arch_config.cpp.o.d"
+  "/root/repo/src/sim/ooo/ooo_core.cpp" "CMakeFiles/usca.dir/src/sim/ooo/ooo_core.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/ooo/ooo_core.cpp.o.d"
+  "/root/repo/src/sim/pipeline.cpp" "CMakeFiles/usca.dir/src/sim/pipeline.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/pipeline.cpp.o.d"
+  "/root/repo/src/sim/program_image.cpp" "CMakeFiles/usca.dir/src/sim/program_image.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/program_image.cpp.o.d"
+  "/root/repo/src/sim/uarch_activity.cpp" "CMakeFiles/usca.dir/src/sim/uarch_activity.cpp.o" "gcc" "CMakeFiles/usca.dir/src/sim/uarch_activity.cpp.o.d"
+  "/root/repo/src/stats/attack_metrics.cpp" "CMakeFiles/usca.dir/src/stats/attack_metrics.cpp.o" "gcc" "CMakeFiles/usca.dir/src/stats/attack_metrics.cpp.o.d"
+  "/root/repo/src/stats/batch_kernels.cpp" "CMakeFiles/usca.dir/src/stats/batch_kernels.cpp.o" "gcc" "CMakeFiles/usca.dir/src/stats/batch_kernels.cpp.o.d"
+  "/root/repo/src/stats/cpa.cpp" "CMakeFiles/usca.dir/src/stats/cpa.cpp.o" "gcc" "CMakeFiles/usca.dir/src/stats/cpa.cpp.o.d"
+  "/root/repo/src/stats/descriptive.cpp" "CMakeFiles/usca.dir/src/stats/descriptive.cpp.o" "gcc" "CMakeFiles/usca.dir/src/stats/descriptive.cpp.o.d"
+  "/root/repo/src/stats/pearson.cpp" "CMakeFiles/usca.dir/src/stats/pearson.cpp.o" "gcc" "CMakeFiles/usca.dir/src/stats/pearson.cpp.o.d"
+  "/root/repo/src/stats/ttest.cpp" "CMakeFiles/usca.dir/src/stats/ttest.cpp.o" "gcc" "CMakeFiles/usca.dir/src/stats/ttest.cpp.o.d"
+  "/root/repo/src/util/bitops.cpp" "CMakeFiles/usca.dir/src/util/bitops.cpp.o" "gcc" "CMakeFiles/usca.dir/src/util/bitops.cpp.o.d"
+  "/root/repo/src/util/crc32.cpp" "CMakeFiles/usca.dir/src/util/crc32.cpp.o" "gcc" "CMakeFiles/usca.dir/src/util/crc32.cpp.o.d"
+  "/root/repo/src/util/error.cpp" "CMakeFiles/usca.dir/src/util/error.cpp.o" "gcc" "CMakeFiles/usca.dir/src/util/error.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "CMakeFiles/usca.dir/src/util/rng.cpp.o" "gcc" "CMakeFiles/usca.dir/src/util/rng.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

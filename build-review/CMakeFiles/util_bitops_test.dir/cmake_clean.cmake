@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_bitops_test.dir/tests/util/bitops_test.cpp.o"
+  "CMakeFiles/util_bitops_test.dir/tests/util/bitops_test.cpp.o.d"
+  "util_bitops_test"
+  "util_bitops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_bitops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
