@@ -9,7 +9,8 @@
 //    hot path measured end to end — the acquisition loop every 100k-trace
 //    experiment of the paper runs on — reported as machine-readable JSON
 //    (traces/sec and simulated cycles/sec for BOTH backends — in-order and
-//    OoO — plus accumulator ns/sample and trace-store write/replay MB/s)
+//    OoO — plus accumulator ns/sample, trace-store write/replay MB/s,
+//    and the fabric merge / salvage scan MB/s of the robustness layer)
 //    so speedups can be pinned in-repo (BENCH_hotpath.json) and tracked
 //    by CI.
 #include <benchmark/benchmark.h>
@@ -25,6 +26,7 @@
 #include "bench_util.h"
 #include "core/analysis_sinks.h"
 #include "core/campaign.h"
+#include "core/campaign_fabric.h"
 #include "stats/batch_kernels.h"
 #include "crypto/aes_codegen.h"
 #include "power/synthesizer.h"
@@ -204,6 +206,11 @@ struct hot_path_report {
   double store_replay_traces_per_sec = 0.0;
   double store_replay_batched_traces_per_sec = 0.0;
   double store_bytes_per_trace = 0.0;
+  // Fabric-layer throughput: shard concatenation (validated
+  // reader.stream -> writer.append replay-append) and the salvage-mode
+  // structural scan a damaged-store open performs.
+  double fabric_merge_mb_per_sec = 0.0;
+  double salvage_scan_mb_per_sec = 0.0;
 };
 
 double seconds_since(std::chrono::steady_clock::time_point start) {
@@ -418,6 +425,52 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
         static_cast<double>(cpa_pass.cpa().traces()) /
         seconds_since(batched_start);
   }
+
+  // Fabric merge + salvage scan on the same records: the archived
+  // prefix split into 4 contiguous shard stores, concatenated back by
+  // core::merge_stores (strict validation + replay-append), then the
+  // merged store walked once in salvage mode (the full structural scan
+  // every damaged-store open pays).
+  {
+    const std::size_t n = archived_samples.size();
+    const std::size_t per = std::max<std::size_t>(1, (n + 3) / 4);
+    std::vector<std::string> shard_paths;
+    for (std::size_t s = 0; s * per < n; ++s) {
+      const std::string shard =
+          store_path + ".shard" + std::to_string(s);
+      power::trace_store_descriptor shard_desc = desc;
+      shard_desc.first_index = s * per;
+      auto writer = power::trace_store_writer::create(shard, shard_desc);
+      for (std::size_t i = s * per; i < std::min(n, (s + 1) * per); ++i) {
+        writer.append(archived_labels[i], archived_samples[i]);
+      }
+      writer.close();
+      shard_paths.push_back(shard);
+    }
+    const std::string merged = store_path + ".merged";
+    const double payload_mib =
+        report.store_bytes_per_trace * static_cast<double>(n) /
+        (1024.0 * 1024.0);
+    const auto merge_start = std::chrono::steady_clock::now();
+    const std::size_t merged_records = core::merge_stores(shard_paths, merged);
+    report.fabric_merge_mb_per_sec =
+        payload_mib / seconds_since(merge_start);
+    if (merged_records != n) {
+      std::fprintf(stderr, "(fabric merge lost records?)\n");
+    }
+    const auto salvage_start = std::chrono::steady_clock::now();
+    const power::trace_store_reader salvage_reader(
+        merged, power::store_open_mode::salvage);
+    report.salvage_scan_mb_per_sec =
+        payload_mib / seconds_since(salvage_start);
+    if (!salvage_reader.intact()) {
+      std::fprintf(stderr, "(salvage scan found damage in a fresh store?)\n");
+    }
+    for (const std::string& shard : shard_paths) {
+      std::remove(shard.c_str());
+    }
+    std::remove(merged.c_str());
+  }
   std::remove(store_path.c_str());
   return report;
 }
@@ -448,7 +501,9 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                "  \"store_replay_mb_per_sec\": %.1f,\n"
                "  \"store_replay_traces_per_sec\": %.0f,\n"
                "  \"store_replay_batched_traces_per_sec\": %.0f,\n"
-               "  \"store_bytes_per_trace\": %.0f\n"
+               "  \"store_bytes_per_trace\": %.0f,\n"
+               "  \"fabric_merge_mb_per_sec\": %.1f,\n"
+               "  \"salvage_scan_mb_per_sec\": %.1f\n"
                "}\n",
                r.traces, r.averaging, r.threads, r.samples_per_trace,
                r.seconds, r.traces_per_sec, r.sim_cycles_per_sec,
@@ -464,7 +519,9 @@ void write_json(std::FILE* out, const hot_path_report& r) {
                r.store_replay_mb_per_sec,
                r.store_replay_traces_per_sec,
                r.store_replay_batched_traces_per_sec,
-               r.store_bytes_per_trace);
+               r.store_bytes_per_trace,
+               r.fabric_merge_mb_per_sec,
+               r.salvage_scan_mb_per_sec);
 }
 
 int run_json_mode(const std::string& json_arg, int argc, char** argv) {

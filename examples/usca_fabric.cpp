@@ -1,0 +1,484 @@
+// Fault-tolerant distributed campaign driver over core::campaign_fabric:
+//
+//   ./build/example_usca_fabric run --out=PATH [--traces=N] [--lease=N]
+//        [--workers=N] [--backend=inorder|ooo] [--seed=N]
+//        [--deadline-ms=N] [--max-attempts=N] [--dir=PATH]
+//        [--inject=LEASE:FAILPOINT_SPEC]... [--keep-shards]
+//   ./build/example_usca_fabric worker --first=N --traces=N --shard=PATH
+//        [--backend=inorder|ooo] [--seed=N] [--failpoint=SPEC]
+//   ./build/example_usca_fabric verify PATH [--strict]
+//
+// `run` is the coordinator: it splits the campaign into range leases,
+// re-execs this binary as one worker process per lease (each worker
+// archives its range with core::archive_acquisition — so a killed and
+// re-issued worker resumes its shard instead of starting over), and
+// merges the validated shards into --out, a store byte-identical to one
+// uninterrupted single-process archive.  The acquisition is the same
+// demo AES-128 campaign as example_aes_cpa_demo, so the merged store
+// replays there: `example_aes_cpa_demo --replay=OUT`.
+//
+// --inject=LEASE:SPEC arms a util/failpoint spec (e.g. `3:archive_
+// record:crash@500`) in that lease's FIRST worker attempt only — the
+// re-issued attempt runs clean and resumes the dead worker's shard.
+// That is the kill-at-N-points robustness drill from the fabric tests,
+// runnable from the shell.
+//
+// `verify` is the health checker (machine-readable: one JSON object on
+// stdout, exit 0 = healthy): a trace store is opened in salvage mode
+// and its damage map printed; a fabric manifest is walked lease by
+// lease with every shard probed strict-then-salvage.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include <unistd.h>
+
+#include "core/campaign_fabric.h"
+#include "core/trace_archive.h"
+#include "crypto/aes_codegen.h"
+#include "power/trace_store_reader.h"
+#include "util/error.h"
+#include "util/failpoint.h"
+
+using namespace usca;
+
+namespace {
+
+// Same campaign as example_aes_cpa_demo — the merged archive replays
+// there bit-identically.
+const crypto::aes_key demo_key = {0xde, 0xad, 0xbe, 0xef, 0x01, 0x23,
+                                  0x45, 0x67, 0x89, 0xab, 0xcd, 0xef,
+                                  0x10, 0x32, 0x54, 0x76};
+
+core::acquisition_config demo_config(sim::backend_kind backend,
+                                     std::uint64_t seed,
+                                     std::size_t first_index,
+                                     std::size_t traces) {
+  core::acquisition_config config;
+  config.first_index = first_index;
+  config.traces = traces;
+  config.seed = seed;
+  config.averaging = 8;
+  config.window = core::campaign_window{crypto::mark_encrypt_begin,
+                                        crypto::mark_round1_end};
+  config.backend = backend;
+  config.uarch = backend == sim::backend_kind::ooo ? sim::cortex_a7_ooo()
+                                                   : sim::cortex_a7();
+  return config;
+}
+
+core::acquisition_campaign::setup_fn
+demo_setup(const crypto::aes_program_layout& layout,
+           const crypto::aes_round_keys& rk) {
+  return [&layout, &rk](std::size_t, util::xoshiro256& rng,
+                        sim::backend& core, std::vector<double>& labels) {
+    crypto::aes_block pt;
+    for (auto& b : pt) {
+      b = rng.next_u8();
+    }
+    crypto::install_aes_inputs(core.memory(), layout, rk, pt);
+    labels.resize(pt.size());
+    for (std::size_t b = 0; b < pt.size(); ++b) {
+      labels[b] = static_cast<double>(pt[b]);
+    }
+  };
+}
+
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n > 0) {
+    return std::string(buf, static_cast<std::size_t>(n));
+  }
+  return argv0;
+}
+
+bool parse_u64(std::string_view arg, std::string_view prefix,
+               std::uint64_t& out) {
+  if (arg.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  const std::string text(arg.substr(prefix.size()));
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') {
+    std::fprintf(stderr, "%.*s wants an integer, got '%s'\n",
+                 static_cast<int>(prefix.size()), prefix.data(),
+                 text.c_str());
+    std::exit(2);
+  }
+  out = value;
+  return true;
+}
+
+std::string json_escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+// ------------------------------------------------------------- worker
+
+int run_worker(int argc, char** argv) {
+  sim::backend_kind backend = sim::backend_kind::inorder;
+  std::uint64_t seed = 42, first = 0, traces = 0;
+  std::string shard, failpoint_spec;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--backend=", 0) == 0) {
+      const auto kind = sim::parse_backend_kind(arg.substr(10));
+      if (!kind) {
+        std::fprintf(stderr, "unknown backend '%s'\n", argv[i] + 10);
+        return 2;
+      }
+      backend = *kind;
+    } else if (arg.rfind("--shard=", 0) == 0) {
+      shard = arg.substr(8);
+    } else if (arg.rfind("--failpoint=", 0) == 0) {
+      failpoint_spec = arg.substr(12);
+    } else if (!parse_u64(arg, "--seed=", seed) &&
+               !parse_u64(arg, "--first=", first) &&
+               !parse_u64(arg, "--traces=", traces)) {
+      std::fprintf(stderr, "worker: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (shard.empty() || traces == 0) {
+    std::fprintf(stderr, "worker: --shard and --traces are required\n");
+    return 2;
+  }
+  try {
+    if (!failpoint_spec.empty()) {
+      util::failpoint_configure(failpoint_spec);
+    }
+    // Same site the thread runner fires at worker entry, so a
+    // `fabric_worker` rule kills a process worker before it archives
+    // anything.
+    util::failpoint("fabric_worker");
+    const crypto::aes_program_layout layout =
+        crypto::generate_aes128_program();
+    const crypto::aes_round_keys rk = crypto::expand_key(demo_key);
+    const core::acquisition_config config =
+        demo_config(backend, seed, static_cast<std::size_t>(first),
+                    static_cast<std::size_t>(traces));
+    core::archive_acquisition(sim::program_image(layout.prog), config,
+                              demo_setup(layout, rk), shard);
+    return 0;
+  } catch (const util::usca_error& e) {
+    std::fprintf(stderr, "worker (records %llu..%llu): %s\n",
+                 static_cast<unsigned long long>(first),
+                 static_cast<unsigned long long>(first + traces), e.what());
+    return 1;
+  }
+}
+
+// -------------------------------------------------------- coordinator
+
+int run_coordinator(int argc, char** argv) {
+  sim::backend_kind backend = sim::backend_kind::inorder;
+  std::uint64_t seed = 42, traces = 2'000, lease = 500, workers = 2;
+  std::uint64_t deadline_ms = 0, max_attempts = 5;
+  std::string out, dir;
+  std::map<std::size_t, std::string> inject;
+  bool keep_shards = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg.rfind("--backend=", 0) == 0) {
+      const auto kind = sim::parse_backend_kind(arg.substr(10));
+      if (!kind) {
+        std::fprintf(stderr, "unknown backend '%s'\n", argv[i] + 10);
+        return 2;
+      }
+      backend = *kind;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--dir=", 0) == 0) {
+      dir = arg.substr(6);
+    } else if (arg.rfind("--inject=", 0) == 0) {
+      const std::string_view spec = arg.substr(9);
+      const std::size_t colon = spec.find(':');
+      if (colon == std::string_view::npos) {
+        std::fprintf(stderr,
+                     "--inject wants LEASE:FAILPOINT_SPEC, got '%s'\n",
+                     argv[i] + 9);
+        return 2;
+      }
+      inject[static_cast<std::size_t>(
+          std::strtoull(std::string(spec.substr(0, colon)).c_str(),
+                        nullptr, 10))] = std::string(spec.substr(colon + 1));
+    } else if (arg == "--keep-shards") {
+      keep_shards = true;
+    } else if (!parse_u64(arg, "--seed=", seed) &&
+               !parse_u64(arg, "--traces=", traces) &&
+               !parse_u64(arg, "--lease=", lease) &&
+               !parse_u64(arg, "--workers=", workers) &&
+               !parse_u64(arg, "--deadline-ms=", deadline_ms) &&
+               !parse_u64(arg, "--max-attempts=", max_attempts)) {
+      std::fprintf(stderr, "run: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (out.empty()) {
+    std::fprintf(stderr, "run: --out is required\n");
+    return 2;
+  }
+
+  core::fabric_config config;
+  config.manifest_path = out + ".manifest";
+  config.shard_dir = dir.empty() ? out + ".shards" : dir;
+  config.traces = static_cast<std::size_t>(traces);
+  config.lease_traces = static_cast<std::size_t>(lease);
+  config.seed = seed;
+  // Must equal what archive_acquisition writes into every shard header.
+  config.config_hash = core::salted_config_hash(
+      core::acquisition_config_hash(demo_config(backend, seed, 0, 1)), 0);
+  config.workers = static_cast<unsigned>(workers);
+  config.max_attempts = static_cast<unsigned>(max_attempts);
+  config.lease_deadline = std::chrono::milliseconds(deadline_ms);
+
+  const std::string self = self_exe(argv[0]);
+  const std::string backend_name(sim::backend_kind_name(backend));
+  core::process_worker_runner runner(
+      [&](const core::fabric_lease& l) {
+        std::vector<std::string> worker_argv = {
+            self,
+            "worker",
+            "--first=" + std::to_string(l.first_index),
+            "--traces=" + std::to_string(l.traces),
+            "--shard=" + l.shard_path,
+            "--backend=" + backend_name,
+            "--seed=" + std::to_string(seed),
+        };
+        const auto it = inject.find(l.id);
+        if (it != inject.end() && l.attempts == 1) {
+          // Injected faults hit the first attempt only: the re-issued
+          // worker runs clean and resumes the dead one's shard.
+          worker_argv.push_back("--failpoint=" + it->second);
+        }
+        return worker_argv;
+      });
+
+  try {
+    core::campaign_fabric fabric(config);
+    std::printf("fabric: %zu traces in %zu leases of <=%zu, %u workers "
+                "(%s backend)\n",
+                config.traces, fabric.leases().size(), config.lease_traces,
+                config.workers, backend_name.c_str());
+    const core::fabric_report report = fabric.run(runner);
+    std::printf("fabric: %zu/%zu leases done (%zu already archived, "
+                "%zu worker failures, %zu deadline kills, %zu invalid "
+                "shards, %zu relaunches)\n",
+                report.already_done + report.completed, report.leases,
+                report.already_done, report.worker_failures,
+                report.deadline_kills, report.invalid_shards,
+                report.relaunches);
+    const std::size_t merged = fabric.merge(out);
+    std::printf("fabric: merged %zu records into '%s' (replay with "
+                "example_aes_cpa_demo --replay=%s)\n",
+                merged, out.c_str(), out.c_str());
+    if (!keep_shards) {
+      for (const core::fabric_lease& l : fabric.leases()) {
+        ::unlink(l.shard_path.c_str());
+      }
+      ::unlink(config.manifest_path.c_str());
+      ::rmdir(config.shard_dir.c_str());
+    }
+    return 0;
+  } catch (const util::usca_error& e) {
+    std::fprintf(stderr, "fabric: %s\n", e.what());
+    return 1;
+  }
+}
+
+// -------------------------------------------------------------- verify
+
+void print_store_json(const std::string& path,
+                      const power::trace_store_reader& reader) {
+  std::printf("{\"kind\":\"store\",\"path\":\"%s\",\"ok\":%s,"
+              "\"traces\":%zu,\"samples\":%zu,\"labels\":%zu,"
+              "\"first_index\":%zu,\"next_index\":%zu,"
+              "\"lost_records\":%zu,\"chunks\":%zu,\"damage\":[",
+              json_escape(path).c_str(), reader.intact() ? "true" : "false",
+              reader.traces(), reader.samples(), reader.labels(),
+              reader.first_index(), reader.next_index(),
+              reader.lost_records(), reader.chunk_count());
+  bool first = true;
+  for (const power::chunk_damage& d : reader.damage()) {
+    std::printf("%s{\"chunk\":%zu,\"byte_offset\":%llu,\"fault\":\"%s\","
+                "\"bytes_skipped\":%llu}",
+                first ? "" : ",", d.chunk,
+                static_cast<unsigned long long>(d.byte_offset),
+                power::store_fault_name(d.fault),
+                static_cast<unsigned long long>(d.bytes_skipped));
+    first = false;
+  }
+  std::printf("]}\n");
+}
+
+int verify_store(const std::string& path, bool strict) {
+  try {
+    const power::trace_store_reader reader(
+        path, strict ? power::store_open_mode::strict
+                     : power::store_open_mode::salvage);
+    print_store_json(path, reader);
+    return reader.intact() ? 0 : 1;
+  } catch (const util::usca_error& e) {
+    std::printf("{\"kind\":\"store\",\"path\":\"%s\",\"ok\":false,"
+                "\"error\":\"%s\"}\n",
+                json_escape(path).c_str(), json_escape(e.what()).c_str());
+    return 1;
+  }
+}
+
+int verify_manifest(const std::string& path, FILE* in) {
+  // Stand-alone manifest walk: the coordinator's loader requires the
+  // campaign config for binding validation, but a health check must work
+  // from the manifest alone.
+  char line[4096];
+  if (!std::fgets(line, sizeof(line), in) ||
+      std::strncmp(line, "usca-fabric-manifest 1", 22) != 0) {
+    std::printf("{\"kind\":\"manifest\",\"path\":\"%s\",\"ok\":false,"
+                "\"error\":\"bad magic line\"}\n",
+                json_escape(path).c_str());
+    return 1;
+  }
+  std::printf("{\"kind\":\"manifest\",\"path\":\"%s\"",
+              json_escape(path).c_str());
+  bool healthy = true;
+  std::string leases_json;
+  while (std::fgets(line, sizeof(line), in)) {
+    char key[32];
+    unsigned long long a = 0, b = 0, c = 0, d = 0;
+    char state[16], shard[3072];
+    if (std::sscanf(line, "%31s", key) != 1) {
+      continue;
+    }
+    if (std::strcmp(key, "lease") == 0) {
+      if (std::sscanf(line, "lease %llu %llu %llu %llu %15s %3071[^\n]", &a,
+                      &b, &c, &d, state, shard) != 6) {
+        healthy = false;
+        continue;
+      }
+      std::string status = "valid";
+      std::string detail;
+      try {
+        const power::trace_store_reader reader(shard);
+        if (reader.first_index() != b || reader.traces() != c) {
+          status = "range_mismatch";
+        }
+      } catch (const util::usca_error& strict_err) {
+        try {
+          const power::trace_store_reader reader(
+              shard, power::store_open_mode::salvage);
+          status = "damaged";
+          detail = std::to_string(reader.damage().size()) +
+                   " damaged chunk(s), " + std::to_string(reader.traces()) +
+                   " records survive";
+        } catch (const util::usca_error&) {
+          status = "unreadable";
+          detail = strict_err.what();
+        }
+      }
+      if (std::strcmp(state, "done") != 0 || status != "valid") {
+        healthy = false;
+      }
+      leases_json += leases_json.empty() ? "" : ",";
+      leases_json += "{\"id\":" + std::to_string(a) +
+                     ",\"first_index\":" + std::to_string(b) +
+                     ",\"traces\":" + std::to_string(c) +
+                     ",\"attempts\":" + std::to_string(d) + ",\"state\":\"" +
+                     state + "\",\"shard\":\"" + json_escape(shard) +
+                     "\",\"shard_status\":\"" + status + "\"";
+      if (!detail.empty()) {
+        leases_json += ",\"detail\":\"" + json_escape(detail) + "\"";
+      }
+      leases_json += "}";
+    } else if (std::sscanf(line, "%31s %llu", key, &a) == 2) {
+      std::printf(",\"%s\":%llu", json_escape(key).c_str(), a);
+    }
+  }
+  std::printf(",\"ok\":%s,\"leases\":[%s]}\n", healthy ? "true" : "false",
+              leases_json.c_str());
+  return healthy ? 0 : 1;
+}
+
+int run_verify(int argc, char** argv) {
+  std::string path;
+  bool strict = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--strict") {
+      strict = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "verify: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "verify: a store or manifest path is required\n");
+    return 2;
+  }
+  FILE* in = std::fopen(path.c_str(), "rb");
+  if (!in) {
+    std::printf("{\"path\":\"%s\",\"ok\":false,\"error\":\"cannot open\"}\n",
+                json_escape(path).c_str());
+    return 1;
+  }
+  // Trace stores start with "USCATRC2", manifests with
+  // "usca-fabric-manifest" — the first bytes pick the walker.
+  char magic[8] = {};
+  const std::size_t got = std::fread(magic, 1, sizeof(magic), in);
+  std::rewind(in);
+  int rc;
+  if (got >= 8 && std::strncmp(magic, "USCATRC", 7) == 0) {
+    std::fclose(in);
+    rc = verify_store(path, strict);
+  } else {
+    rc = verify_manifest(path, in);
+    std::fclose(in);
+  }
+  return rc;
+}
+
+} // namespace
+
+int main(int argc, char** argv) {
+  const std::string_view cmd = argc > 1 ? argv[1] : "";
+  if (cmd == "run") {
+    return run_coordinator(argc, argv);
+  }
+  if (cmd == "worker") {
+    return run_worker(argc, argv);
+  }
+  if (cmd == "verify") {
+    return run_verify(argc, argv);
+  }
+  std::fprintf(
+      stderr,
+      "usage: %s run --out=PATH [--traces=N] [--lease=N] [--workers=N]\n"
+      "           [--backend=inorder|ooo] [--seed=N] [--deadline-ms=N]\n"
+      "           [--max-attempts=N] [--dir=PATH] [--inject=LEASE:SPEC]...\n"
+      "           [--keep-shards]\n"
+      "       %s worker --first=N --traces=N --shard=PATH [--backend=B]\n"
+      "           [--seed=N] [--failpoint=SPEC]\n"
+      "       %s verify PATH [--strict]\n",
+      argv[0], argv[0], argv[0]);
+  return 2;
+}

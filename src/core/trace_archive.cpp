@@ -3,6 +3,8 @@
 #include <array>
 #include <bit>
 
+#include "util/failpoint.h"
+
 namespace usca::core {
 
 void config_hasher::mix(double value) noexcept {
@@ -76,14 +78,24 @@ void mix_uarch(config_hasher& h, const sim::micro_arch_config& uarch) {
 }
 
 /// Creates-or-resumes the store for the target range and returns the
-/// writer plus the already-archived prefix length.
+/// writer plus the already-archived prefix length.  A torn tail is
+/// quarantined (not destroyed) before the walk truncates it; whatever
+/// the tail held is re-simulated from (seed, index) exactly.
 power::trace_store_writer open_archive(const std::string& path,
                                        power::trace_store_descriptor desc,
-                                       const archive_options& options) {
+                                       const archive_options& options,
+                                       archive_result& result) {
   desc.scalar = options.scalar;
   desc.chunk_traces = options.chunk_traces;
   desc.config_hash = salted_config_hash(desc.config_hash, options.config_salt);
-  return power::trace_store_writer::resume(path, desc);
+  power::store_resume_options resume_options;
+  resume_options.quarantine_torn_tail = true;
+  power::store_resume_report report;
+  power::trace_store_writer writer =
+      power::trace_store_writer::resume(path, desc, resume_options, &report);
+  result.quarantined_bytes = report.truncated_bytes;
+  result.quarantine_path = std::move(report.quarantine_path);
+  return writer;
 }
 
 } // namespace
@@ -151,9 +163,10 @@ archive_acquisition(const sim::program_image& image,
     desc.labels = static_cast<std::uint32_t>(rec.labels.size());
   }
 
-  power::trace_store_writer writer = open_archive(path, desc, options);
-  const std::size_t next = writer.next_index();
   archive_result result;
+  power::trace_store_writer writer =
+      open_archive(path, desc, options, result);
+  const std::size_t next = writer.next_index();
   if (next < end) {
     acquisition_config sub = config;
     sub.first_index = next;
@@ -162,6 +175,7 @@ archive_acquisition(const sim::program_image& image,
     acquisition_campaign campaign(image, sub);
     campaign.set_setup(setup);
     campaign.run([&writer](acquisition_record&& rec) {
+      util::failpoint("archive_record");
       writer.append(rec.labels, rec.samples);
     });
     result.simulated = end - next;
@@ -190,9 +204,10 @@ archive_aes_campaign(const campaign_config& config, const crypto::aes_key& key,
     desc.samples = probe.produce(config.first_index).samples.size();
   }
 
-  power::trace_store_writer writer = open_archive(path, desc, options);
-  const std::size_t next = writer.next_index();
   archive_result result;
+  power::trace_store_writer writer =
+      open_archive(path, desc, options, result);
+  const std::size_t next = writer.next_index();
   if (next < end) {
     campaign_config sub = config;
     sub.first_index = next;
@@ -203,6 +218,7 @@ archive_aes_campaign(const campaign_config& config, const crypto::aes_key& key,
     }
     std::array<double, std::tuple_size_v<crypto::aes_block>> labels;
     campaign.run([&writer, &labels](trace_record&& rec) {
+      util::failpoint("archive_record");
       for (std::size_t b = 0; b < labels.size(); ++b) {
         labels[b] = static_cast<double>(rec.plaintext[b]);
       }

@@ -68,6 +68,13 @@ struct archive_options {
 struct archive_result {
   std::size_t simulated = 0; ///< records newly simulated by this call
   std::size_t total = 0;     ///< records now in the archive
+  /// Torn-tail bytes a resume cut off (and preserved in
+  /// quarantine_path) before re-simulating the lost range — 0 for a
+  /// clean resume or a fresh archive.  The resulting file is
+  /// byte-identical to an uninterrupted run either way; the quarantine
+  /// keeps the damaged bytes available for forensics.
+  std::uint64_t quarantined_bytes = 0;
+  std::string quarantine_path; ///< "" when nothing was quarantined
 };
 
 /// Hash of every acquisition_config field that influences record content
@@ -90,7 +97,13 @@ std::uint64_t salted_config_hash(std::uint64_t config_hash,
 /// records in [config.first_index, config.first_index + config.traces)
 /// that the archive does not already hold.  Record labels/samples are the
 /// acquisition_record's.  Throws util::analysis_error when `path` holds a
-/// store written by a different configuration.
+/// store written by a different configuration.  An unrecoverable tail
+/// (torn or corrupted chunks after the last intact one) is quarantined
+/// to `path + ".quarantine"` and only the lost range is re-simulated —
+/// a damaged archive degrades to extra simulation, never to data loss
+/// or a failed campaign.  Failpoint site `archive_record` fires once
+/// per newly simulated record (crash/delay injection for the fabric
+/// kill-and-resume tests).
 archive_result archive_acquisition(const sim::program_image& image,
                                    const acquisition_config& config,
                                    const acquisition_campaign::setup_fn& setup,

@@ -14,6 +14,7 @@
 
 #include "util/crc32.h"
 #include "util/error.h"
+#include "util/failpoint.h"
 
 namespace usca::power {
 
@@ -161,7 +162,12 @@ trace_store_writer::create(const std::string& path,
 
 trace_store_writer
 trace_store_writer::resume(const std::string& path,
-                           const trace_store_descriptor& desc) {
+                           const trace_store_descriptor& desc,
+                           const store_resume_options& options,
+                           store_resume_report* report) {
+  if (report != nullptr) {
+    *report = store_resume_report{};
+  }
   trace_store_writer writer(path, desc);
   const int fd = ::open(path.c_str(), O_RDWR);
   if (fd < 0) {
@@ -169,7 +175,7 @@ trace_store_writer::resume(const std::string& path,
   }
   writer.fd_ = fd;
   try {
-    writer.resume_existing(path, desc);
+    writer.resume_existing(path, desc, options, report);
   } catch (...) {
     // Release the descriptor without going through close(): a rejected
     // file (foreign configuration, not a store at all) must be left
@@ -183,7 +189,9 @@ trace_store_writer::resume(const std::string& path,
 }
 
 void trace_store_writer::resume_existing(const std::string& path,
-                                         const trace_store_descriptor& desc) {
+                                         const trace_store_descriptor& desc,
+                                         const store_resume_options& options,
+                                         store_resume_report* report) {
   const int fd = fd_;
   struct stat st {};
   if (::fstat(fd, &st) != 0) {
@@ -291,6 +299,44 @@ void trace_store_writer::resume_existing(const std::string& path,
     }
   }
 
+  // The bytes past the last intact chunk are a torn tail (killed writer,
+  // bit rot) the truncation below destroys.  Preserve them first when
+  // asked: `<path>.quarantine` holds the exact cut region, so forensics
+  // — and the corruption-taxonomy tests — can inspect what was lost
+  // while the store itself is repaired to the reader's invariant.
+  if (report != nullptr) {
+    report->truncated_bytes = file_size - offset;
+  }
+  if (options.quarantine_torn_tail && offset < file_size) {
+    const std::string qpath = path + ".quarantine";
+    const int qfd = ::open(qpath.c_str(), O_WRONLY | O_CREAT | O_TRUNC,
+                           0644);
+    if (qfd < 0) {
+      throw util::analysis_error("cannot open quarantine file '" + qpath +
+                                 "'");
+    }
+    std::vector<unsigned char> tail(
+        static_cast<std::size_t>(file_size - offset));
+    if (!full_pread(fd, tail.data(), tail.size(), offset)) {
+      ::close(qfd);
+      throw util::analysis_error("cannot read the torn tail of '" + path +
+                                 "' for quarantine");
+    }
+    try {
+      full_write(qfd, tail.data(), tail.size(), qpath);
+    } catch (...) {
+      ::close(qfd);
+      throw;
+    }
+    if (::close(qfd) != 0) {
+      throw util::analysis_error("closing quarantine file '" + qpath +
+                                 "' failed");
+    }
+    if (report != nullptr) {
+      report->quarantine_path = qpath;
+    }
+  }
+
   // Re-buffer a trailing short chunk instead of keeping it on disk: its
   // records go back into the pending-chunk buffer and the file is cut at
   // the last full-chunk boundary.  Appends then fill the pending chunk to
@@ -315,9 +361,13 @@ void trace_store_writer::resume_existing(const std::string& path,
                                "' to its last intact chunk");
   }
   written_ = records;
+  if (report != nullptr) {
+    report->intact_records = records + buffered_;
+  }
 }
 
 void trace_store_writer::write_header() {
+  util::failpoint("store_write_header");
   unsigned char buf[file_header_bytes];
   encode_file_header(desc_, buf);
   full_write(fd_, buf, sizeof buf, path_);
@@ -375,6 +425,12 @@ void trace_store_writer::flush_chunk() {
   put(chdr, 16, static_cast<std::uint64_t>(chunk_buf_.size()));
   put(chdr, 24, util::crc32(chunk_buf_.data(), chunk_buf_.size()));
   put(chdr, 28, util::crc32(chdr, 28));
+  if (util::failpoint("store_write_chunk")) {
+    // `corrupt` action: flip one payload bit AFTER the CRCs above were
+    // computed — the chunk lands on disk with exactly the silent bit rot
+    // the reader's chunk_payload_crc fault class exists to catch.
+    chunk_buf_[chunk_buf_.size() / 2] ^= 0x10;
+  }
   full_write(fd_, chdr, sizeof chdr, path_);
   full_write(fd_, chunk_buf_.data(), chunk_buf_.size(), path_);
   written_ += buffered_;

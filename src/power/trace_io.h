@@ -79,9 +79,33 @@ struct trace_store_descriptor {
   std::uint64_t record_bytes() const noexcept;
 };
 
+/// How resume() treats the torn tail it cuts off (bytes after the last
+/// intact chunk, left behind by a killed writer or disk corruption).
+struct store_resume_options {
+  /// Preserve the cut bytes in `<path>.quarantine` (overwritten per
+  /// resume) before truncating, so a corrupted tail stays available for
+  /// forensics instead of being destroyed by the repair.  The store file
+  /// itself is byte-identical either way.
+  bool quarantine_torn_tail = false;
+};
+
+/// What resume() found and did; valid-intact fields even on the create()
+/// fallback (all zero).
+struct store_resume_report {
+  std::uint64_t intact_records = 0;  ///< records kept (incl. re-buffered)
+  std::uint64_t truncated_bytes = 0; ///< torn bytes cut from the file
+  std::string quarantine_path;       ///< where they went ("" = none kept)
+};
+
 /// Streaming chunked writer.  Records are buffered and written one whole
 /// chunk at a time; close() flushes the trailing short chunk.  Throws
 /// util::analysis_error on I/O failure or shape mismatch.
+///
+/// Failpoint sites (util/failpoint.h): `store_write_header` and
+/// `store_write_chunk` fire before the corresponding write; a `corrupt`
+/// rule on store_write_chunk flips one payload bit AFTER the chunk CRC
+/// is computed, planting exactly the bit-rot the reader's
+/// chunk_payload_crc class detects.
 class trace_store_writer {
 public:
   /// Creates (truncates) `path`.  When desc.samples is 0, the sample
@@ -99,9 +123,13 @@ public:
   /// kill reproduces an uninterrupted file byte-identically, and resuming
   /// an already-complete store re-simulates nothing.  next_index() is
   /// positioned after the last intact record.  A missing or empty file
-  /// behaves like create().
+  /// behaves like create().  `report` (optional) receives what the walk
+  /// found; options.quarantine_torn_tail preserves any cut tail bytes in
+  /// `<path>.quarantine`.
   static trace_store_writer resume(const std::string& path,
-                                   const trace_store_descriptor& desc);
+                                   const trace_store_descriptor& desc,
+                                   const store_resume_options& options = {},
+                                   store_resume_report* report = nullptr);
 
   trace_store_writer(trace_store_writer&& other) noexcept;
   trace_store_writer& operator=(trace_store_writer&& other) noexcept;
@@ -132,7 +160,9 @@ private:
   /// The resume() body once the file is open: validate, walk, truncate,
   /// re-buffer.  Throws without touching the file's bytes.
   void resume_existing(const std::string& path,
-                       const trace_store_descriptor& desc);
+                       const trace_store_descriptor& desc,
+                       const store_resume_options& options,
+                       store_resume_report* report);
   void write_header();
   void flush_chunk();
 

@@ -30,13 +30,60 @@ template <typename T> T get(const unsigned char* buf, std::uint64_t offset) {
   return value;
 }
 
-[[noreturn]] void reject(const std::string& path, const std::string& what) {
-  throw util::analysis_error("trace store '" + path + "': " + what);
+/// The one formatting path for validation failures: every strict-mode
+/// throw names the file, the byte offset of the damage, the chunk slot
+/// (SIZE_MAX = file header, no chunk) and the failure class, so a failed
+/// open is actionable without a hexdump.
+[[noreturn]] void reject(const std::string& path, store_fault fault,
+                         std::uint64_t byte_offset, std::size_t chunk,
+                         const std::string& what) {
+  std::string msg = "trace store '" + path + "': " + what + " [fault " +
+                    store_fault_name(fault) + ", byte offset " +
+                    std::to_string(byte_offset);
+  if (chunk != static_cast<std::size_t>(-1)) {
+    msg += ", chunk " + std::to_string(chunk);
+  }
+  msg += "]";
+  throw util::analysis_error(msg);
 }
 
 } // namespace
 
-trace_store_reader::trace_store_reader(const std::string& path) {
+const char* store_fault_name(store_fault fault) noexcept {
+  switch (fault) {
+  case store_fault::file_short_header:
+    return "file_short_header";
+  case store_fault::file_bad_magic:
+    return "file_bad_magic";
+  case store_fault::file_bad_version:
+    return "file_bad_version";
+  case store_fault::file_header_crc:
+    return "file_header_crc";
+  case store_fault::file_bad_shape:
+    return "file_bad_shape";
+  case store_fault::chunk_torn_header:
+    return "chunk_torn_header";
+  case store_fault::chunk_bad_magic:
+    return "chunk_bad_magic";
+  case store_fault::chunk_header_crc:
+    return "chunk_header_crc";
+  case store_fault::chunk_geometry:
+    return "chunk_geometry";
+  case store_fault::chunk_index:
+    return "chunk_index";
+  case store_fault::chunk_short_mid_chain:
+    return "chunk_short_mid_chain";
+  case store_fault::chunk_payload_crc:
+    return "chunk_payload_crc";
+  case store_fault::chunk_truncated:
+    return "chunk_truncated";
+  }
+  return "unknown";
+}
+
+trace_store_reader::trace_store_reader(const std::string& path,
+                                       store_open_mode mode)
+    : mode_(mode) {
   const int fd = ::open(path.c_str(), O_RDONLY);
   if (fd < 0) {
     throw util::analysis_error("cannot open trace store '" + path + "'");
@@ -49,7 +96,10 @@ trace_store_reader::trace_store_reader(const std::string& path) {
   map_size_ = static_cast<std::uint64_t>(st.st_size);
   if (map_size_ < file_header_bytes) {
     ::close(fd);
-    reject(path, "too small to hold a header");
+    reject(path, store_fault::file_short_header, 0,
+           static_cast<std::size_t>(-1),
+           "too small to hold a header (" + std::to_string(map_size_) +
+               " bytes)");
   }
   void* map = ::mmap(nullptr, map_size_, PROT_READ, MAP_PRIVATE, fd, 0);
   ::close(fd); // the mapping keeps the file alive
@@ -67,18 +117,26 @@ trace_store_reader::trace_store_reader(const std::string& path) {
 
 void trace_store_reader::parse(const std::string& path) {
   // --- header ----------------------------------------------------------
+  // File header faults are fatal in BOTH modes: without a trusted header
+  // there is no record geometry to salvage by.
+  constexpr std::size_t no_chunk = static_cast<std::size_t>(-1);
   if (std::memcmp(map_, store_magic, sizeof store_magic) != 0) {
-    reject(path, "bad magic (not a usca trace store)");
+    reject(path, store_fault::file_bad_magic, 0, no_chunk,
+           "bad magic (not a usca trace store)");
   }
   if (get<std::uint32_t>(map_, 8) != store_version) {
-    reject(path, "unsupported version");
+    reject(path, store_fault::file_bad_version, 8, no_chunk,
+           "unsupported version " +
+               std::to_string(get<std::uint32_t>(map_, 8)));
   }
   if (get<std::uint32_t>(map_, 60) != util::crc32(map_, 60)) {
-    reject(path, "header checksum mismatch");
+    reject(path, store_fault::file_header_crc, 0, no_chunk,
+           "header checksum mismatch");
   }
   const auto scalar = get<std::uint32_t>(map_, 12);
   if (scalar > static_cast<std::uint32_t>(trace_scalar::f32)) {
-    reject(path, "unknown sample scalar kind");
+    reject(path, store_fault::file_bad_shape, 12, no_chunk,
+           "unknown sample scalar kind");
   }
   desc_.scalar = static_cast<trace_scalar>(scalar);
   desc_.samples = get<std::uint64_t>(map_, 16);
@@ -94,26 +152,64 @@ void trace_store_reader::parse(const std::string& path) {
   // 32-bit labels, record_bytes < 2^36, so no product or sum below can
   // wrap.  A header-only file (zero records) is a valid empty store.
   if (desc_.samples > (1ULL << 32)) {
-    reject(path, "implausible sample count");
+    reject(path, store_fault::file_bad_shape, 16, no_chunk,
+           "implausible sample count");
   }
   const std::uint64_t record_bytes = desc_.record_bytes();
   if (desc_.chunk_traces == 0 || record_bytes == 0) {
-    reject(path, "degenerate record shape");
+    reject(path, store_fault::file_bad_shape, 16, no_chunk,
+           "degenerate record shape");
   }
 
   // --- chunk chain -----------------------------------------------------
+  // Every chunk except the last is full, so the file has a fixed nominal
+  // chunk stride — the resync distance when a damaged chunk's own header
+  // cannot be trusted.
+  const std::uint64_t nominal_stride =
+      chunk_header_bytes + desc_.chunk_traces * record_bytes;
   std::uint64_t offset = file_header_bytes;
-  while (offset != map_size_) {
+  std::size_t ordinal = 0;       ///< chunk slots walked, damaged included
+  std::size_t expected_next = 0; ///< store-relative index after last chunk
+  bool prev_short = false;
+  bool stop = false;
+
+  // Damage handler: strict throws, salvage records and resyncs.  A
+  // trusted-extent fault (the chunk header's CRC checked out) skips the
+  // chunk's exact recorded size; an untrusted one skips the nominal
+  // stride.  `skip` == 0 means "to end of file" (unrecoverable tail).
+  const auto damaged = [&](store_fault fault, std::uint64_t skip,
+                           const std::string& what) {
+    if (mode_ == store_open_mode::strict) {
+      reject(path, fault, offset, ordinal, what);
+    }
+    if (skip == 0 || offset + skip > map_size_) {
+      skip = map_size_ - offset;
+      stop = true;
+    }
+    damage_.push_back(chunk_damage{ordinal, offset, fault, skip});
+    offset += skip;
+    ++ordinal;
+  };
+
+  while (offset != map_size_ && !stop) {
     if (offset + chunk_header_bytes > map_size_) {
-      reject(path, "torn chunk header at end of file");
+      damaged(store_fault::chunk_torn_header, 0,
+              "torn chunk header at end of file");
+      continue;
     }
     const unsigned char* chdr = map_ + offset;
     if (get<std::uint32_t>(chdr, 0) != chunk_magic) {
-      reject(path, "bad chunk magic");
+      damaged(store_fault::chunk_bad_magic, nominal_stride,
+              "bad chunk magic");
+      continue;
     }
     if (get<std::uint32_t>(chdr, 28) != util::crc32(chdr, 28)) {
-      reject(path, "chunk header checksum mismatch");
+      damaged(store_fault::chunk_header_crc, nominal_stride,
+              "chunk header checksum mismatch");
+      continue;
     }
+    // Header CRC checked out: count/payload_bytes/first_index are
+    // trustworthy, so later faults can resync by the exact extent.
     const std::uint32_t count = get<std::uint32_t>(chdr, 4);
     const std::uint64_t payload_bytes = get<std::uint64_t>(chdr, 16);
     // Overflow-safe bounds: the payload must fit in what remains of the
@@ -121,39 +217,70 @@ void trace_store_reader::parse(const std::string& path) {
     // count comparison divides instead of multiplying, so neither check
     // can wrap whatever the forged fields hold.
     if (payload_bytes > map_size_ - offset - chunk_header_bytes) {
-      reject(path, "truncated chunk payload");
+      damaged(store_fault::chunk_truncated, 0, "truncated chunk payload");
+      continue;
     }
     if (count == 0 || count > desc_.chunk_traces ||
         payload_bytes / record_bytes != count ||
         payload_bytes % record_bytes != 0) {
-      reject(path, "inconsistent chunk geometry");
+      damaged(store_fault::chunk_geometry, nominal_stride,
+              "inconsistent chunk geometry");
+      continue;
     }
-    if (!chunks_.empty() &&
-        chunks_.size() * desc_.chunk_traces != traces_) {
-      // The previous chunk was short but is not the last one.
-      reject(path, "short chunk in the middle of the store");
+    const std::uint64_t extent = chunk_header_bytes + payload_bytes;
+    const std::uint64_t first_field = get<std::uint64_t>(chdr, 8);
+    if (first_field < desc_.first_index ||
+        (mode_ == store_open_mode::strict
+             ? first_field - desc_.first_index != expected_next
+             // Salvage trusts the chunk's own (CRC-covered) position as
+             // long as the chain stays monotonic.
+             : first_field - desc_.first_index < expected_next)) {
+      damaged(store_fault::chunk_index, extent,
+              "chunk index discontinuity");
+      continue;
     }
-    if (get<std::uint64_t>(chdr, 8) != desc_.first_index + traces_) {
-      reject(path, "chunk index discontinuity");
+    if (prev_short) {
+      // The previous chunk was short but is not the last one.  Strict
+      // rejects (the writer never produces this); salvage keeps both
+      // chunks — their payloads verified — and notes the anomaly.
+      if (mode_ == store_open_mode::strict) {
+        reject(path, store_fault::chunk_short_mid_chain, offset, ordinal,
+               "short chunk in the middle of the store");
+      }
+      damage_.push_back(chunk_damage{ordinal - 1, 0,
+                                     store_fault::chunk_short_mid_chain,
+                                     0});
+      prev_short = false; // note the anomaly once, not per later chunk
     }
     const unsigned char* payload = chdr + chunk_header_bytes;
     if (get<std::uint32_t>(chdr, 24) !=
         util::crc32(payload, payload_bytes)) {
-      reject(path, "chunk payload checksum mismatch");
+      damaged(store_fault::chunk_payload_crc, extent,
+              "chunk payload checksum mismatch");
+      continue;
     }
-    chunks_.push_back(offset + chunk_header_bytes);
+    const auto rec_first =
+        static_cast<std::size_t>(first_field - desc_.first_index);
+    chunks_.push_back(
+        chunk_entry{offset + chunk_header_bytes, rec_first, count});
     traces_ += count;
-    offset += chunk_header_bytes + payload_bytes;
+    expected_next = rec_first + count;
+    prev_short = count < desc_.chunk_traces;
+    offset += extent;
+    ++ordinal;
   }
+  end_record_ = expected_next;
   // The decode scratch row is allocated lazily by stream(): the common
   // (f64, aligned) path never needs it, and a forged header must not be
   // able to trigger a huge allocation before any record exists.
 }
 
 trace_store_reader::trace_store_reader(trace_store_reader&& other) noexcept
-    : desc_(other.desc_), map_(std::exchange(other.map_, nullptr)),
+    : desc_(other.desc_), mode_(other.mode_),
+      map_(std::exchange(other.map_, nullptr)),
       map_size_(std::exchange(other.map_size_, 0)), traces_(other.traces_),
-      chunks_(std::move(other.chunks_)),
+      end_record_(other.end_record_), chunks_(std::move(other.chunks_)),
+      damage_(std::move(other.damage_)),
       scratch_(std::move(other.scratch_)) {}
 
 trace_store_reader&
@@ -163,10 +290,13 @@ trace_store_reader::operator=(trace_store_reader&& other) noexcept {
       ::munmap(const_cast<unsigned char*>(map_), map_size_);
     }
     desc_ = other.desc_;
+    mode_ = other.mode_;
     map_ = std::exchange(other.map_, nullptr);
     map_size_ = std::exchange(other.map_size_, 0);
     traces_ = other.traces_;
+    end_record_ = other.end_record_;
     chunks_ = std::move(other.chunks_);
+    damage_ = std::move(other.damage_);
     scratch_ = std::move(other.scratch_);
   }
   return *this;
@@ -178,14 +308,31 @@ trace_store_reader::~trace_store_reader() {
   }
 }
 
-const unsigned char*
-trace_store_reader::record_ptr(std::size_t record) const {
-  if (record >= traces_) {
+const trace_store_reader::chunk_entry&
+trace_store_reader::record_chunk(std::size_t record) const {
+  // Surviving chunks are sorted by first_record; find the last chunk
+  // starting at or before `record`.  For an intact store this resolves
+  // to the same chunk as the old division arithmetic.
+  const auto it = std::upper_bound(
+      chunks_.begin(), chunks_.end(), record,
+      [](std::size_t r, const chunk_entry& e) { return r < e.first_record; });
+  if (it == chunks_.begin()) {
     throw util::analysis_error("trace store record index out of range");
   }
-  const std::size_t chunk = record / desc_.chunk_traces;
-  const std::size_t within = record % desc_.chunk_traces;
-  return map_ + chunks_[chunk] + within * desc_.record_bytes();
+  const chunk_entry& entry = *(it - 1);
+  if (record >= entry.first_record + entry.count) {
+    throw util::analysis_error(
+        "trace store record " + std::to_string(record) +
+        " was lost to a damaged chunk (salvaged store)");
+  }
+  return entry;
+}
+
+const unsigned char*
+trace_store_reader::record_ptr(std::size_t record) const {
+  const chunk_entry& entry = record_chunk(record);
+  return map_ + entry.payload_offset +
+         (record - entry.first_record) * desc_.record_bytes();
 }
 
 std::span<const double>
@@ -215,13 +362,13 @@ batch_rows trace_store_reader::chunk_rows(std::size_t chunk) const {
   if (chunk >= chunks_.size()) {
     throw util::analysis_error("trace store chunk index out of range");
   }
+  const chunk_entry& entry = chunks_[chunk];
   const std::size_t n_labels = desc_.labels;
   const std::size_t n_samples = static_cast<std::size_t>(desc_.samples);
   batch_rows rows;
-  rows.first_record = chunk * desc_.chunk_traces;
-  rows.count = std::min<std::size_t>(desc_.chunk_traces,
-                                     traces_ - rows.first_record);
-  const unsigned char* payload = map_ + chunks_[chunk];
+  rows.first_record = entry.first_record;
+  rows.count = entry.count;
+  const unsigned char* payload = map_ + entry.payload_offset;
   if (desc_.scalar == trace_scalar::f64) {
     // An f64 record is labels*8 + samples*8 bytes and every payload
     // offset is 8-aligned (header sizes are multiples of 8), so the

@@ -1,0 +1,87 @@
+// Deterministic fault injection for the persistence and fabric layers.
+//
+// A failpoint is a named site compiled into production code (the store
+// writer's chunk flush, the archive driver's record loop, the fabric
+// worker) that normally costs one relaxed atomic load.  Arming a site
+// turns the Nth hit into a deterministic fault, making "the worker was
+// SIGKILLed mid-chunk" a first-class test primitive instead of a shell
+// `kill` race: the crash lands at exactly the same record every run, so
+// kill-and-resume byte-identity is a reproducible assertion.
+//
+// Sites are armed from the environment
+//
+//   USCA_FAILPOINT=store_write_chunk:crash@7
+//   USCA_FAILPOINT=archive_record:error@100;store_write_chunk:delay:50@3
+//
+// or programmatically (failpoint_configure) by tests.  Spec grammar,
+// ';'-separated rules:
+//
+//   site ':' action [':' param] ['@' hit]
+//
+//   crash       _exit(failpoint_crash_exit_code) without flushing or
+//               unwinding — the closest in-process stand-in for SIGKILL
+//               (buffered bytes are lost, files are left torn)
+//   error       throw util::analysis_error from the site
+//   delay:MS    sleep MS milliseconds (straggler injection)
+//   corrupt     the site receives `true` and applies its documented
+//               corruption (e.g. the store writer flips a payload bit
+//               AFTER computing the chunk CRC)
+//
+// '@hit' fires the rule on exactly the hit-th evaluation of the site
+// (1-based) and never again; without '@' the rule fires on every hit.
+// Hit counters are per site and process-wide (atomic), so a rule armed
+// at hit 7 fires at the 7th evaluation regardless of which thread gets
+// there.
+#ifndef USCA_UTIL_FAILPOINT_H
+#define USCA_UTIL_FAILPOINT_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace usca::util {
+
+/// Exit code of a `crash` action — distinct from every exit code the
+/// CLIs use, so a coordinator (or a test harness) can tell an injected
+/// crash from an ordinary failure.  137 mirrors 128+SIGKILL.
+inline constexpr int failpoint_crash_exit_code = 137;
+
+/// Replaces the armed rule set with `spec` (the USCA_FAILPOINT grammar
+/// above; empty disarms everything) and resets all hit counters.
+/// Throws util::analysis_error on a malformed spec.
+void failpoint_configure(std::string_view spec);
+
+/// Disarms all rules and resets hit counters.
+void failpoint_clear();
+
+/// Hits of `site` so far (test observability).
+std::uint64_t failpoint_hits(std::string_view site);
+
+namespace detail {
+/// Armed-anywhere fast-path flag: evaluate() is only entered when some
+/// configure() armed at least one rule since the last clear().
+extern std::atomic<bool> failpoints_armed;
+/// Slow path: count the hit, apply any matching rule.  Returns true
+/// when a `corrupt` rule fired.
+bool failpoint_evaluate(std::string_view site);
+} // namespace detail
+
+/// Evaluates the failpoint `site`.  Returns true when an armed `corrupt`
+/// rule fired (the caller applies its documented corruption); crash /
+/// error / delay actions never return normally / throw / stall inside.
+/// The unarmed cost is one relaxed atomic load — cheap enough to leave
+/// compiled into release binaries.  The environment variable
+/// USCA_FAILPOINT is read once, at static initialization (a malformed
+/// value aborts — silently unarmed fault injection would invalidate the
+/// test that asked for it).
+inline bool failpoint(std::string_view site) {
+  if (!detail::failpoints_armed.load(std::memory_order_relaxed)) {
+    return false;
+  }
+  return detail::failpoint_evaluate(site);
+}
+
+} // namespace usca::util
+
+#endif // USCA_UTIL_FAILPOINT_H

@@ -1,0 +1,119 @@
+// Tests for the deterministic fault-injection registry: spec parsing,
+// per-site hit counting, one-shot '@hit' rules, each action's behavior
+// (error throws, corrupt returns true, delay stalls, crash _exits with
+// the sentinel code — asserted across a fork), and disarming.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "util/error.h"
+#include "util/failpoint.h"
+
+namespace usca {
+namespace {
+
+/// Every test leaves the process-wide registry disarmed.
+class FailpointTest : public ::testing::Test {
+protected:
+  void TearDown() override { util::failpoint_clear(); }
+};
+
+TEST_F(FailpointTest, UnarmedSitesAreInertAndUncounted) {
+  EXPECT_FALSE(util::failpoint("nowhere"));
+  // The fast path skips the registry entirely: no rules, no counting.
+  EXPECT_EQ(util::failpoint_hits("nowhere"), 0u);
+}
+
+TEST_F(FailpointTest, MalformedSpecsThrow) {
+  EXPECT_THROW(util::failpoint_configure("no_action"), util::analysis_error);
+  EXPECT_THROW(util::failpoint_configure("site:explode"),
+               util::analysis_error);
+  EXPECT_THROW(util::failpoint_configure("site:error@seven"),
+               util::analysis_error);
+  EXPECT_THROW(util::failpoint_configure("site:error:42"),
+               util::analysis_error);
+  EXPECT_THROW(util::failpoint_configure("site:delay:"),
+               util::analysis_error);
+  // A failed configure leaves nothing armed.
+  EXPECT_FALSE(util::failpoint("site"));
+}
+
+TEST_F(FailpointTest, ErrorActionThrowsOnEveryHitWithoutAt) {
+  util::failpoint_configure("boom:error");
+  EXPECT_THROW(util::failpoint("boom"), util::analysis_error);
+  EXPECT_THROW(util::failpoint("boom"), util::analysis_error);
+  EXPECT_FALSE(util::failpoint("other")); // unmatched sites still count
+  EXPECT_EQ(util::failpoint_hits("boom"), 2u);
+  EXPECT_EQ(util::failpoint_hits("other"), 1u);
+}
+
+TEST_F(FailpointTest, AtHitFiresExactlyOnce) {
+  util::failpoint_configure("boom:error@3");
+  EXPECT_FALSE(util::failpoint("boom"));
+  EXPECT_FALSE(util::failpoint("boom"));
+  EXPECT_THROW(util::failpoint("boom"), util::analysis_error);
+  EXPECT_FALSE(util::failpoint("boom")); // one-shot: never again
+  EXPECT_EQ(util::failpoint_hits("boom"), 4u);
+}
+
+TEST_F(FailpointTest, CorruptActionReturnsTrueToTheCaller) {
+  util::failpoint_configure("tweak:corrupt@2");
+  EXPECT_FALSE(util::failpoint("tweak"));
+  EXPECT_TRUE(util::failpoint("tweak"));
+  EXPECT_FALSE(util::failpoint("tweak"));
+}
+
+TEST_F(FailpointTest, MultipleRulesAreIndependent) {
+  util::failpoint_configure("a:corrupt@1;b:error@1");
+  EXPECT_TRUE(util::failpoint("a"));
+  EXPECT_THROW(util::failpoint("b"), util::analysis_error);
+  EXPECT_FALSE(util::failpoint("a"));
+  EXPECT_FALSE(util::failpoint("b"));
+}
+
+TEST_F(FailpointTest, ConfigureResetsHitCounters) {
+  util::failpoint_configure("site:corrupt@1");
+  EXPECT_TRUE(util::failpoint("site"));
+  util::failpoint_configure("site:corrupt@1");
+  EXPECT_EQ(util::failpoint_hits("site"), 0u);
+  EXPECT_TRUE(util::failpoint("site")); // the one-shot re-armed
+}
+
+TEST_F(FailpointTest, DelayActionStallsTheSite) {
+  util::failpoint_configure("slow:delay:50@1");
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_FALSE(util::failpoint("slow"));
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_GE(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed)
+                .count(),
+            40);
+}
+
+TEST_F(FailpointTest, ClearDisarmsEverything) {
+  util::failpoint_configure("boom:error");
+  util::failpoint_clear();
+  EXPECT_FALSE(util::failpoint("boom"));
+  EXPECT_EQ(util::failpoint_hits("boom"), 0u);
+}
+
+TEST_F(FailpointTest, CrashActionExitsWithSentinelCode) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    // Child: the crash action must _exit without unwinding or flushing.
+    util::failpoint_configure("die:crash@1");
+    util::failpoint("die");
+    _exit(0); // unreachable when the failpoint works
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), util::failpoint_crash_exit_code);
+}
+
+} // namespace
+} // namespace usca
