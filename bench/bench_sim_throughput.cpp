@@ -37,6 +37,7 @@
 #include "stats/cpa.h"
 #include "stats/ttest.h"
 #include "util/bitops.h"
+#include "util/json_writer.h"
 #include "util/rng.h"
 
 using namespace usca;
@@ -476,52 +477,44 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
 }
 
 void write_json(std::FILE* out, const hot_path_report& r) {
-  std::fprintf(out,
-               "{\n"
-               "  \"bench\": \"campaign_hot_path\",\n"
-               "  \"traces\": %zu,\n"
-               "  \"averaging\": %d,\n"
-               "  \"threads\": %u,\n"
-               "  \"samples_per_trace\": %zu,\n"
-               "  \"seconds\": %.6f,\n"
-               "  \"traces_per_sec\": %.1f,\n"
-               "  \"sim_cycles_per_sec\": %.0f,\n"
-               "  \"ooo_samples_per_trace\": %zu,\n"
-               "  \"ooo_seconds\": %.6f,\n"
-               "  \"ooo_traces_per_sec\": %.1f,\n"
-               "  \"ooo_sim_cycles_per_sec\": %.0f,\n"
-               "  \"ooo_reference_seconds\": %.6f,\n"
-               "  \"ooo_reference_traces_per_sec\": %.1f,\n"
-               "  \"cpa_accumulate_ns_per_sample\": %.3f,\n"
-               "  \"tvla_accumulate_ns_per_sample\": %.3f,\n"
-               "  \"batch_kernel\": \"%s\",\n"
-               "  \"cpa_batch_accumulate_gb_per_sec\": %.2f,\n"
-               "  \"tvla_batch_accumulate_gb_per_sec\": %.2f,\n"
-               "  \"store_write_mb_per_sec\": %.1f,\n"
-               "  \"store_replay_mb_per_sec\": %.1f,\n"
-               "  \"store_replay_traces_per_sec\": %.0f,\n"
-               "  \"store_replay_batched_traces_per_sec\": %.0f,\n"
-               "  \"store_bytes_per_trace\": %.0f,\n"
-               "  \"fabric_merge_mb_per_sec\": %.1f,\n"
-               "  \"salvage_scan_mb_per_sec\": %.1f\n"
-               "}\n",
-               r.traces, r.averaging, r.threads, r.samples_per_trace,
-               r.seconds, r.traces_per_sec, r.sim_cycles_per_sec,
-               r.ooo_samples_per_trace, r.ooo_seconds, r.ooo_traces_per_sec,
-               r.ooo_sim_cycles_per_sec,
-               r.ooo_reference_seconds, r.ooo_reference_traces_per_sec,
-               r.cpa_accumulate_ns_per_sample,
-               r.tvla_accumulate_ns_per_sample,
-               r.batch_kernel,
-               r.cpa_batch_accumulate_gb_per_sec,
-               r.tvla_batch_accumulate_gb_per_sec,
-               r.store_write_mb_per_sec,
-               r.store_replay_mb_per_sec,
-               r.store_replay_traces_per_sec,
-               r.store_replay_batched_traces_per_sec,
-               r.store_bytes_per_trace,
-               r.fabric_merge_mb_per_sec,
-               r.salvage_scan_mb_per_sec);
+  usca::util::json_writer w;
+  w.begin_object();
+  w.member("bench", "campaign_hot_path");
+  w.member("traces", static_cast<std::uint64_t>(r.traces));
+  w.member("averaging", r.averaging);
+  w.member("threads", r.threads);
+  w.member("samples_per_trace", static_cast<std::uint64_t>(r.samples_per_trace));
+  w.member_fixed("seconds", r.seconds, 6);
+  w.member_fixed("traces_per_sec", r.traces_per_sec, 1);
+  w.member_fixed("sim_cycles_per_sec", r.sim_cycles_per_sec, 0);
+  w.member("ooo_samples_per_trace",
+           static_cast<std::uint64_t>(r.ooo_samples_per_trace));
+  w.member_fixed("ooo_seconds", r.ooo_seconds, 6);
+  w.member_fixed("ooo_traces_per_sec", r.ooo_traces_per_sec, 1);
+  w.member_fixed("ooo_sim_cycles_per_sec", r.ooo_sim_cycles_per_sec, 0);
+  w.member_fixed("ooo_reference_seconds", r.ooo_reference_seconds, 6);
+  w.member_fixed("ooo_reference_traces_per_sec",
+                 r.ooo_reference_traces_per_sec, 1);
+  w.member_fixed("cpa_accumulate_ns_per_sample",
+                 r.cpa_accumulate_ns_per_sample, 3);
+  w.member_fixed("tvla_accumulate_ns_per_sample",
+                 r.tvla_accumulate_ns_per_sample, 3);
+  w.member("batch_kernel", r.batch_kernel);
+  w.member_fixed("cpa_batch_accumulate_gb_per_sec",
+                 r.cpa_batch_accumulate_gb_per_sec, 2);
+  w.member_fixed("tvla_batch_accumulate_gb_per_sec",
+                 r.tvla_batch_accumulate_gb_per_sec, 2);
+  w.member_fixed("store_write_mb_per_sec", r.store_write_mb_per_sec, 1);
+  w.member_fixed("store_replay_mb_per_sec", r.store_replay_mb_per_sec, 1);
+  w.member_fixed("store_replay_traces_per_sec",
+                 r.store_replay_traces_per_sec, 0);
+  w.member_fixed("store_replay_batched_traces_per_sec",
+                 r.store_replay_batched_traces_per_sec, 0);
+  w.member_fixed("store_bytes_per_trace", r.store_bytes_per_trace, 0);
+  w.member_fixed("fabric_merge_mb_per_sec", r.fabric_merge_mb_per_sec, 1);
+  w.member_fixed("salvage_scan_mb_per_sec", r.salvage_scan_mb_per_sec, 1);
+  w.end_object();
+  bench::write_json_report(out, w);
 }
 
 int run_json_mode(const std::string& json_arg, int argc, char** argv) {

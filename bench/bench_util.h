@@ -1,6 +1,8 @@
 // Shared helpers for the experiment harnesses: a small key=value command
 // line parser (every bench runs standalone with sensible defaults),
-// wall-clock timing, and ASCII table rendering.
+// wall-clock timing, ASCII table rendering, and machine-readable report
+// emission (JSON documents are built with util/json_writer.h — benches
+// must not hand-roll escaping or comma placement).
 #ifndef USCA_BENCH_BENCH_UTIL_H
 #define USCA_BENCH_BENCH_UTIL_H
 
@@ -9,6 +11,8 @@
 #include <cstdlib>
 #include <map>
 #include <string>
+
+#include "util/json_writer.h"
 
 namespace usca::bench {
 
@@ -97,6 +101,13 @@ inline void print_rule(int width) {
     std::putchar('-');
   }
   std::putchar('\n');
+}
+
+/// Writes a finished json_writer document to `out` with JSON-lines
+/// framing — the one way bench reports reach stdout and report files.
+inline void write_json_report(std::FILE* out, const util::json_writer& w) {
+  const std::string text = w.line();
+  std::fwrite(text.data(), 1, text.size(), out);
 }
 
 } // namespace usca::bench

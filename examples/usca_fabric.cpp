@@ -4,9 +4,11 @@
 //        [--workers=N] [--backend=inorder|ooo] [--seed=N]
 //        [--deadline-ms=N] [--max-attempts=N] [--dir=PATH]
 //        [--inject=LEASE:FAILPOINT_SPEC]... [--keep-shards]
+//        [--progress] [--telemetry=PATH]
 //   ./build/example_usca_fabric worker --first=N --traces=N --shard=PATH
 //        [--backend=inorder|ooo] [--seed=N] [--failpoint=SPEC]
 //   ./build/example_usca_fabric verify PATH [--strict]
+//   ./build/example_usca_fabric status PATH [--probe]
 //
 // `run` is the coordinator: it splits the campaign into range leases,
 // re-execs this binary as one worker process per lease (each worker
@@ -27,6 +29,21 @@
 // stdout, exit 0 = healthy): a trace store is opened in salvage mode
 // and its damage map printed; a fabric manifest is walked lease by
 // lease with every shard probed strict-then-salvage.
+//
+// `status` is the live campaign monitor: it renders manifest + worker
+// heartbeats (`<shard>.hb`, written by every worker every 250 ms) as
+// one JSON object WITHOUT touching any shard bytes, so it is safe and
+// cheap to run against a mid-campaign directory from another terminal.
+// PATH may be the manifest, the --out path (".manifest" is appended),
+// or a directory containing exactly one "*.manifest".  Exit 0 = the
+// manifest parsed, even when the campaign is still running; --probe
+// additionally opens every shard in salvage mode like `verify`.
+//
+// `--progress` makes the coordinator print a live one-line report
+// (traces/s, ETA, worker liveness from heartbeats) to stderr;
+// `--telemetry=PATH` appends JSON-lines telemetry snapshots — from the
+// coordinator on the progress cadence and from every worker at exit —
+// to PATH (workers inherit it via USCA_TELEMETRY_PATH).
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
@@ -36,14 +53,19 @@
 #include <string_view>
 #include <vector>
 
+#include <dirent.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include "core/campaign_fabric.h"
+#include "core/campaign_telemetry.h"
 #include "core/trace_archive.h"
 #include "crypto/aes_codegen.h"
 #include "power/trace_store_reader.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/json_writer.h"
+#include "util/telemetry.h"
 
 using namespace usca;
 
@@ -116,20 +138,12 @@ bool parse_u64(std::string_view arg, std::string_view prefix,
   return true;
 }
 
-std::string json_escape(std::string_view text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-      out += c;
-    } else if (c == '\n') {
-      out += "\\n";
-    } else {
-      out += c;
-    }
-  }
-  return out;
+/// Prints one finished json_writer document to stdout with a trailing
+/// newline — every machine-readable subcommand funnels through here.
+void print_json(util::json_writer& w) {
+  const std::string text = w.str();
+  std::fwrite(text.data(), 1, text.size(), stdout);
+  std::fputc('\n', stdout);
 }
 
 // ------------------------------------------------------------- worker
@@ -176,13 +190,31 @@ int run_worker(int argc, char** argv) {
     const core::acquisition_config config =
         demo_config(backend, seed, static_cast<std::size_t>(first),
                     static_cast<std::size_t>(traces));
+
+    // Heartbeat next to the shard: `produced` is read back from the
+    // archive loop's own telemetry counter, no second bookkeeping.  A
+    // crash (failpoint or real SIGKILL) leaves the last "running" record
+    // behind — `status` reports its age instead of a false "done".
+    core::worker_heartbeat hb;
+    hb.pid = static_cast<std::uint64_t>(::getpid());
+    hb.first_index = first;
+    hb.traces = traces;
+    const std::size_t produced_id = telem::register_metric(
+        "archive.records", "records", "archive", telem::metric_kind::counter);
+    core::heartbeat_publisher heartbeat(
+        core::heartbeat_path(shard), hb,
+        [produced_id]() { return telem::counter_value(produced_id); });
+
     core::archive_acquisition(sim::program_image(layout.prog), config,
                               demo_setup(layout, rk), shard);
+    heartbeat.finish("done");
+    core::export_snapshot("worker");
     return 0;
   } catch (const util::usca_error& e) {
     std::fprintf(stderr, "worker (records %llu..%llu): %s\n",
                  static_cast<unsigned long long>(first),
                  static_cast<unsigned long long>(first + traces), e.what());
+    core::export_snapshot("worker");
     return 1;
   }
 }
@@ -193,9 +225,10 @@ int run_coordinator(int argc, char** argv) {
   sim::backend_kind backend = sim::backend_kind::inorder;
   std::uint64_t seed = 42, traces = 2'000, lease = 500, workers = 2;
   std::uint64_t deadline_ms = 0, max_attempts = 5;
-  std::string out, dir;
+  std::string out, dir, telemetry_path;
   std::map<std::size_t, std::string> inject;
   bool keep_shards = false;
+  bool progress = false;
   for (int i = 2; i < argc; ++i) {
     const std::string_view arg(argv[i]);
     if (arg.rfind("--backend=", 0) == 0) {
@@ -223,6 +256,10 @@ int run_coordinator(int argc, char** argv) {
                         nullptr, 10))] = std::string(spec.substr(colon + 1));
     } else if (arg == "--keep-shards") {
       keep_shards = true;
+    } else if (arg == "--progress") {
+      progress = true;
+    } else if (arg.rfind("--telemetry=", 0) == 0) {
+      telemetry_path = arg.substr(12);
     } else if (!parse_u64(arg, "--seed=", seed) &&
                !parse_u64(arg, "--traces=", traces) &&
                !parse_u64(arg, "--lease=", lease) &&
@@ -250,6 +287,56 @@ int run_coordinator(int argc, char** argv) {
   config.workers = static_cast<unsigned>(workers);
   config.max_attempts = static_cast<unsigned>(max_attempts);
   config.lease_deadline = std::chrono::milliseconds(deadline_ms);
+
+  if (!telemetry_path.empty()) {
+    telem::set_export_path(telemetry_path);
+    // Forked workers read the sink from the environment at static init;
+    // their exit snapshots land in the same JSON-lines file.
+    ::setenv("USCA_TELEMETRY_PATH", telemetry_path.c_str(), 1);
+  }
+
+  // Live progress: the fabric's census gives done-lease trace counts;
+  // worker heartbeats refine it with mid-lease partial progress and a
+  // liveness count (heartbeat younger than 4 heartbeat intervals).
+  core::progress_meter meter;
+  const bool tty = ::isatty(STDERR_FILENO) == 1;
+  if (progress || !telemetry_path.empty()) {
+    config.on_progress = [&meter, progress, tty,
+                          &telemetry_path](const core::fabric_progress& p) {
+      std::size_t produced = p.done_traces;
+      std::size_t live = 0;
+      for (const core::fabric_lease& l : *p.leases) {
+        if (l.state != core::lease_state::leased) {
+          continue;
+        }
+        const auto hb =
+            core::read_heartbeat(core::heartbeat_path(l.shard_path));
+        if (!hb) {
+          continue;
+        }
+        produced += std::min<std::uint64_t>(hb->produced, l.traces);
+        const std::uint64_t now = core::wall_clock_ms();
+        if ((hb->state == "starting" || hb->state == "running") &&
+            now - hb->wall_ms < 1000) {
+          ++live;
+        }
+      }
+      meter.observe(std::min<std::uint64_t>(produced, p.total_traces));
+      if (progress) {
+        const std::string line = meter.format_line(live);
+        if (tty) {
+          std::fprintf(stderr, "\r\x1b[K%s%s", line.c_str(),
+                       p.finished ? "\n" : "");
+        } else {
+          std::fprintf(stderr, "%s\n", line.c_str());
+        }
+        std::fflush(stderr);
+      }
+      if (!telemetry_path.empty()) {
+        core::export_snapshot("coordinator");
+      }
+    };
+  }
 
   const std::string self = self_exe(argv[0]);
   const std::string backend_name(sim::backend_kind_name(backend));
@@ -279,6 +366,13 @@ int run_coordinator(int argc, char** argv) {
                 "(%s backend)\n",
                 config.traces, fabric.leases().size(), config.lease_traces,
                 config.workers, backend_name.c_str());
+    std::size_t inherited = 0;
+    for (const core::fabric_lease& l : fabric.leases()) {
+      if (l.state == core::lease_state::done) {
+        inherited += l.traces;
+      }
+    }
+    meter.start(config.traces, inherited);
     const core::fabric_report report = fabric.run(runner);
     std::printf("fabric: %zu/%zu leases done (%zu already archived, "
                 "%zu worker failures, %zu deadline kills, %zu invalid "
@@ -294,9 +388,13 @@ int run_coordinator(int argc, char** argv) {
     if (!keep_shards) {
       for (const core::fabric_lease& l : fabric.leases()) {
         ::unlink(l.shard_path.c_str());
+        ::unlink(core::heartbeat_path(l.shard_path).c_str());
       }
       ::unlink(config.manifest_path.c_str());
       ::rmdir(config.shard_dir.c_str());
+    }
+    if (!telemetry_path.empty()) {
+      core::export_snapshot("coordinator");
     }
     return 0;
   } catch (const util::usca_error& e) {
@@ -309,25 +407,31 @@ int run_coordinator(int argc, char** argv) {
 
 void print_store_json(const std::string& path,
                       const power::trace_store_reader& reader) {
-  std::printf("{\"kind\":\"store\",\"path\":\"%s\",\"ok\":%s,"
-              "\"traces\":%zu,\"samples\":%zu,\"labels\":%zu,"
-              "\"first_index\":%zu,\"next_index\":%zu,"
-              "\"lost_records\":%zu,\"chunks\":%zu,\"damage\":[",
-              json_escape(path).c_str(), reader.intact() ? "true" : "false",
-              reader.traces(), reader.samples(), reader.labels(),
-              reader.first_index(), reader.next_index(),
-              reader.lost_records(), reader.chunk_count());
-  bool first = true;
+  util::json_writer w;
+  w.begin_object();
+  w.member("kind", "store");
+  w.member("path", path);
+  w.member("ok", reader.intact());
+  w.member("traces", reader.traces());
+  w.member("samples", reader.samples());
+  w.member("labels", reader.labels());
+  w.member("first_index", reader.first_index());
+  w.member("next_index", reader.next_index());
+  w.member("lost_records", reader.lost_records());
+  w.member("chunks", reader.chunk_count());
+  w.key("damage");
+  w.begin_array();
   for (const power::chunk_damage& d : reader.damage()) {
-    std::printf("%s{\"chunk\":%zu,\"byte_offset\":%llu,\"fault\":\"%s\","
-                "\"bytes_skipped\":%llu}",
-                first ? "" : ",", d.chunk,
-                static_cast<unsigned long long>(d.byte_offset),
-                power::store_fault_name(d.fault),
-                static_cast<unsigned long long>(d.bytes_skipped));
-    first = false;
+    w.begin_object();
+    w.member("chunk", d.chunk);
+    w.member("byte_offset", d.byte_offset);
+    w.member("fault", power::store_fault_name(d.fault));
+    w.member("bytes_skipped", d.bytes_skipped);
+    w.end_object();
   }
-  std::printf("]}\n");
+  w.end_array();
+  w.end_object();
+  print_json(w);
 }
 
 int verify_store(const std::string& path, bool strict) {
@@ -338,29 +442,39 @@ int verify_store(const std::string& path, bool strict) {
     print_store_json(path, reader);
     return reader.intact() ? 0 : 1;
   } catch (const util::usca_error& e) {
-    std::printf("{\"kind\":\"store\",\"path\":\"%s\",\"ok\":false,"
-                "\"error\":\"%s\"}\n",
-                json_escape(path).c_str(), json_escape(e.what()).c_str());
+    util::json_writer w;
+    w.begin_object();
+    w.member("kind", "store");
+    w.member("path", path);
+    w.member("ok", false);
+    w.member("error", e.what());
+    w.end_object();
+    print_json(w);
     return 1;
   }
 }
 
-int verify_manifest(const std::string& path, FILE* in) {
-  // Stand-alone manifest walk: the coordinator's loader requires the
-  // campaign config for binding validation, but a health check must work
-  // from the manifest alone.
+// Stand-alone manifest parse: the coordinator's loader requires the
+// campaign config for binding validation, but health checks and status
+// views must work from the manifest alone.
+struct manifest_lease {
+  std::uint64_t id = 0, first_index = 0, traces = 0, attempts = 0;
+  std::string state;
+  std::string shard;
+};
+
+struct manifest_view {
+  std::vector<std::pair<std::string, std::uint64_t>> config; ///< in order
+  std::vector<manifest_lease> leases;
+  bool malformed_lines = false;
+};
+
+bool parse_manifest(FILE* in, manifest_view& mv) {
   char line[4096];
   if (!std::fgets(line, sizeof(line), in) ||
       std::strncmp(line, "usca-fabric-manifest 1", 22) != 0) {
-    std::printf("{\"kind\":\"manifest\",\"path\":\"%s\",\"ok\":false,"
-                "\"error\":\"bad magic line\"}\n",
-                json_escape(path).c_str());
-    return 1;
+    return false;
   }
-  std::printf("{\"kind\":\"manifest\",\"path\":\"%s\"",
-              json_escape(path).c_str());
-  bool healthy = true;
-  std::string leases_json;
   while (std::fgets(line, sizeof(line), in)) {
     char key[32];
     unsigned long long a = 0, b = 0, c = 0, d = 0;
@@ -371,49 +485,104 @@ int verify_manifest(const std::string& path, FILE* in) {
     if (std::strcmp(key, "lease") == 0) {
       if (std::sscanf(line, "lease %llu %llu %llu %llu %15s %3071[^\n]", &a,
                       &b, &c, &d, state, shard) != 6) {
-        healthy = false;
+        mv.malformed_lines = true;
         continue;
       }
-      std::string status = "valid";
-      std::string detail;
-      try {
-        const power::trace_store_reader reader(shard);
-        if (reader.first_index() != b || reader.traces() != c) {
-          status = "range_mismatch";
-        }
-      } catch (const util::usca_error& strict_err) {
-        try {
-          const power::trace_store_reader reader(
-              shard, power::store_open_mode::salvage);
-          status = "damaged";
-          detail = std::to_string(reader.damage().size()) +
-                   " damaged chunk(s), " + std::to_string(reader.traces()) +
-                   " records survive";
-        } catch (const util::usca_error&) {
-          status = "unreadable";
-          detail = strict_err.what();
-        }
-      }
-      if (std::strcmp(state, "done") != 0 || status != "valid") {
-        healthy = false;
-      }
-      leases_json += leases_json.empty() ? "" : ",";
-      leases_json += "{\"id\":" + std::to_string(a) +
-                     ",\"first_index\":" + std::to_string(b) +
-                     ",\"traces\":" + std::to_string(c) +
-                     ",\"attempts\":" + std::to_string(d) + ",\"state\":\"" +
-                     state + "\",\"shard\":\"" + json_escape(shard) +
-                     "\",\"shard_status\":\"" + status + "\"";
-      if (!detail.empty()) {
-        leases_json += ",\"detail\":\"" + json_escape(detail) + "\"";
-      }
-      leases_json += "}";
+      mv.leases.push_back(manifest_lease{a, b, c, d, state, shard});
     } else if (std::sscanf(line, "%31s %llu", key, &a) == 2) {
-      std::printf(",\"%s\":%llu", json_escape(key).c_str(), a);
+      mv.config.emplace_back(key, a);
     }
   }
-  std::printf(",\"ok\":%s,\"leases\":[%s]}\n", healthy ? "true" : "false",
-              leases_json.c_str());
+  return true;
+}
+
+/// Shard paths in the manifest are relative to the coordinator's cwd;
+/// resolving against the manifest's parent directory lets `verify` and
+/// `status` run from anywhere as long as the campaign tree moved as a
+/// unit.
+std::string resolve_shard(const std::string& manifest_path,
+                          const std::string& shard) {
+  if (!shard.empty() && shard.front() == '/') {
+    return shard;
+  }
+  const std::size_t slash = manifest_path.rfind('/');
+  if (slash == std::string::npos) {
+    return shard;
+  }
+  return manifest_path.substr(0, slash + 1) + shard;
+}
+
+/// Strict-then-salvage shard probe shared by `verify` and `status
+/// --probe`; returns the status word and fills `detail` when useful.
+std::string probe_shard(const std::string& shard,
+                        const manifest_lease& lease, std::string& detail) {
+  try {
+    const power::trace_store_reader reader(shard);
+    if (reader.first_index() != lease.first_index ||
+        reader.traces() != lease.traces) {
+      return "range_mismatch";
+    }
+    return "valid";
+  } catch (const util::usca_error& strict_err) {
+    try {
+      const power::trace_store_reader reader(
+          shard, power::store_open_mode::salvage);
+      detail = std::to_string(reader.damage().size()) +
+               " damaged chunk(s), " + std::to_string(reader.traces()) +
+               " records survive";
+      return "damaged";
+    } catch (const util::usca_error&) {
+      detail = strict_err.what();
+      return "unreadable";
+    }
+  }
+}
+
+int verify_manifest(const std::string& path, FILE* in) {
+  manifest_view mv;
+  util::json_writer w;
+  w.begin_object();
+  w.member("kind", "manifest");
+  w.member("path", path);
+  if (!parse_manifest(in, mv)) {
+    w.member("ok", false);
+    w.member("error", "bad magic line");
+    w.end_object();
+    print_json(w);
+    return 1;
+  }
+  for (const auto& [key, value] : mv.config) {
+    w.member(key, value);
+  }
+  bool healthy = !mv.malformed_lines;
+  util::json_writer leases;
+  leases.begin_array();
+  for (const manifest_lease& lease : mv.leases) {
+    std::string detail;
+    const std::string status =
+        probe_shard(resolve_shard(path, lease.shard), lease, detail);
+    if (lease.state != "done" || status != "valid") {
+      healthy = false;
+    }
+    leases.begin_object();
+    leases.member("id", lease.id);
+    leases.member("first_index", lease.first_index);
+    leases.member("traces", lease.traces);
+    leases.member("attempts", lease.attempts);
+    leases.member("state", lease.state);
+    leases.member("shard", lease.shard);
+    leases.member("shard_status", status);
+    if (!detail.empty()) {
+      leases.member("detail", detail);
+    }
+    leases.end_object();
+  }
+  leases.end_array();
+  w.member("ok", healthy);
+  w.key("leases");
+  w.raw(leases.str());
+  w.end_object();
+  print_json(w);
   return healthy ? 0 : 1;
 }
 
@@ -437,8 +606,13 @@ int run_verify(int argc, char** argv) {
   }
   FILE* in = std::fopen(path.c_str(), "rb");
   if (!in) {
-    std::printf("{\"path\":\"%s\",\"ok\":false,\"error\":\"cannot open\"}\n",
-                json_escape(path).c_str());
+    util::json_writer w;
+    w.begin_object();
+    w.member("path", path);
+    w.member("ok", false);
+    w.member("error", "cannot open");
+    w.end_object();
+    print_json(w);
     return 1;
   }
   // Trace stores start with "USCATRC2", manifests with
@@ -457,6 +631,151 @@ int run_verify(int argc, char** argv) {
   return rc;
 }
 
+// -------------------------------------------------------------- status
+
+/// PATH resolution for `status`: a manifest file as-is, an --out path
+/// (".manifest" appended), or a directory holding exactly one
+/// "*.manifest".  Empty return = nothing resolvable.
+std::string resolve_manifest(const std::string& path) {
+  struct stat st = {};
+  if (::stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+    DIR* dir = ::opendir(path.c_str());
+    if (dir == nullptr) {
+      return {};
+    }
+    std::vector<std::string> found;
+    while (const dirent* entry = ::readdir(dir)) {
+      const std::string_view name(entry->d_name);
+      if (name.size() > 9 &&
+          name.substr(name.size() - 9) == ".manifest") {
+        found.push_back(path + "/" + std::string(name));
+      }
+    }
+    ::closedir(dir);
+    if (found.size() == 1) {
+      return found.front();
+    }
+    std::fprintf(stderr, "status: directory '%s' holds %zu *.manifest files"
+                 " — pass the manifest explicitly\n",
+                 path.c_str(), found.size());
+    return {};
+  }
+  if (::stat(path.c_str(), &st) == 0) {
+    return path;
+  }
+  const std::string with_suffix = path + ".manifest";
+  if (::stat(with_suffix.c_str(), &st) == 0) {
+    return with_suffix;
+  }
+  return {};
+}
+
+int run_status(int argc, char** argv) {
+  std::string path;
+  bool probe = false;
+  for (int i = 2; i < argc; ++i) {
+    const std::string_view arg(argv[i]);
+    if (arg == "--probe") {
+      probe = true;
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "status: unknown option '%s'\n", argv[i]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr,
+                 "status: a manifest, --out path, or directory is required\n");
+    return 2;
+  }
+  const std::string manifest = resolve_manifest(path);
+  FILE* in = manifest.empty() ? nullptr : std::fopen(manifest.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "status: no fabric manifest at '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  manifest_view mv;
+  const bool parsed = parse_manifest(in, mv);
+  std::fclose(in);
+  if (!parsed) {
+    std::fprintf(stderr, "status: '%s' is not a fabric manifest\n",
+                 manifest.c_str());
+    return 1;
+  }
+
+  // Health is rendered, not judged: a mid-campaign directory full of
+  // pending leases and seconds-old heartbeats exits 0 just like a
+  // finished one — the reader decides what "healthy" means for it.
+  const std::uint64_t now = core::wall_clock_ms();
+  std::uint64_t done_leases = 0, done_traces = 0, total_traces = 0;
+  std::size_t live_workers = 0;
+  util::json_writer leases;
+  leases.begin_array();
+  for (const manifest_lease& lease : mv.leases) {
+    total_traces += lease.traces;
+    if (lease.state == "done") {
+      ++done_leases;
+      done_traces += lease.traces;
+    }
+    const std::string shard = resolve_shard(manifest, lease.shard);
+    leases.begin_object();
+    leases.member("id", lease.id);
+    leases.member("first_index", lease.first_index);
+    leases.member("traces", lease.traces);
+    leases.member("attempts", lease.attempts);
+    leases.member("state", lease.state);
+    leases.member("shard", lease.shard);
+    const auto hb = core::read_heartbeat(core::heartbeat_path(shard));
+    if (hb) {
+      const bool running =
+          hb->state == "starting" || hb->state == "running";
+      // wall_ms is another process's clock; a skewed or in-flight stamp
+      // can sit slightly in the future — clamp, don't wrap.
+      const std::uint64_t age =
+          now > hb->wall_ms ? now - hb->wall_ms : 0;
+      if (running && age < 2000) {
+        ++live_workers;
+      }
+      leases.key("heartbeat");
+      leases.begin_object();
+      leases.member("pid", hb->pid);
+      leases.member("state", hb->state);
+      leases.member("produced", hb->produced);
+      leases.member("age_ms", age);
+      leases.end_object();
+    }
+    if (probe) {
+      std::string detail;
+      leases.member("shard_status", probe_shard(shard, lease, detail));
+      if (!detail.empty()) {
+        leases.member("detail", detail);
+      }
+    }
+    leases.end_object();
+  }
+  leases.end_array();
+
+  util::json_writer w;
+  w.begin_object();
+  w.member("kind", "status");
+  w.member("manifest", manifest);
+  for (const auto& [key, value] : mv.config) {
+    w.member(key, value);
+  }
+  w.member("total_leases", static_cast<std::uint64_t>(mv.leases.size()));
+  w.member("done_leases", done_leases);
+  w.member("total_traces", total_traces);
+  w.member("done_traces", done_traces);
+  w.member("live_workers", static_cast<std::uint64_t>(live_workers));
+  w.key("leases");
+  w.raw(leases.str());
+  w.end_object();
+  print_json(w);
+  return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv) {
@@ -470,15 +789,19 @@ int main(int argc, char** argv) {
   if (cmd == "verify") {
     return run_verify(argc, argv);
   }
+  if (cmd == "status") {
+    return run_status(argc, argv);
+  }
   std::fprintf(
       stderr,
       "usage: %s run --out=PATH [--traces=N] [--lease=N] [--workers=N]\n"
       "           [--backend=inorder|ooo] [--seed=N] [--deadline-ms=N]\n"
       "           [--max-attempts=N] [--dir=PATH] [--inject=LEASE:SPEC]...\n"
-      "           [--keep-shards]\n"
+      "           [--keep-shards] [--progress] [--telemetry=PATH]\n"
       "       %s worker --first=N --traces=N --shard=PATH [--backend=B]\n"
       "           [--seed=N] [--failpoint=SPEC]\n"
-      "       %s verify PATH [--strict]\n",
-      argv[0], argv[0], argv[0]);
+      "       %s verify PATH [--strict]\n"
+      "       %s status PATH [--probe]\n",
+      argv[0], argv[0], argv[0], argv[0]);
   return 2;
 }

@@ -4,6 +4,7 @@
 
 #include "core/ordered_dispatch.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace usca::core {
 
@@ -36,6 +37,7 @@ void acquisition_campaign::produce_into(sim::backend& core,
                                         power::trace_synthesizer& synth,
                                         std::size_t index,
                                         acquisition_record& rec) const {
+  TELEM_SPAN("campaign.trace");
   // Same derivation as trace_campaign: one private stream for the trial's
   // inputs, one for its measurement noise.
   std::uint64_t stream = trace_campaign::trace_seed(config_.seed, index);
@@ -51,6 +53,11 @@ void acquisition_campaign::produce_into(sim::backend& core,
   rec.cycles = core.cycles();
   rec.instructions = core.instructions_issued();
   rec.marks = core.marks();
+
+  static const telem::counter traces{"campaign.traces", "traces", "campaign"};
+  static const telem::counter cycles{"campaign.cycles", "cycles", "campaign"};
+  traces.add();
+  cycles.add(rec.cycles);
 
   if (config_.full_run_window) {
     rec.window_begin = 0;

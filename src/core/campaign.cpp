@@ -5,6 +5,7 @@
 
 #include "core/ordered_dispatch.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace usca::core {
 
@@ -86,6 +87,7 @@ void trace_campaign::produce_into(sim::backend& core,
                                   power::trace_synthesizer& synth,
                                   std::size_t index,
                                   trace_record& rec) const {
+  TELEM_SPAN("campaign.trace");
   // Everything random about trace `index` — plaintext, measurement noise,
   // OS noise, second-core phase — derives from this per-index seed, so
   // the record is independent of which thread produces it.
@@ -102,6 +104,11 @@ void trace_campaign::produce_into(sim::backend& core,
   core.warm_caches();
   core.run();
   rec.cycles = core.cycles();
+
+  static const telem::counter traces{"campaign.traces", "traces", "campaign"};
+  static const telem::counter cycles{"campaign.cycles", "cycles", "campaign"};
+  traces.add();
+  cycles.add(rec.cycles);
 
   if (!find_campaign_window(core.marks(), config_.window, rec.window_begin,
                             rec.window_end)) {

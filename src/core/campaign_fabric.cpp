@@ -20,6 +20,7 @@
 #include "power/trace_store_reader.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/telemetry.h"
 
 namespace usca::core {
 
@@ -385,7 +386,29 @@ void campaign_fabric::validate_shard(const fabric_lease& lease) const {
   }
 }
 
+namespace {
+
+/// Coordinator-side lease lifecycle counters.  Grouped in one struct so
+/// run() increments read as one vocabulary; all registered on first
+/// run() in the process.
+struct fabric_metrics {
+  telem::counter issued{"fabric.leases_issued", "leases", "fabric"};
+  telem::counter done{"fabric.leases_done", "leases", "fabric"};
+  telem::counter reissues{"fabric.reissues", "leases", "fabric"};
+  telem::counter deadline_kills{"fabric.deadline_kills", "workers", "fabric"};
+  telem::counter invalid_shards{"fabric.invalid_shards", "shards", "fabric"};
+  telem::counter worker_failures{"fabric.worker_failures", "workers",
+                                 "fabric"};
+  static const fabric_metrics& get() {
+    static const fabric_metrics m;
+    return m;
+  }
+};
+
+} // namespace
+
 fabric_report campaign_fabric::run(worker_runner& runner) {
+  const fabric_metrics& metrics = fabric_metrics::get();
   fabric_report report;
   report.leases = leases_.size();
 
@@ -402,6 +425,7 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
       ++report.already_done;
     } catch (const util::analysis_error&) {
       ++report.invalid_shards;
+      metrics.invalid_shards.add();
       lease.state = lease_state::pending;
       lease.attempts = 0;
       dirty = true;
@@ -419,6 +443,28 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
   std::vector<active> live;
   std::vector<clock_type::time_point> eligible(leases_.size(),
                                                clock_type::now());
+
+  // Observational progress reporting: a point-in-time lease census on a
+  // fixed cadence, plus a final `finished` invocation.  Strictly
+  // read-only — a campaign runs identically with no callback installed.
+  clock_type::time_point last_progress = clock_type::now();
+  const auto report_progress = [&](bool finished) {
+    if (!config_.on_progress) {
+      return;
+    }
+    fabric_progress progress;
+    progress.leases = &leases_;
+    progress.total_traces = config_.traces;
+    for (const fabric_lease& lease : leases_) {
+      if (lease.state == lease_state::done) {
+        ++progress.done_leases;
+        progress.done_traces += lease.traces;
+      }
+    }
+    progress.live_workers = live.size();
+    progress.finished = finished;
+    config_.on_progress(progress);
+  };
 
   // Marks the attempt failed and either schedules the re-issue (capped
   // exponential backoff) or gives up — cancelling the other in-flight
@@ -456,15 +502,18 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
       }
       if (lease.attempts > 0) {
         ++report.relaunches;
+        metrics.reissues.add();
       }
       ++lease.attempts;
       lease.state = lease_state::leased;
       save_manifest();
+      metrics.issued.add();
       try {
         const std::size_t handle = runner.start(lease);
         live.push_back({handle, lease.id, clock_type::now()});
       } catch (const util::analysis_error&) {
         ++report.worker_failures;
+        metrics.worker_failures.add();
         fail_lease(lease);
       }
     }
@@ -485,6 +534,7 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
         }
         runner.cancel(entry.handle);
         ++report.deadline_kills;
+        metrics.deadline_kills.add();
       }
       live[i] = live.back();
       live.pop_back();
@@ -492,6 +542,7 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
       if (status != worker_status::succeeded) {
         if (status == worker_status::failed) {
           ++report.worker_failures;
+          metrics.worker_failures.add();
         }
         fail_lease(lease);
         continue;
@@ -500,10 +551,12 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
         validate_shard(lease);
         lease.state = lease_state::done;
         ++report.completed;
+        metrics.done.add();
         save_manifest();
       } catch (const util::analysis_error&) {
         // Worker claimed success but the shard does not check out.
         ++report.invalid_shards;
+        metrics.invalid_shards.add();
         fail_lease(lease);
       }
     }
@@ -515,10 +568,16 @@ fabric_report campaign_fabric::run(worker_runner& runner) {
     if (all_done) {
       break;
     }
+    if (config_.on_progress &&
+        clock_type::now() - last_progress >= config_.progress_interval) {
+      report_progress(false);
+      last_progress = clock_type::now();
+    }
     if (!progressed) {
       std::this_thread::sleep_for(config_.poll_interval);
     }
   }
+  report_progress(true);
   return report;
 }
 

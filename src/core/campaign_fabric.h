@@ -63,6 +63,20 @@ struct fabric_lease {
   std::string shard_path;
 };
 
+/// Point-in-time coordinator view handed to fabric_config::on_progress:
+/// enough to render a progress line (done trace count, live workers)
+/// or a full per-lease health report without touching coordinator
+/// internals.  `leases` aliases the coordinator's vector — valid only
+/// for the duration of the callback.
+struct fabric_progress {
+  const std::vector<fabric_lease>* leases = nullptr;
+  std::size_t done_leases = 0;
+  std::size_t done_traces = 0;  ///< records in done leases
+  std::size_t total_traces = 0; ///< campaign size
+  std::size_t live_workers = 0; ///< leases currently in flight
+  bool finished = false;        ///< final invocation of this run()
+};
+
 struct fabric_config {
   std::string manifest_path; ///< journaled lease state
   std::string shard_dir;     ///< shard stores land here (shard-NNNNNN.trc)
@@ -83,6 +97,11 @@ struct fabric_config {
   std::chrono::milliseconds backoff_base{100}; ///< delay after 1st failure
   std::chrono::milliseconds backoff_cap{5'000};
   std::chrono::milliseconds poll_interval{10};
+  /// Observational hook called from run() every progress_interval (and
+  /// once more, with finished = true, when the run completes).  Must not
+  /// throw; lease mutation belongs to the coordinator alone.
+  std::function<void(const fabric_progress&)> on_progress;
+  std::chrono::milliseconds progress_interval{500};
 };
 
 enum class worker_status { running, succeeded, failed };

@@ -1,0 +1,150 @@
+// Campaign-level observability on top of util/telemetry.h: worker
+// heartbeats, periodic JSON-lines snapshot export, and the human
+// progress line — the layer that turns a running (or dead) fabric
+// campaign from a black box into something `usca_fabric status` and
+// `--progress` can watch live.
+//
+//  * HEARTBEATS.  A fabric worker writes a one-line JSON heartbeat
+//    record next to its shard (`<shard>.hb`, atomically via tmp +
+//    rename) every interval and once more at exit with a terminal
+//    state.  The record carries the worker's pid, lease range, records
+//    produced so far (read from the telemetry registry — the archive
+//    loop's own counter, no second bookkeeping) and a wall-clock stamp,
+//    so a status reader can compute last-heartbeat age without any IPC:
+//    manifest + heartbeat files ARE the monitoring interface, and they
+//    survive the processes that wrote them — post-mortem debugging and
+//    live monitoring read the same bytes.
+//  * SNAPSHOT EXPORT.  export_snapshot() appends one framed JSON line
+//    ({"event":"snapshot","role":..,"seq":..,"wall_ms":..,"metrics":
+//    {...}}) to the telemetry sink (telem::export_path(), i.e.
+//    --telemetry=PATH / USCA_TELEMETRY_PATH).  The coordinator exports
+//    on its progress cadence; workers export once at exit.  Appends are
+//    single O_APPEND writes, so coordinator and worker lines interleave
+//    cleanly in one file.
+//  * PROGRESS.  progress_meter turns (produced, total) observations
+//    into a rate (EWMA over the observation window) and an ETA, and
+//    formats the one-line human report the CLIs print to stderr.
+//
+// Everything here is observational: no result bytes depend on any of
+// it (the bit-identity test archives a campaign with telemetry on and
+// off and compares the stores).
+#ifndef USCA_CORE_CAMPAIGN_TELEMETRY_H
+#define USCA_CORE_CAMPAIGN_TELEMETRY_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <thread>
+
+namespace usca::core {
+
+/// Wall-clock milliseconds since the Unix epoch — the heartbeat/export
+/// timestamp domain (steady_clock would not survive across processes).
+std::uint64_t wall_clock_ms();
+
+// ---------------------------------------------------------- heartbeat
+
+struct worker_heartbeat {
+  std::uint64_t pid = 0;
+  std::uint64_t first_index = 0; ///< lease range start
+  std::uint64_t traces = 0;      ///< lease range length
+  std::uint64_t produced = 0;    ///< records simulated by this process
+  std::uint64_t wall_ms = 0;     ///< stamp at write time
+  std::string state;             ///< starting | running | done | failed
+};
+
+/// Where a shard's heartbeat lives: `<shard_path>.hb`.
+std::string heartbeat_path(const std::string& shard_path);
+
+/// Atomically (tmp + rename) writes `hb` as one JSON line.  Throws
+/// util::analysis_error on I/O failure.
+void write_heartbeat(const std::string& path, const worker_heartbeat& hb);
+
+/// Reads a heartbeat written by write_heartbeat(); nullopt when the
+/// file is missing or malformed (a torn or foreign file is a monitoring
+/// gap, never an error).
+std::optional<worker_heartbeat> read_heartbeat(const std::string& path);
+
+/// Background heartbeat writer for a fabric worker: writes `base` with
+/// state "starting" immediately, then every `interval` re-stamps it
+/// with state "running" and produced = produced_fn().  finish() stops
+/// the thread and writes the terminal record; the destructor calls
+/// finish("failed") if nobody did (an exception is on its way up).
+/// Heartbeat I/O failures are swallowed after the first write —
+/// monitoring must never kill a healthy worker.
+class heartbeat_publisher {
+public:
+  heartbeat_publisher(std::string path, worker_heartbeat base,
+                      std::function<std::uint64_t()> produced_fn,
+                      std::chrono::milliseconds interval =
+                          std::chrono::milliseconds(250));
+  ~heartbeat_publisher();
+
+  heartbeat_publisher(const heartbeat_publisher&) = delete;
+  heartbeat_publisher& operator=(const heartbeat_publisher&) = delete;
+
+  void finish(std::string_view final_state);
+
+private:
+  void write(std::string_view state, bool rethrow);
+
+  std::string path_;
+  worker_heartbeat base_;
+  std::function<std::uint64_t()> produced_fn_;
+  std::chrono::milliseconds interval_;
+  std::atomic<bool> stop_{false};
+  bool finished_ = false;
+  std::thread thread_;
+};
+
+// ----------------------------------------------------------- snapshot
+
+/// Appends one framed registry snapshot line to the telemetry sink
+/// (no-op without one): {"event":"snapshot","role":<role>,"seq":N,
+/// "wall_ms":..,"metrics":{...}}.  `seq` is a process-local counter.
+/// Returns false when there is no sink or the write failed.
+bool export_snapshot(std::string_view role);
+
+// ----------------------------------------------------------- progress
+
+/// Rate/ETA model for the one-line progress report: overall mean rate
+/// since start() plus a windowed recent rate between observe() calls.
+class progress_meter {
+public:
+  void start(std::uint64_t total, std::uint64_t already_done);
+
+  /// Feeds the current completion count; call on the reporting cadence.
+  void observe(std::uint64_t produced);
+
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t produced() const noexcept { return last_produced_; }
+  /// Records per second since start(), excluding work inherited done.
+  double mean_rate() const noexcept;
+  /// Rate over the most recent observe() window (falls back to the
+  /// mean before two observations exist).
+  double recent_rate() const noexcept;
+  /// Seconds to completion at recent_rate(); infinity at zero rate.
+  double eta_seconds() const noexcept;
+
+  /// "  1234/10000 traces   512.3/s   eta 0:17   3 workers live" — the
+  /// stderr line both CLIs print (no trailing newline).
+  std::string format_line(std::size_t live_workers) const;
+
+private:
+  using clock = std::chrono::steady_clock;
+  std::uint64_t total_ = 0;
+  std::uint64_t baseline_ = 0; ///< already done at start()
+  std::uint64_t last_produced_ = 0;
+  std::uint64_t prev_produced_ = 0;
+  clock::time_point started_{};
+  clock::time_point last_observed_{};
+  clock::time_point prev_observed_{};
+};
+
+} // namespace usca::core
+
+#endif // USCA_CORE_CAMPAIGN_TELEMETRY_H

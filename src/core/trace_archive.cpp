@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "util/failpoint.h"
+#include "util/telemetry.h"
 
 namespace usca::core {
 
@@ -174,9 +175,12 @@ archive_acquisition(const sim::program_image& image,
     sub.keep_activity_first = 0;
     acquisition_campaign campaign(image, sub);
     campaign.set_setup(setup);
+    static const telem::counter records{"archive.records", "records",
+                                        "archive"};
     campaign.run([&writer](acquisition_record&& rec) {
       util::failpoint("archive_record");
       writer.append(rec.labels, rec.samples);
+      records.add();
     });
     result.simulated = end - next;
   }
@@ -216,6 +220,8 @@ archive_aes_campaign(const campaign_config& config, const crypto::aes_key& key,
     if (plaintext) {
       campaign.set_plaintext_policy(plaintext);
     }
+    static const telem::counter records{"archive.records", "records",
+                                        "archive"};
     std::array<double, std::tuple_size_v<crypto::aes_block>> labels;
     campaign.run([&writer, &labels](trace_record&& rec) {
       util::failpoint("archive_record");
@@ -223,6 +229,7 @@ archive_aes_campaign(const campaign_config& config, const crypto::aes_key& key,
         labels[b] = static_cast<double>(rec.plaintext[b]);
       }
       writer.append(labels, rec.samples);
+      records.add();
     });
     result.simulated = end - next;
   }

@@ -40,6 +40,7 @@
 #include "core/trace_batch.h"
 #include "power/trace_store_reader.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace usca::core {
 
@@ -274,12 +275,21 @@ inline void pump(trace_source& source,
   if (const std::optional<stream_shape> s = source.shape()) {
     begin_all(s->samples, s->labels, s->traces, s->first_index);
   }
+  // Function-local statics in an inline function: one shared instance
+  // across every TU that pumps ([basic.def.odr]), so batch/row counts
+  // aggregate process-wide.
+  static const telem::counter batches{"analysis.batches", "batches",
+                                      "analysis"};
+  static const telem::counter rows{"analysis.rows", "traces", "analysis"};
   source.for_each_batch(
       options.batch_traces, [&](const trace_batch_view& batch) {
         if (!begun) {
           begin_all(batch.n_samples, batch.n_labels, source.traces(),
                     batch.first_index);
         }
+        batches.add();
+        rows.add(batch.count);
+        TELEM_SPAN("analysis.batch");
         for (std::size_t p = 0; p < passes.size(); ++p) {
           passes[p]->consume_batch(
               batch.sample_window(windows[p].first, windows[p].second));

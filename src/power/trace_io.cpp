@@ -15,6 +15,7 @@
 #include "util/crc32.h"
 #include "util/error.h"
 #include "util/failpoint.h"
+#include "util/telemetry.h"
 
 namespace usca::power {
 
@@ -433,6 +434,10 @@ void trace_store_writer::flush_chunk() {
   }
   full_write(fd_, chdr, sizeof chdr, path_);
   full_write(fd_, chunk_buf_.data(), chunk_buf_.size(), path_);
+  static const telem::counter chunks{"store.write.chunks", "chunks", "store"};
+  static const telem::counter bytes{"store.write.bytes", "bytes", "store"};
+  chunks.add();
+  bytes.add(sizeof chdr + chunk_buf_.size());
   written_ += buffered_;
   buffered_ = 0;
   chunk_buf_.clear();

@@ -13,6 +13,7 @@
 
 #include "util/crc32.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace usca::power {
 
@@ -270,6 +271,22 @@ void trace_store_reader::parse(const std::string& path) {
     ++ordinal;
   }
   end_record_ = expected_next;
+
+  // Flushed once per open, not per chunk: the reader walk is also the
+  // salvage scan, and a status probe over many shards should cost many
+  // increments, not many mutex acquisitions.
+  static const telem::counter chunks{"store.read.chunks", "chunks", "store"};
+  static const telem::counter bytes{"store.read.bytes", "bytes", "store"};
+  static const telem::counter crc_checks{"store.read.crc_validations",
+                                         "checks", "store"};
+  static const telem::counter skips{"store.read.salvage_skips", "chunks",
+                                    "store"};
+  chunks.add(chunks_.size());
+  bytes.add(map_size_);
+  // One file-header CRC + one header CRC per non-torn chunk slot + one
+  // payload CRC per chunk that got that far.
+  crc_checks.add(1 + ordinal + chunks_.size());
+  skips.add(damage_.size());
   // The decode scratch row is allocated lazily by stream(): the common
   // (f64, aligned) path never needs it, and a forged header must not be
   // able to trigger a huge allocation before any record exists.

@@ -7,6 +7,7 @@
 #include "sim/alu.h"
 #include "util/bitops.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace usca::sim {
 
@@ -45,6 +46,9 @@ ooo_core::ooo_core(program_image image, micro_arch_config config)
 
   const ooo_config& ooo = config_.ooo;
   fast_ = ooo.scheduler == ooo_scheduler::fast && !force_reference_scheduler();
+  static const telem::gauge reference_mode{"sim.ooo.reference_mode", "flag",
+                                           "sim"};
+  reference_mode.set(fast_ ? 0 : 1);
   rob_.resize(static_cast<std::size_t>(ooo.rob_entries));
   rs_.resize(static_cast<std::size_t>(ooo.rs_entries));
   exec_.reserve(rob_.size());
@@ -192,6 +196,8 @@ void ooo_core::warm_caches() {
 }
 
 void ooo_core::run(std::uint64_t max_cycles) {
+  const std::uint64_t start_cycle = cycle_;
+  const std::uint64_t start_skipped = idle_skipped_;
   const std::uint64_t limit = cycle_ + max_cycles;
   while (!state_.halted) {
     if (cycle_ >= limit) {
@@ -199,6 +205,13 @@ void ooo_core::run(std::uint64_t max_cycles) {
     }
     step_cycle();
   }
+  // Per-cycle quantities are accumulated in plain members above and
+  // flushed to telemetry once per run, never from the cycle loop.
+  static const telem::counter cycles{"sim.ooo.cycles", "cycles", "sim"};
+  static const telem::counter skipped{"sim.ooo.idle_skipped", "cycles",
+                                      "sim"};
+  cycles.add(cycle_ - start_cycle);
+  skipped.add(idle_skipped_ - start_skipped);
 }
 
 // ---------------------------------------------------------------------------
@@ -1168,7 +1181,9 @@ bool ooo_core::step_cycle() {
     state_.halted = true;
   }
   if (fast_ && !state_.halted && !cycle_dirty_) {
-    cycle_ = next_event_cycle();
+    const std::uint64_t next = next_event_cycle();
+    idle_skipped_ += next - cycle_ - 1;
+    cycle_ = next;
   } else {
     ++cycle_;
   }

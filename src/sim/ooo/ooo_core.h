@@ -307,6 +307,9 @@ private:
   std::uint64_t renamed_ = 0;
   std::uint64_t retired_ = 0;
   std::uint64_t multi_rename_cycles_ = 0;
+  /// Cycles the fast scheduler jumped over as idle; accumulated here in
+  /// the per-cycle loop and flushed to telemetry once per run().
+  std::uint64_t idle_skipped_ = 0;
 };
 
 } // namespace usca::sim

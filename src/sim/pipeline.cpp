@@ -6,6 +6,7 @@
 #include "sim/alu.h"
 #include "util/bitops.h"
 #include "util/error.h"
+#include "util/telemetry.h"
 
 namespace usca::sim {
 
@@ -85,6 +86,7 @@ void pipeline::warm_caches() {
 }
 
 void pipeline::run(std::uint64_t max_cycles) {
+  const std::uint64_t start_cycle = cycle_;
   const std::uint64_t limit = cycle_ + max_cycles;
   while (!state_.halted) {
     if (cycle_ >= limit) {
@@ -92,6 +94,8 @@ void pipeline::run(std::uint64_t max_cycles) {
     }
     step_cycle();
   }
+  static const telem::counter cycles{"sim.inorder.cycles", "cycles", "sim"};
+  cycles.add(cycle_ - start_cycle);
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,8 @@
 #include <vector>
 
 #include "util/error.h"
+#include "util/json_writer.h"
+#include "util/telemetry.h"
 
 namespace usca::util {
 
@@ -25,10 +27,28 @@ struct rule {
   bool fired = false;    ///< one-shot rules fire once
 };
 
+constexpr std::size_t no_metric = static_cast<std::size_t>(-1);
+
 struct site_count {
   std::string site;
   std::uint64_t hits = 0;
+  /// Telemetry ids for failpoint.hits.<site> / failpoint.fired.<site>,
+  /// registered when the site is first seen so kill-drill smokes can
+  /// assert from a snapshot that the intended failpoint actually fired.
+  std::size_t hits_metric = no_metric;
+  std::size_t fired_metric = no_metric;
 };
+
+std::size_t register_site_metric(std::string_view prefix,
+                                 std::string_view site) {
+  try {
+    return telem::register_metric(std::string(prefix) + std::string(site),
+                                  "hits", "failpoint",
+                                  telem::metric_kind::counter);
+  } catch (const analysis_error&) {
+    return no_metric; // registry full: instrumentation must not inject
+  }
+}
 
 struct registry {
   std::mutex mutex;
@@ -149,6 +169,8 @@ bool failpoint_evaluate(std::string_view site) {
   action_kind fired_action = action_kind::corrupt;
   unsigned delay_ms = 0;
   bool fired = false;
+  std::size_t hits_metric = no_metric;
+  std::size_t fired_metric = no_metric;
   {
     const std::lock_guard<std::mutex> lock(reg.mutex);
     site_count* count = nullptr;
@@ -159,10 +181,15 @@ bool failpoint_evaluate(std::string_view site) {
       }
     }
     if (count == nullptr) {
-      reg.counts.push_back(site_count{std::string(site), 0});
+      site_count fresh{std::string(site), 0, no_metric, no_metric};
+      fresh.hits_metric = register_site_metric("failpoint.hits.", site);
+      fresh.fired_metric = register_site_metric("failpoint.fired.", site);
+      reg.counts.push_back(std::move(fresh));
       count = &reg.counts.back();
     }
     hits = ++count->hits;
+    hits_metric = count->hits_metric;
+    fired_metric = count->fired_metric;
     for (rule& r : reg.rules) {
       if (r.site != site || r.fired) {
         continue;
@@ -179,14 +206,33 @@ bool failpoint_evaluate(std::string_view site) {
       break;
     }
   }
+  if (hits_metric != no_metric) {
+    telem::counter_add(hits_metric, 1);
+  }
   if (!fired) {
     return false;
   }
+  if (fired_metric != no_metric) {
+    telem::counter_add(fired_metric, 1);
+  }
   switch (fired_action) {
-  case action_kind::crash:
+  case action_kind::crash: {
+    // The crash marker goes to the telemetry sink (if any) with a raw
+    // O_APPEND write — no stdio flush, no data-file mutation — so a
+    // kill-drill can assert the intended failpoint fired even though
+    // the process leaves no snapshot behind.
+    util::json_writer w;
+    w.begin_object();
+    w.member("event", "failpoint_crash");
+    w.member("site", site);
+    w.member("hit", hits);
+    w.member("pid", static_cast<std::uint64_t>(::getpid()));
+    w.end_object();
+    telem::export_line(w.line());
     // _exit, not abort/exit: no stream flushing, no atexit, no core —
     // the closest in-process stand-in for SIGKILL.
     ::_exit(failpoint_crash_exit_code);
+  }
   case action_kind::error:
     throw analysis_error("failpoint '" + std::string(site) +
                          "' injected error (hit " + std::to_string(hits) +
@@ -205,10 +251,13 @@ bool failpoint_evaluate(std::string_view site) {
 
 void failpoint_configure(std::string_view spec) {
   std::vector<rule> rules = parse_spec(spec); // throws before any mutation
+  static const telem::gauge armed{"failpoint.armed_rules", "rules",
+                                  "failpoint"};
   registry& reg = instance();
   const std::lock_guard<std::mutex> lock(reg.mutex);
   reg.rules = std::move(rules);
   reg.counts.clear();
+  armed.set(static_cast<std::int64_t>(reg.rules.size()));
   detail::failpoints_armed.store(!reg.rules.empty(),
                                  std::memory_order_relaxed);
 }

@@ -1,0 +1,342 @@
+#include "util/telemetry.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <mutex>
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/error.h"
+#include "util/json_writer.h"
+
+namespace usca::telem {
+
+namespace {
+
+/// One thread's private counter slots.  Fixed size so a snapshot reader
+/// never races a reallocation; writes are relaxed atomic stores (plain
+/// stores on every ISA we target), reads are relaxed loads.
+struct shard {
+  std::array<std::atomic<std::uint64_t>, max_metrics> slots{};
+};
+
+struct histogram_storage {
+  std::atomic<std::uint64_t> count{0};
+  std::atomic<std::uint64_t> sum{0};
+  std::array<std::atomic<std::uint64_t>, histogram_buckets> buckets{};
+};
+
+struct registry {
+  std::mutex mutex;
+  std::vector<metric_info> metrics;            ///< id -> info
+  std::vector<std::size_t> histogram_index;    ///< id -> histogram slot
+  std::vector<shard*> live_shards;             ///< threads currently alive
+  /// Counter values folded in by exiting threads, so a worker's counts
+  /// survive the worker (campaign threads are short-lived).
+  std::array<std::atomic<std::uint64_t>, max_metrics> retired{};
+  std::array<std::atomic<std::int64_t>, max_metrics> gauges{};
+  std::array<histogram_storage, max_histograms> histograms{};
+  std::size_t histogram_count = 0;
+  std::string export_path;
+};
+
+/// Meyers singleton: thread_local shard owners are destroyed before
+/// objects with static storage duration ([basic.start.term]), so the
+/// registry outlives every shard that folds into it.
+registry& instance() {
+  static registry r;
+  return r;
+}
+
+/// Registers this thread's shard on first metric touch and folds it
+/// into `retired` (then unregisters) at thread exit.
+struct shard_owner {
+  shard s;
+  shard_owner() {
+    registry& reg = instance();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.live_shards.push_back(&s);
+  }
+  ~shard_owner() {
+    registry& reg = instance();
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    for (std::size_t i = 0; i < max_metrics; ++i) {
+      const std::uint64_t v = s.slots[i].load(std::memory_order_relaxed);
+      if (v != 0) {
+        reg.retired[i].fetch_add(v, std::memory_order_relaxed);
+      }
+    }
+    std::erase(reg.live_shards, &s);
+  }
+};
+
+shard& local_shard() {
+  thread_local shard_owner owner;
+  return owner.s;
+}
+
+std::size_t log2_bucket(std::uint64_t value) noexcept {
+  if (value == 0) {
+    return 0;
+  }
+  const auto width = static_cast<std::size_t>(std::bit_width(value));
+  return std::min(width, histogram_buckets - 1);
+}
+
+/// USCA_TELEMETRY (span switch) and USCA_TELEMETRY_PATH (JSON-lines
+/// sink) are read once, before main() can hit any instrumented site.
+const bool env_loaded = [] {
+  if (const char* env = std::getenv("USCA_TELEMETRY")) {
+    const bool on = std::strcmp(env, "1") == 0 ||
+                    std::strcmp(env, "on") == 0 ||
+                    std::strcmp(env, "true") == 0;
+    detail::spans_enabled.store(on, std::memory_order_relaxed);
+  }
+  if (const char* path = std::getenv("USCA_TELEMETRY_PATH")) {
+    if (*path != '\0') {
+      instance().export_path = path;
+    }
+  }
+  return true;
+}();
+
+} // namespace
+
+namespace detail {
+std::atomic<bool> spans_enabled{false};
+} // namespace detail
+
+const char* metric_kind_name(metric_kind kind) noexcept {
+  switch (kind) {
+  case metric_kind::counter:
+    return "counter";
+  case metric_kind::gauge:
+    return "gauge";
+  case metric_kind::histogram:
+    return "histogram";
+  }
+  return "?";
+}
+
+void set_enabled(bool on) noexcept {
+  detail::spans_enabled.store(on, std::memory_order_relaxed);
+}
+
+std::size_t register_metric(std::string_view name, std::string_view unit,
+                            std::string_view subsystem, metric_kind kind) {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t id = 0; id < reg.metrics.size(); ++id) {
+    if (reg.metrics[id].name == name) {
+      if (reg.metrics[id].kind != kind) {
+        throw util::analysis_error(
+            "telemetry metric '" + std::string(name) + "' registered as " +
+            metric_kind_name(reg.metrics[id].kind) + ", re-registered as " +
+            metric_kind_name(kind));
+      }
+      return id;
+    }
+  }
+  if (reg.metrics.size() >= max_metrics) {
+    throw util::analysis_error("telemetry registry full (max_metrics = " +
+                               std::to_string(max_metrics) + ")");
+  }
+  std::size_t hist_slot = 0;
+  if (kind == metric_kind::histogram) {
+    if (reg.histogram_count >= max_histograms) {
+      throw util::analysis_error(
+          "telemetry registry full (max_histograms = " +
+          std::to_string(max_histograms) + ")");
+    }
+    hist_slot = reg.histogram_count++;
+  }
+  reg.metrics.push_back(metric_info{std::string(name), std::string(unit),
+                                    std::string(subsystem), kind});
+  reg.histogram_index.push_back(hist_slot);
+  return reg.metrics.size() - 1;
+}
+
+void counter_add(std::size_t id, std::uint64_t delta) noexcept {
+  std::atomic<std::uint64_t>& slot = local_shard().slots[id];
+  // Single-writer slot: relaxed load + store compiles to a plain
+  // read-modify-write with no lock prefix.
+  slot.store(slot.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+std::uint64_t counter_value(std::size_t id) noexcept {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::uint64_t total = reg.retired[id].load(std::memory_order_relaxed);
+  for (const shard* s : reg.live_shards) {
+    total += s->slots[id].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void gauge_set(std::size_t id, std::int64_t value) noexcept {
+  instance().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+std::int64_t gauge_value(std::size_t id) noexcept {
+  return instance().gauges[id].load(std::memory_order_relaxed);
+}
+
+void histogram_record(std::size_t id, std::uint64_t value) noexcept {
+  registry& reg = instance();
+  // id -> slot lookup without the lock: histogram_index never shrinks
+  // and an id only exists after its registration completed.
+  std::size_t slot;
+  {
+    const std::lock_guard<std::mutex> lock(reg.mutex);
+    slot = reg.histogram_index[id];
+  }
+  histogram_storage& h = reg.histograms[slot];
+  h.count.fetch_add(1, std::memory_order_relaxed);
+  h.sum.fetch_add(value, std::memory_order_relaxed);
+  h.buckets[log2_bucket(value)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<metric_sample> snapshot() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<metric_sample> out;
+  out.reserve(reg.metrics.size());
+  for (std::size_t id = 0; id < reg.metrics.size(); ++id) {
+    metric_sample sample;
+    sample.info = reg.metrics[id];
+    switch (sample.info.kind) {
+    case metric_kind::counter: {
+      std::uint64_t total = reg.retired[id].load(std::memory_order_relaxed);
+      for (const shard* s : reg.live_shards) {
+        total += s->slots[id].load(std::memory_order_relaxed);
+      }
+      sample.count = total;
+      break;
+    }
+    case metric_kind::gauge:
+      sample.gauge = reg.gauges[id].load(std::memory_order_relaxed);
+      break;
+    case metric_kind::histogram: {
+      const histogram_storage& h = reg.histograms[reg.histogram_index[id]];
+      sample.count = h.count.load(std::memory_order_relaxed);
+      sample.sum = h.sum.load(std::memory_order_relaxed);
+      for (std::size_t b = 0; b < histogram_buckets; ++b) {
+        sample.buckets[b] = h.buckets[b].load(std::memory_order_relaxed);
+      }
+      break;
+    }
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+void snapshot_json(util::json_writer& w) {
+  const std::vector<metric_sample> samples = snapshot();
+  w.begin_object();
+  w.key("counters");
+  w.begin_object();
+  for (const metric_sample& s : samples) {
+    if (s.info.kind == metric_kind::counter) {
+      w.member(s.info.name, s.count);
+    }
+  }
+  w.end_object();
+  w.key("gauges");
+  w.begin_object();
+  for (const metric_sample& s : samples) {
+    if (s.info.kind == metric_kind::gauge) {
+      w.member(s.info.name, s.gauge);
+    }
+  }
+  w.end_object();
+  w.key("histograms");
+  w.begin_object();
+  for (const metric_sample& s : samples) {
+    if (s.info.kind != metric_kind::histogram) {
+      continue;
+    }
+    w.key(s.info.name);
+    w.begin_object();
+    w.member("count", s.count);
+    w.member("sum", s.sum);
+    w.key("buckets");
+    w.begin_array();
+    std::size_t last = 0;
+    for (std::size_t b = 0; b < histogram_buckets; ++b) {
+      if (s.buckets[b] != 0) {
+        last = b + 1;
+      }
+    }
+    for (std::size_t b = 0; b < last; ++b) {
+      w.value(s.buckets[b]);
+    }
+    w.end_array();
+    w.end_object();
+  }
+  w.end_object();
+  w.end_object();
+}
+
+void reset_for_test() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (std::size_t i = 0; i < max_metrics; ++i) {
+    reg.retired[i].store(0, std::memory_order_relaxed);
+    reg.gauges[i].store(0, std::memory_order_relaxed);
+  }
+  for (shard* s : reg.live_shards) {
+    for (std::size_t i = 0; i < max_metrics; ++i) {
+      s->slots[i].store(0, std::memory_order_relaxed);
+    }
+  }
+  for (histogram_storage& h : reg.histograms) {
+    h.count.store(0, std::memory_order_relaxed);
+    h.sum.store(0, std::memory_order_relaxed);
+    for (auto& b : h.buckets) {
+      b.store(0, std::memory_order_relaxed);
+    }
+  }
+}
+
+void set_export_path(std::string path) {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  reg.export_path = std::move(path);
+}
+
+std::string export_path() {
+  registry& reg = instance();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  return reg.export_path;
+}
+
+bool export_line(std::string_view line) noexcept {
+  std::string path;
+  try {
+    path = export_path();
+  } catch (...) {
+    return false;
+  }
+  if (path.empty()) {
+    return false;
+  }
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return false;
+  }
+  // One write so concurrent coordinator/worker appends interleave at
+  // line granularity; a short write can only tear against another
+  // process mid-line, which the JSON-lines consumer skips.
+  const ssize_t n = ::write(fd, line.data(), line.size());
+  ::close(fd);
+  return n == static_cast<ssize_t>(line.size());
+}
+
+} // namespace usca::telem

@@ -1,0 +1,242 @@
+// Process-wide structured telemetry: a metrics registry (monotonic
+// counters, gauges, fixed-bucket histograms) plus scoped timing spans.
+//
+// Design constraints, in order:
+//
+//  1. WRITE-ONLY with respect to results.  Nothing here feeds back into
+//     simulation, synthesis or analysis — a campaign produces
+//     byte-identical stores with telemetry on and off (pinned by
+//     tests/core/campaign_telemetry_test.cpp).
+//  2. Hot-path increments are a plain store.  Counters are sharded per
+//     thread: counter_add() writes the calling thread's private slot
+//     with relaxed atomics (an ordinary load/add/store on x86 — no lock
+//     prefix, no cache-line contention), and only snapshot() aggregates
+//     the shards.  Counters therefore stay enabled unconditionally; the
+//     instrumented code keeps them at per-trace / per-chunk / per-batch
+//     granularity, never per simulated cycle (per-cycle quantities are
+//     accumulated in plain locals and flushed once per run).
+//  3. Timing spans are OFF by default.  TELEM_SPAN("sim.trace") costs
+//     one relaxed load + branch when disabled (the failpoint pattern);
+//     USCA_TELEMETRY=1 (or on/true) — read once at static
+//     initialization — or telem::set_enabled(true) turns on the clock
+//     reads.  Defining USCA_NO_TELEMETRY removes span bodies at
+//     compile time entirely.
+//
+// Metric names are dotted lowercase paths, "subsystem.rest" (the
+// subsystem string is also registered explicitly for the snapshot
+// consumer); units name what one increment means ("traces", "bytes",
+// "ns").  The full metric reference table lives in README.md
+// "Observability".
+//
+// Handles are registered once via function-local statics:
+//
+//   static const telem::counter c{"sim.inorder.cycles", "cycles", "sim"};
+//   c.add(pipe.cycles());
+//
+// Snapshots (telem::snapshot(), telem::snapshot_json()) are exported as
+// JSON-lines by the CLI layer (core/campaign_telemetry.h) to the path
+// given by --telemetry=PATH / USCA_TELEMETRY_PATH.
+#ifndef USCA_UTIL_TELEMETRY_H
+#define USCA_UTIL_TELEMETRY_H
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace usca::util {
+class json_writer;
+}
+
+namespace usca::telem {
+
+/// Hard caps: shard slots are allocated once per thread and never
+/// resized (a reader summing a shard must never race a reallocation),
+/// so the metric id space is fixed.  Registration past a cap throws.
+inline constexpr std::size_t max_metrics = 256;
+inline constexpr std::size_t max_histograms = 64;
+/// log2 buckets: bucket b counts values in [2^(b-1), 2^b), bucket 0
+/// counts zero; the last bucket absorbs everything larger (~4.2 s for
+/// nanosecond spans).
+inline constexpr std::size_t histogram_buckets = 32;
+
+enum class metric_kind : std::uint8_t { counter, gauge, histogram };
+
+const char* metric_kind_name(metric_kind kind) noexcept;
+
+struct metric_info {
+  std::string name;
+  std::string unit;
+  std::string subsystem;
+  metric_kind kind = metric_kind::counter;
+};
+
+// ------------------------------------------------------------ enabled
+namespace detail {
+extern std::atomic<bool> spans_enabled;
+}
+
+/// Runtime span switch (USCA_TELEMETRY env at static init; set_enabled
+/// overrides).  Counters and gauges do not consult it — they are cheap
+/// enough to stay on unconditionally.
+inline bool enabled() noexcept {
+  return detail::spans_enabled.load(std::memory_order_relaxed);
+}
+void set_enabled(bool on) noexcept;
+
+// ------------------------------------------------------- registration
+/// Idempotent by name: re-registering returns the existing id; a kind
+/// mismatch on an existing name throws util::analysis_error, as does
+/// exceeding the metric caps above.
+std::size_t register_metric(std::string_view name, std::string_view unit,
+                            std::string_view subsystem, metric_kind kind);
+
+// ------------------------------------------------------ hot-path ops
+/// Adds `delta` to the calling thread's shard slot — a relaxed
+/// load/add/store, no contention.
+void counter_add(std::size_t id, std::uint64_t delta) noexcept;
+/// Aggregated value of one counter (live shards + retired threads).
+std::uint64_t counter_value(std::size_t id) noexcept;
+
+/// Gauges are single global slots (relaxed store) — last writer wins.
+void gauge_set(std::size_t id, std::int64_t value) noexcept;
+std::int64_t gauge_value(std::size_t id) noexcept;
+
+/// Records one observation into the histogram's log2 bucket (global
+/// relaxed fetch_add — histogram sites are span-rate, not trace-rate).
+void histogram_record(std::size_t id, std::uint64_t value) noexcept;
+
+// ------------------------------------------------------------ handles
+class counter {
+public:
+  counter(std::string_view name, std::string_view unit,
+          std::string_view subsystem)
+      : id_(register_metric(name, unit, subsystem, metric_kind::counter)) {}
+  void add(std::uint64_t delta = 1) const noexcept { counter_add(id_, delta); }
+  std::uint64_t value() const noexcept { return counter_value(id_); }
+  std::size_t id() const noexcept { return id_; }
+
+private:
+  std::size_t id_;
+};
+
+class gauge {
+public:
+  gauge(std::string_view name, std::string_view unit,
+        std::string_view subsystem)
+      : id_(register_metric(name, unit, subsystem, metric_kind::gauge)) {}
+  void set(std::int64_t value) const noexcept { gauge_set(id_, value); }
+  std::int64_t value() const noexcept { return gauge_value(id_); }
+
+private:
+  std::size_t id_;
+};
+
+class histogram {
+public:
+  histogram(std::string_view name, std::string_view unit,
+            std::string_view subsystem)
+      : id_(register_metric(name, unit, subsystem, metric_kind::histogram)) {}
+  void record(std::uint64_t value) const noexcept {
+    histogram_record(id_, value);
+  }
+  std::size_t id() const noexcept { return id_; }
+
+private:
+  std::size_t id_;
+};
+
+// -------------------------------------------------------------- spans
+/// Scoped wall-clock timer recording elapsed nanoseconds into a
+/// histogram when telemetry is enabled; a relaxed load + branch when it
+/// is not.  Use through TELEM_SPAN so the site registers once.
+class scoped_span {
+public:
+  explicit scoped_span(const histogram& site) noexcept {
+    if (enabled()) {
+      site_ = &site;
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  scoped_span(const scoped_span&) = delete;
+  scoped_span& operator=(const scoped_span&) = delete;
+  ~scoped_span() {
+    if (site_ != nullptr) {
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      site_->record(static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+              .count()));
+    }
+  }
+
+private:
+  const histogram* site_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+// ----------------------------------------------------------- snapshot
+struct metric_sample {
+  metric_info info;
+  std::uint64_t count = 0; ///< counter value; histogram observation count
+  std::int64_t gauge = 0;  ///< gauge value
+  std::uint64_t sum = 0;   ///< histogram: sum of observed values
+  std::array<std::uint64_t, histogram_buckets> buckets{}; ///< histogram only
+};
+
+/// Consistent-enough point-in-time view: each metric is summed with
+/// relaxed loads, so a snapshot taken mid-increment may be one delta
+/// stale — fine for monotonic monitoring data.
+std::vector<metric_sample> snapshot();
+
+/// Writes the registry as one JSON object:
+///   {"counters":{name:value,...},"gauges":{...},
+///    "histograms":{name:{"count":..,"sum":..,"buckets":[..]},...}}
+/// (histogram buckets are emitted sparse-trimmed: trailing zero buckets
+/// dropped).  The caller owns the enclosing event framing.
+void snapshot_json(util::json_writer& w);
+
+/// Resets every counter, gauge and histogram to zero (registrations
+/// stay).  Test isolation only — production code never resets.
+void reset_for_test();
+
+// -------------------------------------------------------- export path
+/// Optional JSON-lines sink path for snapshot export and the failpoint
+/// crash marker (util/failpoint.cpp).  Seeded from USCA_TELEMETRY_PATH
+/// at static init; the CLIs override it from --telemetry=PATH.  Empty =
+/// no sink.
+void set_export_path(std::string path);
+std::string export_path();
+
+/// Appends `line` (must include its own '\n') to export_path() with one
+/// O_APPEND write — atomic at the line level across the coordinator and
+/// worker processes sharing a sink, and deliberately fd-level (no stdio
+/// buffering) so the failpoint `crash` action can leave a marker
+/// without violating its no-flush contract for data files.  No-op
+/// without a sink; returns false on write failure (telemetry must never
+/// fail the campaign).
+bool export_line(std::string_view line) noexcept;
+
+} // namespace usca::telem
+
+// TELEM_SPAN("subsystem.what"): scoped timing span; registers the
+// histogram "<name>.ns" on first execution.  Never place one inside a
+// per-cycle simulator loop — instrument per trace / per chunk / per
+// batch and let counters carry the per-cycle quantities.
+#ifndef USCA_NO_TELEMETRY
+#define USCA_TELEM_CONCAT2(a, b) a##b
+#define USCA_TELEM_CONCAT(a, b) USCA_TELEM_CONCAT2(a, b)
+#define TELEM_SPAN(name_literal)                                             \
+  static const ::usca::telem::histogram USCA_TELEM_CONCAT(                   \
+      telem_span_site_, __LINE__){name_literal ".ns", "ns", "span"};         \
+  const ::usca::telem::scoped_span USCA_TELEM_CONCAT(                        \
+      telem_span_, __LINE__){USCA_TELEM_CONCAT(telem_span_site_, __LINE__)}
+#else
+#define TELEM_SPAN(name_literal)                                             \
+  do {                                                                       \
+  } while (false)
+#endif
+
+#endif // USCA_UTIL_TELEMETRY_H

@@ -1,0 +1,153 @@
+// Tests for the shared streaming JSON writer: comma placement across
+// nested objects/arrays, RFC 8259 string escaping (including \u00XX
+// control characters), number formatting (shortest round-trip doubles,
+// fixed precision for human-tuned reports), and raw-fragment splicing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "util/json_writer.h"
+
+namespace usca {
+namespace {
+
+TEST(JsonWriterTest, EmptyContainers) {
+  util::json_writer obj;
+  obj.begin_object().end_object();
+  EXPECT_EQ(obj.str(), "{}");
+
+  util::json_writer arr;
+  arr.begin_array().end_array();
+  EXPECT_EQ(arr.str(), "[]");
+}
+
+TEST(JsonWriterTest, FlatObjectCommaPlacement) {
+  util::json_writer w;
+  w.begin_object();
+  w.member("a", 1);
+  w.member("b", "two");
+  w.member("c", true);
+  w.key("d");
+  w.null();
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"a\":1,\"b\":\"two\",\"c\":true,\"d\":null}");
+}
+
+TEST(JsonWriterTest, NestedContainersNeedNoCommaStack) {
+  // The regression shape: a sibling AFTER a closed nested container
+  // must still get its comma even though only single flags track state.
+  util::json_writer w;
+  w.begin_object();
+  w.key("inner");
+  w.begin_object();
+  w.member("x", 1);
+  w.end_object();
+  w.member("after", 2);
+  w.key("list");
+  w.begin_array();
+  w.value(1);
+  w.begin_object();
+  w.member("y", 3);
+  w.end_object();
+  w.value(2);
+  w.end_array();
+  w.member("tail", 4);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"inner\":{\"x\":1},\"after\":2,"
+                     "\"list\":[1,{\"y\":3},2],\"tail\":4}");
+}
+
+TEST(JsonWriterTest, StringEscaping) {
+  EXPECT_EQ(util::json_escape("plain"), "plain");
+  EXPECT_EQ(util::json_escape("a\"b\\c"), "a\\\"b\\\\c");
+  EXPECT_EQ(util::json_escape("line\nbreak\ttab\rret"),
+            "line\\nbreak\\ttab\\rret");
+  EXPECT_EQ(util::json_escape(std::string("nul\x01") + '\x02'),
+            "nul\\u0001\\u0002");
+
+  util::json_writer w;
+  w.begin_object();
+  w.member("path", "/tmp/a \"b\"\n");
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"path\":\"/tmp/a \\\"b\\\"\\n\"}");
+}
+
+TEST(JsonWriterTest, KeysAreEscapedToo) {
+  util::json_writer w;
+  w.begin_object();
+  w.member("we\"ird", 1);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"we\\\"ird\":1}");
+}
+
+TEST(JsonWriterTest, IntegerWidths) {
+  util::json_writer w;
+  w.begin_array();
+  w.value(std::uint64_t{18446744073709551615ULL});
+  w.value(std::int64_t{-42});
+  w.value(0);
+  w.value(7u);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[18446744073709551615,-42,0,7]");
+}
+
+TEST(JsonWriterTest, DoubleShortestFormRoundTrips) {
+  util::json_writer w;
+  w.begin_array();
+  w.value(0.5);
+  w.value(1.0);
+  w.value(0.1);
+  w.end_array();
+  // to_chars shortest form: exact, minimal digits.
+  EXPECT_EQ(w.str(), "[0.5,1,0.1]");
+
+  util::json_writer p;
+  p.begin_array();
+  p.value(std::nextafter(1.0, 2.0));
+  p.end_array();
+  EXPECT_EQ(std::stod(p.str().substr(1)), std::nextafter(1.0, 2.0));
+}
+
+TEST(JsonWriterTest, FixedPrecisionValues) {
+  util::json_writer w;
+  w.begin_object();
+  w.member_fixed("rate", 1234.56789, 1);
+  w.member_fixed("seconds", 0.125, 6);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"rate\":1234.6,\"seconds\":0.125000}");
+}
+
+TEST(JsonWriterTest, RawSpliceAndLineFraming) {
+  util::json_writer inner;
+  inner.begin_array();
+  inner.value(1);
+  inner.value(2);
+  inner.end_array();
+
+  util::json_writer w;
+  w.begin_object();
+  w.member("kind", "status");
+  w.key("leases");
+  w.raw(inner.str());
+  w.member("after", 3);
+  w.end_object();
+  EXPECT_EQ(w.str(), "{\"kind\":\"status\",\"leases\":[1,2],\"after\":3}");
+  EXPECT_EQ(w.line(), w.str() + "\n");
+}
+
+TEST(JsonWriterTest, ClearResetsState) {
+  util::json_writer w;
+  w.begin_object();
+  w.member("a", 1);
+  w.end_object();
+  w.clear();
+  w.begin_array();
+  w.value(9);
+  w.end_array();
+  EXPECT_EQ(w.str(), "[9]");
+}
+
+} // namespace
+} // namespace usca

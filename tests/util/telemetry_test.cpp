@@ -1,0 +1,195 @@
+// Tests for the process-wide telemetry registry: idempotent
+// registration, sharded counter aggregation across live and exited
+// threads, log2 histogram bucketing, span gating, and the JSON
+// snapshot shape consumed by the export layer.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "util/error.h"
+#include "util/json_writer.h"
+#include "util/telemetry.h"
+
+namespace usca {
+namespace {
+
+class TelemetryTest : public ::testing::Test {
+protected:
+  void SetUp() override {
+    telem::reset_for_test();
+    telem::set_enabled(false);
+  }
+  void TearDown() override {
+    telem::reset_for_test();
+    telem::set_enabled(false);
+  }
+};
+
+TEST_F(TelemetryTest, RegistrationIsIdempotentByName) {
+  const std::size_t a = telem::register_metric("test.idem", "items", "test",
+                                               telem::metric_kind::counter);
+  const std::size_t b = telem::register_metric("test.idem", "items", "test",
+                                               telem::metric_kind::counter);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TelemetryTest, KindMismatchOnExistingNameThrows) {
+  telem::register_metric("test.kind", "items", "test",
+                         telem::metric_kind::counter);
+  EXPECT_THROW(telem::register_metric("test.kind", "items", "test",
+                                      telem::metric_kind::gauge),
+               util::analysis_error);
+}
+
+TEST_F(TelemetryTest, CounterAccumulatesAndReads) {
+  static const telem::counter c{"test.counter", "items", "test"};
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST_F(TelemetryTest, CounterSumsAcrossLiveAndExitedThreads) {
+  static const telem::counter c{"test.threads", "items", "test"};
+  constexpr int threads = 8;
+  constexpr std::uint64_t per_thread = 10000;
+
+  std::vector<std::thread> pool;
+  for (int t = 0; t < threads; ++t) {
+    pool.emplace_back([] {
+      for (std::uint64_t i = 0; i < per_thread; ++i) {
+        c.add();
+      }
+    });
+  }
+  // Main thread contributes through its live shard while workers run.
+  for (std::uint64_t i = 0; i < per_thread; ++i) {
+    c.add();
+  }
+  for (auto& th : pool) {
+    th.join();
+  }
+  // Worker shards folded into `retired` at thread exit; the main
+  // thread's shard is still live.  The sum must see both.
+  EXPECT_EQ(c.value(), per_thread * (threads + 1));
+}
+
+TEST_F(TelemetryTest, GaugeLastWriterWins) {
+  static const telem::gauge g{"test.gauge", "level", "test"};
+  g.set(7);
+  g.set(-3);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST_F(TelemetryTest, HistogramLog2BucketPlacement) {
+  static const telem::histogram h{"test.histo", "ns", "test"};
+  h.record(0);  // bucket 0
+  h.record(1);  // bucket 1: [1, 2)
+  h.record(2);  // bucket 2: [2, 4)
+  h.record(3);  // bucket 2
+  h.record(4);  // bucket 3: [4, 8)
+  h.record(~std::uint64_t{0}); // clamped into the last bucket
+
+  const auto samples = telem::snapshot();
+  const telem::metric_sample* found = nullptr;
+  for (const auto& s : samples) {
+    if (s.info.name == "test.histo") {
+      found = &s;
+    }
+  }
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->info.kind, telem::metric_kind::histogram);
+  EXPECT_EQ(found->count, 6u);
+  EXPECT_EQ(found->sum, 0u + 1 + 2 + 3 + 4 + ~std::uint64_t{0});
+  EXPECT_EQ(found->buckets[0], 1u);
+  EXPECT_EQ(found->buckets[1], 1u);
+  EXPECT_EQ(found->buckets[2], 2u);
+  EXPECT_EQ(found->buckets[3], 1u);
+  EXPECT_EQ(found->buckets[telem::histogram_buckets - 1], 1u);
+}
+
+std::uint64_t histogram_count(std::string_view name) {
+  for (const auto& s : telem::snapshot()) {
+    if (s.info.name == name) {
+      return s.count;
+    }
+  }
+  return 0;
+}
+
+TEST_F(TelemetryTest, SpansAreGatedByEnabled) {
+  static const telem::histogram site{"test.span.ns", "ns", "span"};
+
+  { const telem::scoped_span off{site}; }
+  EXPECT_EQ(histogram_count("test.span.ns"), 0u)
+      << "disabled span must record nothing";
+
+  telem::set_enabled(true);
+  { const telem::scoped_span on{site}; }
+  EXPECT_EQ(histogram_count("test.span.ns"), 1u);
+
+  // Nested spans each record independently.
+  {
+    const telem::scoped_span outer{site};
+    const telem::scoped_span inner{site};
+  }
+  EXPECT_EQ(histogram_count("test.span.ns"), 3u);
+}
+
+TEST_F(TelemetryTest, TelemSpanMacroRegistersDotNsHistogram) {
+  telem::set_enabled(true);
+  for (int i = 0; i < 2; ++i) {
+    TELEM_SPAN("test.macro");
+  }
+  bool found = false;
+  for (const auto& s : telem::snapshot()) {
+    if (s.info.name == "test.macro.ns") {
+      found = true;
+      EXPECT_EQ(s.info.kind, telem::metric_kind::histogram);
+      EXPECT_EQ(s.info.unit, "ns");
+      EXPECT_EQ(s.count, 2u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(TelemetryTest, SnapshotJsonShape) {
+  static const telem::counter c{"test.json.counter", "items", "test"};
+  static const telem::gauge g{"test.json.gauge", "level", "test"};
+  static const telem::histogram h{"test.json.histo", "ns", "test"};
+  c.add(5);
+  g.set(9);
+  h.record(2);
+
+  util::json_writer w;
+  telem::snapshot_json(w);
+  const std::string json = w.str();
+  EXPECT_NE(json.find("\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.counter\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.gauge\":9"), std::string::npos);
+  EXPECT_NE(json.find("\"test.json.histo\":{\"count\":1,\"sum\":2,"
+                      "\"buckets\":[0,0,1]}"),
+            std::string::npos)
+      << json;
+}
+
+TEST_F(TelemetryTest, ResetClearsValuesButKeepsRegistrations) {
+  static const telem::counter c{"test.reset", "items", "test"};
+  c.add(3);
+  telem::reset_for_test();
+  EXPECT_EQ(c.value(), 0u);
+  // Same id after reset: registration survived.
+  EXPECT_EQ(telem::register_metric("test.reset", "items", "test",
+                                   telem::metric_kind::counter),
+            c.id());
+  c.add();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+} // namespace
+} // namespace usca
