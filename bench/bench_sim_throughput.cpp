@@ -32,6 +32,7 @@
 #include "power/synthesizer.h"
 #include "power/trace_io.h"
 #include "power/trace_store_reader.h"
+#include "sim/batch_sim.h"
 #include "sim/functional_executor.h"
 #include "sim/pipeline.h"
 #include "stats/cpa.h"
@@ -182,11 +183,19 @@ struct hot_path_report {
   double seconds = 0.0;
   double traces_per_sec = 0.0;
   double sim_cycles_per_sec = 0.0;
+  // Same campaign batched through the SoA batch backend
+  // (sim/batch_sim.h) — the default production path; the per-trace
+  // numbers above are its same-run reference denominator.
+  std::size_t sim_batch_lanes = 0;
+  double sim_batched_seconds = 0.0;
+  double sim_batched_traces_per_sec = 0.0;
   // Same campaign on the out-of-order backend (sim::ooo_core).
   std::size_t ooo_samples_per_trace = 0;
   double ooo_seconds = 0.0;
   double ooo_traces_per_sec = 0.0;
   double ooo_sim_cycles_per_sec = 0.0;
+  double ooo_sim_batched_seconds = 0.0;
+  double ooo_sim_batched_traces_per_sec = 0.0;
   // Same OoO campaign forced onto the reference scan scheduler
   // (sim::ooo_scheduler::reference).  The fast/reference ratio is a
   // machine-independent speedup measurement — both numbers come from the
@@ -252,6 +261,10 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
   config.seed = args.get_size("seed", 0x7077);
   config.averaging = report.averaging;
   config.window = {crypto::mark_encrypt_begin, crypto::mark_round1_end};
+  // Per-trace simulation for the baseline numbers; the batched measures
+  // below flip only this knob, so each batched/per-trace ratio is a
+  // same-run, same-hardware speedup.
+  config.sim_batch_lanes = 0;
   core::trace_campaign campaign(config, key);
 
   // Warm-up outside the timed region (page faults, code paths, caches).
@@ -287,6 +300,21 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
   report.sim_cycles_per_sec =
       static_cast<double>(simulated_cycles) / report.seconds;
 
+  // The identical campaign through the batched SoA backend (the default
+  // lane count, or whatever USCA_SIM_BATCH selects).
+  config.sim_batch_lanes = -1;
+  report.sim_batch_lanes = sim::resolve_sim_batch_lanes(-1);
+  {
+    core::trace_campaign batched(config, key);
+    (void)batched.produce(0);
+    const auto batched_start = std::chrono::steady_clock::now();
+    batched.run([](core::trace_record&&) {});
+    report.sim_batched_seconds = seconds_since(batched_start);
+    report.sim_batched_traces_per_sec =
+        static_cast<double>(report.traces) / report.sim_batched_seconds;
+  }
+  config.sim_batch_lanes = 0;
+
   // The same campaign on the OoO backend, so backend regressions are
   // visible in the same artifact as the in-order number.
   config.backend = sim::backend_kind::ooo;
@@ -304,6 +332,20 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
       static_cast<double>(report.traces) / report.ooo_seconds;
   report.ooo_sim_cycles_per_sec =
       static_cast<double>(ooo_cycles) / report.ooo_seconds;
+
+  // Batched OoO: the headline number — the OoO core's per-cycle control
+  // (rename, wakeup/select, CDB, retire) amortized across the lanes.
+  config.sim_batch_lanes = -1;
+  {
+    core::trace_campaign batched(config, key);
+    (void)batched.produce(0);
+    const auto batched_start = std::chrono::steady_clock::now();
+    batched.run([](core::trace_record&&) {});
+    report.ooo_sim_batched_seconds = seconds_since(batched_start);
+    report.ooo_sim_batched_traces_per_sec =
+        static_cast<double>(report.traces) / report.ooo_sim_batched_seconds;
+  }
+  config.sim_batch_lanes = 0;
 
   // Reference scan scheduler on the identical campaign: the denominator
   // of the speedup ratio above.  Bit-identical traces are a tested
@@ -487,11 +529,18 @@ void write_json(std::FILE* out, const hot_path_report& r) {
   w.member_fixed("seconds", r.seconds, 6);
   w.member_fixed("traces_per_sec", r.traces_per_sec, 1);
   w.member_fixed("sim_cycles_per_sec", r.sim_cycles_per_sec, 0);
+  w.member("sim_batch_lanes", static_cast<std::uint64_t>(r.sim_batch_lanes));
+  w.member_fixed("sim_batched_seconds", r.sim_batched_seconds, 6);
+  w.member_fixed("sim_batched_traces_per_sec",
+                 r.sim_batched_traces_per_sec, 1);
   w.member("ooo_samples_per_trace",
            static_cast<std::uint64_t>(r.ooo_samples_per_trace));
   w.member_fixed("ooo_seconds", r.ooo_seconds, 6);
   w.member_fixed("ooo_traces_per_sec", r.ooo_traces_per_sec, 1);
   w.member_fixed("ooo_sim_cycles_per_sec", r.ooo_sim_cycles_per_sec, 0);
+  w.member_fixed("ooo_sim_batched_seconds", r.ooo_sim_batched_seconds, 6);
+  w.member_fixed("ooo_sim_batched_traces_per_sec",
+                 r.ooo_sim_batched_traces_per_sec, 1);
   w.member_fixed("ooo_reference_seconds", r.ooo_reference_seconds, 6);
   w.member_fixed("ooo_reference_traces_per_sec",
                  r.ooo_reference_traces_per_sec, 1);

@@ -2,7 +2,10 @@
 
 #include <utility>
 
+#include <array>
+
 #include "core/ordered_dispatch.h"
+#include "sim/ooo/ooo_core.h"
 #include "util/error.h"
 #include "util/telemetry.h"
 
@@ -89,6 +92,120 @@ void acquisition_campaign::produce_into(sim::backend& core,
                     : synth.synthesize(core.activity(), begin, end);
 }
 
+std::size_t acquisition_campaign::batch_lanes() const {
+  if (config_.backend == sim::backend_kind::ooo &&
+      (config_.uarch.ooo.scheduler != sim::ooo_scheduler::fast ||
+       sim::ooo_reference_forced())) {
+    return 0; // the reference scheduler has no batched counterpart
+  }
+  std::size_t lanes = sim::resolve_sim_batch_lanes(config_.sim_batch_lanes);
+  if (lanes > config_.traces) {
+    lanes = config_.traces;
+  }
+  return lanes;
+}
+
+std::unique_ptr<sim::batch_backend> acquisition_campaign::make_batch_backend(
+    std::size_t lanes) const {
+  std::unique_ptr<sim::batch_backend> batch =
+      sim::make_batch_backend(config_.backend, image_, config_.uarch, lanes);
+  if (!config_.synthesize) {
+    batch->set_record_activity(false);
+  } else if (!config_.full_run_window) {
+    batch->set_activity_cutoff_mark(config_.window.end_mark);
+  }
+  return batch;
+}
+
+void acquisition_campaign::produce_batch_into(
+    sim::batch_backend& batch, std::unique_ptr<sim::backend>& fallback,
+    power::trace_synthesizer& synth, std::size_t first_index,
+    std::size_t count, std::vector<acquisition_record>& recs) const {
+  TELEM_SPAN("campaign.batch");
+  recs.resize(count);
+  batch.limit_active_lanes(count);
+  batch.reset();
+
+  // Same per-index derivation as produce_into; the setup callback writes
+  // each trial's registers/memory through a lane view of the batch.
+  std::array<std::uint64_t, sim::max_batch_lanes> synthesis_seeds{};
+  for (std::size_t l = 0; l < count; ++l) {
+    const std::size_t index = first_index + l;
+    std::uint64_t stream = trace_campaign::trace_seed(config_.seed, index);
+    const std::uint64_t setup_seed = util::splitmix64(stream);
+    synthesis_seeds[l] = util::splitmix64(stream);
+
+    recs[l].index = index;
+    util::xoshiro256 setup_rng(setup_seed);
+    sim::batch_lane_view lane(batch, l);
+    setup_(index, setup_rng, lane, recs[l].labels);
+  }
+
+  batch.warm_caches();
+  batch.run();
+
+  std::uint64_t window_begin = 0;
+  std::uint64_t window_end = 0;
+  bool window_found = true;
+  if (config_.full_run_window) {
+    window_end = batch.cycles() + config_.full_run_tail_pad;
+  } else {
+    window_found = find_campaign_window(batch.marks(), config_.window,
+                                        window_begin, window_end);
+  }
+
+  static const telem::counter traces{"campaign.traces", "traces", "campaign"};
+  static const telem::counter cycles{"campaign.cycles", "cycles", "campaign"};
+
+  for (std::size_t l = 0; l < count; ++l) {
+    if (batch.lane_diverged(l)) {
+      // Data-dependent timing left the shared schedule; redo this trial
+      // on the per-trace reference core (labels included: the record is
+      // rebuilt from scratch so the setup callback runs exactly once).
+      if (!fallback) {
+        fallback = make_backend();
+      } else {
+        fallback->reset();
+      }
+      recs[l] = acquisition_record{};
+      produce_into(*fallback, synth, first_index + l, recs[l]);
+      continue;
+    }
+    if (!window_found) {
+      throw util::analysis_error(
+          "acquisition window marks not found (or empty window) in the "
+          "simulated program");
+    }
+    acquisition_record& rec = recs[l];
+    rec.cycles = batch.cycles();
+    rec.instructions = batch.instructions_issued();
+    rec.marks = batch.marks();
+    rec.window_begin = window_begin;
+    rec.window_end = window_end;
+    traces.add();
+    cycles.add(rec.cycles);
+
+    if (!config_.synthesize) {
+      continue;
+    }
+    const auto begin = static_cast<std::uint32_t>(window_begin);
+    const auto end = static_cast<std::uint32_t>(window_end);
+    if (rec.index < config_.keep_activity_first) {
+      rec.window_activity.clear();
+      for (const sim::activity_event& ev : batch.activity(l)) {
+        if (ev.cycle >= begin && ev.cycle < end) {
+          rec.window_activity.push_back(ev);
+        }
+      }
+    }
+    synth.reseed(synthesis_seeds[l]);
+    rec.samples = config_.averaging > 1
+                      ? synth.synthesize_averaged(batch.activity(l), begin,
+                                                  end, config_.averaging)
+                      : synth.synthesize(batch.activity(l), begin, end);
+  }
+}
+
 acquisition_record acquisition_campaign::produce(std::size_t index) const {
   std::unique_ptr<sim::backend> core = make_backend();
   power::trace_synthesizer synth(config_.power, 0);
@@ -116,25 +233,60 @@ void acquisition_source::for_each_batch(std::size_t max_batch,
 
 void acquisition_campaign::run(const sink_fn& sink) {
   const std::size_t first = config_.first_index;
+  const std::size_t lanes = batch_lanes();
 
-  struct worker_context {
-    std::unique_ptr<sim::backend> core;
+  if (lanes == 0) {
+    struct worker_context {
+      std::unique_ptr<sim::backend> core;
+      power::trace_synthesizer synth;
+    };
+
+    ordered_parallel_produce(
+        config_.traces, resolved_threads(),
+        [this](unsigned) {
+          return worker_context{make_backend(),
+                                power::trace_synthesizer(config_.power, 0)};
+        },
+        [this, first](worker_context& ctx, std::size_t i) {
+          ctx.core->reset();
+          acquisition_record rec;
+          produce_into(*ctx.core, ctx.synth, first + i, rec);
+          return rec;
+        },
+        sink);
+    return;
+  }
+
+  // Batched path: groups of `lanes` consecutive trials per batch run,
+  // unrolled in index order — same records, same order as per-trace.
+  const std::size_t groups = (config_.traces + lanes - 1) / lanes;
+  struct batch_worker_context {
+    std::unique_ptr<sim::batch_backend> batch;
+    std::unique_ptr<sim::backend> fallback; // lazy: built on first ejection
     power::trace_synthesizer synth;
   };
 
   ordered_parallel_produce(
-      config_.traces, resolved_threads(),
-      [this](unsigned) {
-        return worker_context{make_backend(),
-                              power::trace_synthesizer(config_.power, 0)};
+      groups, resolved_worker_count(config_.threads, groups),
+      [this, lanes](unsigned) {
+        return batch_worker_context{make_batch_backend(lanes), nullptr,
+                                    power::trace_synthesizer(config_.power,
+                                                             0)};
       },
-      [this, first](worker_context& ctx, std::size_t i) {
-        ctx.core->reset();
-        acquisition_record rec;
-        produce_into(*ctx.core, ctx.synth, first + i, rec);
-        return rec;
+      [this, first, lanes](batch_worker_context& ctx, std::size_t g) {
+        const std::size_t begin = g * lanes;
+        const std::size_t count =
+            begin + lanes <= config_.traces ? lanes : config_.traces - begin;
+        std::vector<acquisition_record> recs;
+        produce_batch_into(*ctx.batch, ctx.fallback, ctx.synth, first + begin,
+                           count, recs);
+        return recs;
       },
-      sink);
+      [&sink](std::vector<acquisition_record>&& recs) {
+        for (acquisition_record& rec : recs) {
+          sink(std::move(rec));
+        }
+      });
 }
 
 } // namespace usca::core

@@ -22,6 +22,7 @@
 #include "core/trace_stream.h"
 #include "power/synthesizer.h"
 #include "sim/backend.h"
+#include "sim/batch_sim.h"
 #include "sim/micro_arch_config.h"
 #include "sim/program_image.h"
 #include "util/rng.h"
@@ -50,6 +51,12 @@ struct acquisition_config {
   sim::micro_arch_config uarch = sim::cortex_a7();
   /// Core model the trials run on (in-order pipeline or OoO backend).
   sim::backend_kind backend = sim::backend_kind::inorder;
+  /// Batched-simulation width, same semantics as
+  /// campaign_config::sim_batch_lanes: -1 = default, 0 = per-trace,
+  /// 1..64 = lanes; USCA_SIM_BATCH overrides.  Trials whose data-dependent
+  /// timing diverges from their batch are ejected and transparently
+  /// re-simulated per-trace, so results are bit-identical either way.
+  int sim_batch_lanes = -1;
 };
 
 /// One completed acquisition, delivered in index order.
@@ -109,6 +116,21 @@ private:
   std::unique_ptr<sim::backend> make_backend() const;
   void produce_into(sim::backend& core, power::trace_synthesizer& synth,
                     std::size_t index, acquisition_record& rec) const;
+
+  /// Lane count run() batches with (0 = per-trace path); see
+  /// trace_campaign::batch_lanes for the resolution rules.
+  std::size_t batch_lanes() const;
+  std::unique_ptr<sim::batch_backend> make_batch_backend(
+      std::size_t lanes) const;
+  /// Batched counterpart of produce_into: the setup callback runs against
+  /// each lane through a sim::batch_lane_view, the whole group simulates
+  /// in one batch run, and ejected lanes fall back to the lazily-built
+  /// per-trace core.  recs[i] is bit-identical to produce(first_index+i).
+  void produce_batch_into(sim::batch_backend& batch,
+                          std::unique_ptr<sim::backend>& fallback,
+                          power::trace_synthesizer& synth,
+                          std::size_t first_index, std::size_t count,
+                          std::vector<acquisition_record>& recs) const;
 
   sim::program_image image_;
   acquisition_config config_;

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/ordered_dispatch.h"
+#include "sim/ooo/ooo_core.h"
 #include "util/error.h"
 #include "util/telemetry.h"
 
@@ -127,6 +128,105 @@ void trace_campaign::produce_into(sim::backend& core,
                     : synth.synthesize(core.activity(), begin, end);
 }
 
+std::size_t trace_campaign::batch_lanes() const {
+  if (config_.backend == sim::backend_kind::ooo &&
+      (config_.uarch.ooo.scheduler != sim::ooo_scheduler::fast ||
+       sim::ooo_reference_forced())) {
+    // The reference scheduler exists as the differential oracle and has
+    // no batched counterpart; run it on the per-trace path.
+    return 0;
+  }
+  std::size_t lanes = sim::resolve_sim_batch_lanes(config_.sim_batch_lanes);
+  if (lanes > config_.traces) {
+    lanes = config_.traces;
+  }
+  return lanes;
+}
+
+std::unique_ptr<sim::batch_backend> trace_campaign::make_batch_backend(
+    std::size_t lanes) const {
+  std::unique_ptr<sim::batch_backend> batch =
+      sim::make_batch_backend(config_.backend, image_, config_.uarch, lanes);
+  batch->set_activity_cutoff_mark(config_.window.end_mark);
+  return batch;
+}
+
+void trace_campaign::produce_batch_into(sim::batch_backend& batch,
+                                        std::unique_ptr<sim::backend>& fallback,
+                                        power::trace_synthesizer& synth,
+                                        std::size_t first_index,
+                                        std::size_t count,
+                                        std::vector<trace_record>& recs) const {
+  TELEM_SPAN("campaign.batch");
+  recs.resize(count);
+  batch.limit_active_lanes(count);
+  batch.reset();
+
+  // Identical per-index derivation to produce_into: each lane's plaintext
+  // and synthesis stream come from trace_seed(seed, index), so a record
+  // is bit-identical whether it is produced per-trace or as lane l of any
+  // batch (the campaign_sim_batch tests pin this).
+  std::array<std::uint64_t, sim::max_batch_lanes> synthesis_seeds{};
+  for (std::size_t l = 0; l < count; ++l) {
+    const std::size_t index = first_index + l;
+    std::uint64_t stream = trace_seed(config_.seed, index);
+    const std::uint64_t plaintext_seed = util::splitmix64(stream);
+    synthesis_seeds[l] = util::splitmix64(stream);
+
+    util::xoshiro256 plaintext_rng(plaintext_seed);
+    recs[l].index = index;
+    recs[l].plaintext = plaintext_(index, plaintext_rng);
+    crypto::install_aes_inputs(batch.memory(l), layout_, round_keys_,
+                               recs[l].plaintext);
+  }
+
+  batch.warm_caches();
+  batch.run();
+
+  std::uint64_t window_begin = 0;
+  std::uint64_t window_end = 0;
+  const bool window_found = find_campaign_window(
+      batch.marks(), config_.window, window_begin, window_end);
+
+  static const telem::counter traces{"campaign.traces", "traces", "campaign"};
+  static const telem::counter cycles{"campaign.cycles", "cycles", "campaign"};
+
+  for (std::size_t l = 0; l < count; ++l) {
+    if (batch.lane_diverged(l)) {
+      // The lane's data-dependent timing left the batch's shared schedule;
+      // its state is garbage.  Re-produce it on the per-trace reference
+      // core — same record, one lane at a time.
+      if (!fallback) {
+        fallback = make_backend();
+      } else {
+        fallback->reset();
+      }
+      produce_into(*fallback, synth, recs[l].index, recs[l]);
+      continue;
+    }
+    if (!window_found) {
+      throw util::analysis_error(
+          "campaign window marks not found (or empty window) in the "
+          "simulated program");
+    }
+    trace_record& rec = recs[l];
+    rec.cycles = batch.cycles();
+    rec.window_begin = window_begin;
+    rec.window_end = window_end;
+    rec.marks = batch.marks();
+    traces.add();
+    cycles.add(rec.cycles);
+
+    synth.reseed(synthesis_seeds[l]);
+    const auto begin = static_cast<std::uint32_t>(window_begin);
+    const auto end = static_cast<std::uint32_t>(window_end);
+    rec.samples = config_.averaging > 1
+                      ? synth.synthesize_averaged(batch.activity(l), begin,
+                                                  end, config_.averaging)
+                      : synth.synthesize(batch.activity(l), begin, end);
+  }
+}
+
 trace_record trace_campaign::produce(std::size_t index) const {
   std::unique_ptr<sim::backend> core = make_backend();
   power::trace_synthesizer synth = make_synthesizer();
@@ -158,28 +258,66 @@ void aes_campaign_source::for_each_batch(std::size_t max_batch,
 
 void trace_campaign::run(const sink_fn& sink) {
   const std::size_t first = config_.first_index;
+  const std::size_t lanes = batch_lanes();
 
-  // Each worker owns one backend and one synthesizer for its whole
-  // shard; per trace only reset() (cheap page zeroing, no reallocation)
-  // and reseed() separate it from a freshly constructed pair, which the
-  // reset-equivalence tests pin as bit-identical.
-  struct worker_context {
-    std::unique_ptr<sim::backend> core;
+  if (lanes == 0) {
+    // Per-trace reference path (sim_batch_lanes = 0 / USCA_SIM_BATCH=0 /
+    // the OoO reference scheduler).  Each worker owns one backend and one
+    // synthesizer for its whole shard; per trace only reset() (cheap page
+    // zeroing, no reallocation) and reseed() separate it from a freshly
+    // constructed pair, which the reset-equivalence tests pin as
+    // bit-identical.
+    struct worker_context {
+      std::unique_ptr<sim::backend> core;
+      power::trace_synthesizer synth;
+    };
+
+    ordered_parallel_produce(
+        config_.traces, resolved_threads(),
+        [this](unsigned) {
+          return worker_context{make_backend(), make_synthesizer()};
+        },
+        [this, first](worker_context& ctx, std::size_t i) {
+          ctx.core->reset();
+          trace_record rec;
+          produce_into(*ctx.core, ctx.synth, first + i, rec);
+          return rec;
+        },
+        sink);
+    return;
+  }
+
+  // Batched path: one work item is a group of `lanes` consecutive trace
+  // indices simulated in a single batch run.  Groups are claimed by the
+  // workers, reordered, and unrolled in index order on this thread, so
+  // the sink sees exactly the records and order of the per-trace path.
+  const std::size_t groups = (config_.traces + lanes - 1) / lanes;
+  struct batch_worker_context {
+    std::unique_ptr<sim::batch_backend> batch;
+    std::unique_ptr<sim::backend> fallback; // lazy: built on first ejection
     power::trace_synthesizer synth;
   };
 
   ordered_parallel_produce(
-      config_.traces, resolved_threads(),
-      [this](unsigned) {
-        return worker_context{make_backend(), make_synthesizer()};
+      groups, resolved_worker_count(config_.threads, groups),
+      [this, lanes](unsigned) {
+        return batch_worker_context{make_batch_backend(lanes), nullptr,
+                                    make_synthesizer()};
       },
-      [this, first](worker_context& ctx, std::size_t i) {
-        ctx.core->reset();
-        trace_record rec;
-        produce_into(*ctx.core, ctx.synth, first + i, rec);
-        return rec;
+      [this, first, lanes](batch_worker_context& ctx, std::size_t g) {
+        const std::size_t begin = g * lanes;
+        const std::size_t count =
+            begin + lanes <= config_.traces ? lanes : config_.traces - begin;
+        std::vector<trace_record> recs;
+        produce_batch_into(*ctx.batch, ctx.fallback, ctx.synth, first + begin,
+                           count, recs);
+        return recs;
       },
-      sink);
+      [&sink](std::vector<trace_record>&& recs) {
+        for (trace_record& rec : recs) {
+          sink(std::move(rec));
+        }
+      });
 }
 
 } // namespace usca::core

@@ -37,6 +37,7 @@
 #include "power/second_core.h"
 #include "power/synthesizer.h"
 #include "sim/backend.h"
+#include "sim/batch_sim.h"
 #include "sim/micro_arch_config.h"
 #include "sim/program_image.h"
 #include "util/rng.h"
@@ -72,6 +73,14 @@ struct campaign_config {
   /// Core model the campaign simulates on (in-order pipeline or the OoO
   /// backend); every worker owns one resettable instance of this kind.
   sim::backend_kind backend = sim::backend_kind::inorder;
+  /// Batched-simulation width (sim/batch_sim.h): -1 selects the default
+  /// lane count, 0 forces the per-trace path, 1..64 batches that many
+  /// traces per run.  USCA_SIM_BATCH, when set, overrides this field —
+  /// the no-rebuild escape hatch (USCA_SIM_BATCH=0 reverts every campaign
+  /// to the per-trace reference path).  Batching never changes results:
+  /// traces, marks and downstream statistics are bit-identical at every
+  /// lane count, pinned by tests/core/campaign_sim_batch_test.cpp.
+  int sim_batch_lanes = -1;
   /// Attach the simulated interfering core (the Figure-4 dual-core
   /// environment); it is built once and shared read-only by all workers.
   bool simulated_second_core = false;
@@ -145,6 +154,25 @@ private:
   /// synthesize.  `core` must be in the freshly-constructed/reset state.
   void produce_into(sim::backend& core, power::trace_synthesizer& synth,
                     std::size_t index, trace_record& rec) const;
+
+  /// Lane count run() batches with: 0 selects the per-trace path (batching
+  /// disabled via config/env, or the OoO reference scheduler, which has no
+  /// batched counterpart), otherwise the resolved width clamped to the
+  /// campaign's trace count.
+  std::size_t batch_lanes() const;
+  std::unique_ptr<sim::batch_backend> make_batch_backend(
+      std::size_t lanes) const;
+  /// Batched counterpart of produce_into: simulates `count` consecutive
+  /// traces from `first_index` in one batch run.  Lanes the batch ejects
+  /// (data-dependent timing divergence) are re-produced on `fallback` — a
+  /// per-trace core constructed lazily on first use and kept by the worker
+  /// thereafter; either way recs[i] is bit-identical to
+  /// produce(first_index + i).
+  void produce_batch_into(sim::batch_backend& batch,
+                          std::unique_ptr<sim::backend>& fallback,
+                          power::trace_synthesizer& synth,
+                          std::size_t first_index, std::size_t count,
+                          std::vector<trace_record>& recs) const;
 
   campaign_config config_;
   crypto::aes_key key_;

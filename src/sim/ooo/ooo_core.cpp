@@ -17,19 +17,28 @@ using isa::instruction;
 using isa::opcode;
 using isa::reg;
 
-/// USCA_OOO_REFERENCE (set non-"0") forces the reference scheduler for
-/// every ooo_core constructed in this process — the no-rebuild toggle the
-/// differential/equivalence suites and A/B perf runs use.
-bool force_reference_scheduler() {
-  static const bool force = [] {
-    const char* env = std::getenv("USCA_OOO_REFERENCE");
-    return env != nullptr && env[0] != '\0' &&
-           !(env[0] == '0' && env[1] == '\0');
-  }();
-  return force;
+} // namespace
+
+bool parse_ooo_reference_env(const char* value) {
+  if (value == nullptr || value[0] == '\0' ||
+      (value[0] == '0' && value[1] == '\0')) {
+    return false;
+  }
+  if (value[0] == '1' && value[1] == '\0') {
+    return true;
+  }
+  // A typo here used to silently force the reference scheduler (any
+  // non-"0" string counted as "on") — fail loudly instead.
+  throw util::simulation_error(
+      std::string("unknown USCA_OOO_REFERENCE value '") + value +
+      "' (valid values: unset, \"\", 0, 1)");
 }
 
-} // namespace
+bool ooo_reference_forced() {
+  // Re-read on every call (a getenv per core construction is noise):
+  // setenv-based A/B tests must see the current value, not a cached one.
+  return parse_ooo_reference_env(std::getenv("USCA_OOO_REFERENCE"));
+}
 
 ooo_core::ooo_core(asmx::program prog, micro_arch_config config)
     : ooo_core(program_image(std::move(prog)), config) {}
@@ -45,7 +54,7 @@ ooo_core::ooo_core(program_image image, micro_arch_config config)
   activity_.reserve(4096);
 
   const ooo_config& ooo = config_.ooo;
-  fast_ = ooo.scheduler == ooo_scheduler::fast && !force_reference_scheduler();
+  fast_ = ooo.scheduler == ooo_scheduler::fast && !ooo_reference_forced();
   static const telem::gauge reference_mode{"sim.ooo.reference_mode", "flag",
                                            "sim"};
   reference_mode.set(fast_ ? 0 : 1);

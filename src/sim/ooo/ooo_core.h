@@ -77,6 +77,17 @@
 
 namespace usca::sim {
 
+/// Strict parse of a USCA_OOO_REFERENCE value: unset / "" / "0" mean
+/// "don't force", "1" means "force the reference scheduler"; anything
+/// else throws util::simulation_error listing the valid values (a silent
+/// fallthrough here used to force the reference scheduler on typos).
+bool parse_ooo_reference_env(const char* value);
+
+/// Whether USCA_OOO_REFERENCE currently forces the reference scheduler.
+/// Read from the environment on every call so setenv-based A/B tests see
+/// the live value; throws on a malformed value (see parse above).
+bool ooo_reference_forced();
+
 class ooo_core final : public backend {
 public:
   explicit ooo_core(asmx::program prog,

@@ -166,13 +166,14 @@ bool pipeline::unit_available(std::size_t index) const noexcept {
   return true;
 }
 
-bool pipeline::statically_pairable(const instruction& older,
-                                   const instruction& younger) const noexcept {
-  if (config_.issue_width < 2) {
+bool statically_pairable(const micro_arch_config& config,
+                         const instruction& older,
+                         const instruction& younger) noexcept {
+  if (config.issue_width < 2) {
     return false;
   }
   if (isa::is_nop(older) || isa::is_nop(younger)) {
-    if (!config_.nop_dual_issues) {
+    if (!config.nop_dual_issues) {
       return false;
     }
   }
@@ -183,14 +184,14 @@ bool pipeline::statically_pairable(const instruction& older,
     return false;
   }
 
-  if (config_.policy == issue_policy::table) {
+  if (config.policy == issue_policy::table) {
     const std::size_t row = pair_class_index(older_cls);
     const std::size_t col = pair_class_index(younger_cls);
     if (row >= num_pair_classes || col >= num_pair_classes) {
-      if (!config_.nop_dual_issues) {
+      if (!config.nop_dual_issues) {
         return false;
       }
-    } else if (!config_.pair_table[row][col]) {
+    } else if (!config.pair_table[row][col]) {
       return false;
     }
   } else {
@@ -200,7 +201,7 @@ bool pipeline::statically_pairable(const instruction& older,
       return false; // single LSU pipe
     }
     if (isa::needs_alu0(older) && isa::needs_alu0(younger) &&
-        config_.alu0_has_shifter) {
+        config.alu0_has_shifter) {
       return false; // one shifter/multiplier
     }
     if (isa::is_branch(older) && isa::is_branch(younger)) {
@@ -210,11 +211,11 @@ bool pipeline::statically_pairable(const instruction& older,
 
   // Structural limits that hold under every policy.
   if (isa::read_ports_needed(older) + isa::read_ports_needed(younger) >
-      config_.rf_read_ports) {
+      config.rf_read_ports) {
     return false;
   }
   if (isa::write_ports_needed(older) + isa::write_ports_needed(younger) >
-      config_.rf_write_ports) {
+      config.rf_write_ports) {
     return false;
   }
 
@@ -234,6 +235,11 @@ bool pipeline::statically_pairable(const instruction& older,
     return false;
   }
   return true;
+}
+
+bool pipeline::statically_pairable(const instruction& older,
+                                   const instruction& younger) const noexcept {
+  return sim::statically_pairable(config_, older, younger);
 }
 
 // ---------------------------------------------------------------------------

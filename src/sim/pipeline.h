@@ -33,6 +33,14 @@
 
 namespace usca::sim {
 
+/// Dual-issue legality of an (older, younger) pair under `config`,
+/// ignoring dynamic operand readiness.  Shared by the per-trace pipeline
+/// and the batched SoA engine (sim/batch_pipeline.h) so the pairing rules
+/// cannot diverge between the two implementations.
+bool statically_pairable(const micro_arch_config& config,
+                         const isa::instruction& older,
+                         const isa::instruction& younger) noexcept;
+
 class pipeline final : public backend {
 public:
   explicit pipeline(asmx::program prog,

@@ -3,10 +3,18 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
+
+#include "util/error.h"
 
 #if defined(__x86_64__) && defined(__GNUC__)
 #define USCA_HAVE_AVX2_KERNELS 1
 #include <immintrin.h>
+#endif
+
+#if defined(__aarch64__)
+#define USCA_HAVE_NEON_KERNELS 1
+#include <arm_neon.h>
 #endif
 
 namespace usca::stats {
@@ -200,36 +208,118 @@ constexpr batch_kernels avx2_set = {
 
 #endif // USCA_HAVE_AVX2_KERNELS
 
+// ---------------------------------------------------------------- neon
+//
+// AdvSIMD is baseline on AArch64, so no runtime CPU check is needed —
+// availability is a build-target question.  Same contract as the AVX2
+// set: the 2-wide f64 bodies perform the scalar per-element operation
+// sequence with separate vmulq/vaddq (never vfmaq — an FMA rounds once
+// where the scalar path rounds twice), so results stay bit-identical to
+// the generic set at every batch size.
+
+#if USCA_HAVE_NEON_KERNELS
+
+void neon_cpa_accumulate(double* sum, double* sum_sq, double* part_base,
+                         std::size_t part_stride,
+                         const std::uint8_t* partitions,
+                         const double* samples, std::size_t sample_stride,
+                         std::size_t rows, std::size_t n) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* t = samples + r * sample_stride;
+    double* part =
+        part_base + static_cast<std::size_t>(partitions[r]) * part_stride;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const float64x2_t v0 = vld1q_f64(t + i);
+      const float64x2_t v1 = vld1q_f64(t + i + 2);
+      vst1q_f64(sum + i, vaddq_f64(vld1q_f64(sum + i), v0));
+      vst1q_f64(sum + i + 2, vaddq_f64(vld1q_f64(sum + i + 2), v1));
+      vst1q_f64(sum_sq + i,
+                vaddq_f64(vld1q_f64(sum_sq + i), vmulq_f64(v0, v0)));
+      vst1q_f64(sum_sq + i + 2,
+                vaddq_f64(vld1q_f64(sum_sq + i + 2), vmulq_f64(v1, v1)));
+      vst1q_f64(part + i, vaddq_f64(vld1q_f64(part + i), v0));
+      vst1q_f64(part + i + 2, vaddq_f64(vld1q_f64(part + i + 2), v1));
+    }
+    for (; i < n; ++i) {
+      const double v = t[i];
+      sum[i] += v;
+      sum_sq[i] += v * v;
+      part[i] += v;
+    }
+  }
+}
+
+void neon_tvla_accumulate(double* sum, double* sum_sq, const double* center,
+                          const double* const* rows, std::size_t nrows,
+                          std::size_t n) {
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const double* t = rows[r];
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      const float64x2_t d0 =
+          vsubq_f64(vld1q_f64(t + i), vld1q_f64(center + i));
+      const float64x2_t d1 =
+          vsubq_f64(vld1q_f64(t + i + 2), vld1q_f64(center + i + 2));
+      vst1q_f64(sum + i, vaddq_f64(vld1q_f64(sum + i), d0));
+      vst1q_f64(sum + i + 2, vaddq_f64(vld1q_f64(sum + i + 2), d1));
+      vst1q_f64(sum_sq + i,
+                vaddq_f64(vld1q_f64(sum_sq + i), vmulq_f64(d0, d0)));
+      vst1q_f64(sum_sq + i + 2,
+                vaddq_f64(vld1q_f64(sum_sq + i + 2), vmulq_f64(d1, d1)));
+    }
+    for (; i < n; ++i) {
+      const double dx = t[i] - center[i];
+      sum[i] += dx;
+      sum_sq[i] += dx * dx;
+    }
+  }
+}
+
+void neon_solve_accumulate(double* acc, const double* hyp,
+                           const double* part_base, std::size_t part_stride,
+                           const std::uint64_t* part_n,
+                           std::size_t partitions, std::size_t n) {
+  for (std::size_t p = 0; p < partitions; ++p) {
+    if (part_n[p] == 0) {
+      continue;
+    }
+    const float64x2_t h = vdupq_n_f64(hyp[p]);
+    const double* row = part_base + p * part_stride;
+    std::size_t i = 0;
+    for (; i + 4 <= n; i += 4) {
+      vst1q_f64(acc + i, vaddq_f64(vld1q_f64(acc + i),
+                                   vmulq_f64(h, vld1q_f64(row + i))));
+      vst1q_f64(acc + i + 2,
+                vaddq_f64(vld1q_f64(acc + i + 2),
+                          vmulq_f64(h, vld1q_f64(row + i + 2))));
+    }
+    for (; i < n; ++i) {
+      acc[i] += hyp[p] * row[i];
+    }
+  }
+}
+
+constexpr batch_kernels neon_set = {
+    "neon",
+    neon_cpa_accumulate,
+    neon_tvla_accumulate,
+    neon_solve_accumulate,
+};
+
+#endif // USCA_HAVE_NEON_KERNELS
+
 const batch_kernels* auto_kernels() noexcept {
 #if USCA_HAVE_AVX2_KERNELS
   if (__builtin_cpu_supports("avx2")) {
     return &avx2_set;
   }
 #endif
+#if USCA_HAVE_NEON_KERNELS
+  return &neon_set;
+#else
   return &generic_set;
-}
-
-const batch_kernels* select_kernels() noexcept {
-  const char* force = std::getenv("USCA_BATCH_KERNEL");
-  if (force == nullptr) {
-    return auto_kernels();
-  }
-  if (std::strcmp(force, "generic") == 0) {
-    return &generic_set;
-  }
-  if (std::strcmp(force, "avx2") == 0) {
-    if (const batch_kernels* avx2 = avx2_kernels()) {
-      return avx2;
-    }
-    std::fprintf(stderr, "USCA_BATCH_KERNEL=avx2 requested but this "
-                         "CPU/build has no AVX2 set; using generic\n");
-    return &generic_set;
-  }
-  std::fprintf(stderr,
-               "unknown USCA_BATCH_KERNEL '%s' (generic|avx2); "
-               "auto-detecting\n",
-               force);
-  return auto_kernels();
+#endif
 }
 
 } // namespace
@@ -244,8 +334,48 @@ const batch_kernels* avx2_kernels() noexcept {
 #endif
 }
 
-const batch_kernels& active_kernels() noexcept {
-  static const batch_kernels* const active = select_kernels();
+const batch_kernels* neon_kernels() noexcept {
+#if USCA_HAVE_NEON_KERNELS
+  return &neon_set;
+#else
+  return nullptr;
+#endif
+}
+
+const batch_kernels& kernels_for_env(const char* value) {
+  if (value == nullptr || value[0] == '\0') {
+    return *auto_kernels();
+  }
+  if (std::strcmp(value, "generic") == 0) {
+    return generic_set;
+  }
+  if (std::strcmp(value, "avx2") == 0) {
+    if (const batch_kernels* avx2 = avx2_kernels()) {
+      return *avx2;
+    }
+    std::fprintf(stderr, "USCA_BATCH_KERNEL=avx2 requested but this "
+                         "CPU/build has no AVX2 set; using generic\n");
+    return generic_set;
+  }
+  if (std::strcmp(value, "neon") == 0) {
+    if (const batch_kernels* neon = neon_kernels()) {
+      return *neon;
+    }
+    std::fprintf(stderr, "USCA_BATCH_KERNEL=neon requested but this "
+                         "build targets no AArch64; using generic\n");
+    return generic_set;
+  }
+  // A typo here used to silently auto-detect (any unknown string fell
+  // through), so a campaign could run on different kernels than its
+  // config claimed — fail loudly instead.
+  throw util::analysis_error(
+      std::string("unknown USCA_BATCH_KERNEL value '") + value +
+      "' (valid values: unset, \"\", generic, avx2, neon)");
+}
+
+const batch_kernels& active_kernels() {
+  static const batch_kernels* const active =
+      &kernels_for_env(std::getenv("USCA_BATCH_KERNEL"));
   return *active;
 }
 

@@ -11,10 +11,14 @@
 // is why the AVX2 variants use separate multiply/add instead of FMA: a
 // fused multiply-add rounds once, the scalar path rounds twice).
 //
-// Dispatch is resolved once at first use: the AVX2 set when the CPU
-// supports it, the portable auto-vectorized set otherwise; the
-// USCA_BATCH_KERNEL environment variable (generic|avx2) forces a set,
-// which the identity tests use to compare both on one machine.
+// Dispatch is resolved once at first use: the AVX2 set on x86-64 CPUs
+// that support it, the NEON set on AArch64, the portable auto-vectorized
+// set otherwise; the USCA_BATCH_KERNEL environment variable
+// (generic|avx2|neon) forces a set, which the identity tests use to
+// compare them on one machine.  A known-but-unavailable set (avx2 on a
+// non-AVX2 machine, neon on x86) warns and falls back to generic; an
+// unknown value throws util::analysis_error listing the valid values —
+// a typo must never silently change which kernels a campaign ran on.
 #ifndef USCA_STATS_BATCH_KERNELS_H
 #define USCA_STATS_BATCH_KERNELS_H
 
@@ -63,8 +67,18 @@ const batch_kernels& generic_kernels() noexcept;
 /// The AVX2 set, or nullptr when the build or the CPU lacks AVX2.
 const batch_kernels* avx2_kernels() noexcept;
 
-/// The runtime-dispatched active set (honours USCA_BATCH_KERNEL).
-const batch_kernels& active_kernels() noexcept;
+/// The NEON set, or nullptr on non-AArch64 builds.
+const batch_kernels* neon_kernels() noexcept;
+
+/// Resolves a USCA_BATCH_KERNEL value to a kernel set: nullptr / ""
+/// auto-detects, "generic"/"avx2"/"neon" force a set (unavailable forced
+/// sets warn on stderr and fall back to generic), anything else throws
+/// util::analysis_error listing the valid values.
+const batch_kernels& kernels_for_env(const char* value);
+
+/// The runtime-dispatched active set (honours USCA_BATCH_KERNEL; throws
+/// on the first call if the variable holds an unknown value).
+const batch_kernels& active_kernels();
 
 } // namespace usca::stats
 

@@ -1,0 +1,120 @@
+// Strict environment-knob parsing.  Every USCA_* toggle that selects an
+// implementation path (USCA_SIM_BATCH, USCA_OOO_REFERENCE,
+// USCA_BATCH_KERNEL) must reject unknown values loudly, listing what it
+// accepts: a typo that silently fell back to a default would change
+// which code produced a campaign's numbers without anyone noticing.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "sim/batch_sim.h"
+#include "sim/ooo/ooo_core.h"
+#include "stats/batch_kernels.h"
+#include "util/error.h"
+
+namespace usca {
+namespace {
+
+template <typename Error, typename Fn>
+std::string message_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const Error& e) {
+    return e.what();
+  }
+  ADD_FAILURE() << "expected exception";
+  return {};
+}
+
+// ----------------------------------------------------- USCA_SIM_BATCH
+
+TEST(SimBatchEnv, AcceptsValidValues) {
+  EXPECT_EQ(sim::parse_sim_batch_env(nullptr),
+            sim::default_sim_batch_lanes);
+  EXPECT_EQ(sim::parse_sim_batch_env(""), sim::default_sim_batch_lanes);
+  EXPECT_EQ(sim::parse_sim_batch_env("0"), 0u);
+  EXPECT_EQ(sim::parse_sim_batch_env("1"), 1u);
+  EXPECT_EQ(sim::parse_sim_batch_env("16"), 16u);
+  EXPECT_EQ(sim::parse_sim_batch_env("64"), 64u);
+}
+
+TEST(SimBatchEnv, RejectsGarbageListingValidValues) {
+  for (const char* bad : {"65", "1000", "-1", "batch", "1x", " 1", "0x10"}) {
+    const std::string what = message_of<util::simulation_error>(
+        [bad] { sim::parse_sim_batch_env(bad); });
+    EXPECT_NE(what.find("USCA_SIM_BATCH"), std::string::npos) << bad;
+    EXPECT_NE(what.find("valid values"), std::string::npos) << bad;
+    EXPECT_NE(what.find(bad), std::string::npos) << bad;
+  }
+}
+
+TEST(SimBatchEnv, ResolutionPrefersEnvOverConfig) {
+  unsetenv("USCA_SIM_BATCH");
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(-1), sim::default_sim_batch_lanes);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(0), 0u);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(5), 5u);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(1000), sim::max_batch_lanes);
+
+  setenv("USCA_SIM_BATCH", "7", 1);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(-1), 7u);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(0), 7u);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(32), 7u);
+  setenv("USCA_SIM_BATCH", "0", 1);
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(32), 0u);
+  unsetenv("USCA_SIM_BATCH");
+  EXPECT_EQ(sim::resolve_sim_batch_lanes(32), 32u);
+}
+
+// ------------------------------------------------- USCA_OOO_REFERENCE
+
+TEST(OooReferenceEnv, AcceptsValidValues) {
+  EXPECT_FALSE(sim::parse_ooo_reference_env(nullptr));
+  EXPECT_FALSE(sim::parse_ooo_reference_env(""));
+  EXPECT_FALSE(sim::parse_ooo_reference_env("0"));
+  EXPECT_TRUE(sim::parse_ooo_reference_env("1"));
+}
+
+TEST(OooReferenceEnv, RejectsGarbageListingValidValues) {
+  for (const char* bad : {"2", "yes", "true", "01", "reference"}) {
+    const std::string what = message_of<util::simulation_error>(
+        [bad] { sim::parse_ooo_reference_env(bad); });
+    EXPECT_NE(what.find("USCA_OOO_REFERENCE"), std::string::npos) << bad;
+    EXPECT_NE(what.find("valid values"), std::string::npos) << bad;
+    EXPECT_NE(what.find(bad), std::string::npos) << bad;
+  }
+}
+
+// -------------------------------------------------- USCA_BATCH_KERNEL
+
+TEST(BatchKernelEnv, AcceptsValidValues) {
+  // Auto-detection picks whatever this machine has; forcing a set that
+  // exists returns exactly that set.
+  const stats::batch_kernels& autod = stats::kernels_for_env(nullptr);
+  EXPECT_EQ(&stats::kernels_for_env(""), &autod);
+  EXPECT_STREQ(stats::kernels_for_env("generic").name, "generic");
+  if (stats::avx2_kernels() != nullptr) {
+    EXPECT_STREQ(stats::kernels_for_env("avx2").name, "avx2");
+  } else {
+    // Known-but-unavailable warns and falls back, never throws.
+    EXPECT_STREQ(stats::kernels_for_env("avx2").name, "generic");
+  }
+  if (stats::neon_kernels() != nullptr) {
+    EXPECT_STREQ(stats::kernels_for_env("neon").name, "neon");
+  } else {
+    EXPECT_STREQ(stats::kernels_for_env("neon").name, "generic");
+  }
+}
+
+TEST(BatchKernelEnv, RejectsGarbageListingValidValues) {
+  for (const char* bad : {"sse", "AVX2", "fast", "generic "}) {
+    const std::string what = message_of<util::analysis_error>(
+        [bad] { stats::kernels_for_env(bad); });
+    EXPECT_NE(what.find("USCA_BATCH_KERNEL"), std::string::npos) << bad;
+    EXPECT_NE(what.find("valid values"), std::string::npos) << bad;
+    EXPECT_NE(what.find(bad), std::string::npos) << bad;
+  }
+}
+
+} // namespace
+} // namespace usca
