@@ -9,7 +9,8 @@
 //    hot path measured end to end — the acquisition loop every 100k-trace
 //    experiment of the paper runs on — reported as machine-readable JSON
 //    (traces/sec and simulated cycles/sec for BOTH backends — in-order and
-//    OoO — plus accumulator ns/sample, trace-store write/replay MB/s,
+//    OoO, including the speculating OoO front end — plus accumulator
+//    ns/sample, trace-store write/replay MB/s,
 //    and the fabric merge / salvage scan MB/s of the robustness layer)
 //    so speedups can be pinned in-repo (BENCH_hotpath.json) and tracked
 //    by CI.
@@ -204,6 +205,15 @@ struct hot_path_report {
   // noise.
   double ooo_reference_seconds = 0.0;
   double ooo_reference_traces_per_sec = 0.0;
+  // Same OoO campaign with the speculation front end enabled (bimodal
+  // predictor + BTB + RSB, sim/ooo/speculation.h).  Speculating configs
+  // have no batched counterpart — the campaign transparently falls back
+  // to per-trace lanes — so this number prices the whole subsystem:
+  // predictor/BTB lookups, checkpointing, and (on victims with
+  // conditional branches) wrong-path rename and recovery.  The ratio
+  // against ooo_traces_per_sec is same-run, same-hardware.
+  double ooo_spec_seconds = 0.0;
+  double ooo_spec_traces_per_sec = 0.0;
   double cpa_accumulate_ns_per_sample = 0.0;
   double tvla_accumulate_ns_per_sample = 0.0;
   // Batched accumulator throughput (stats/batch_kernels.h dispatch).
@@ -358,6 +368,20 @@ hot_path_report measure_hot_path(const bench::arg_map& args) {
   report.ooo_reference_seconds = seconds_since(ooo_ref_start);
   report.ooo_reference_traces_per_sec =
       static_cast<double>(report.traces) / report.ooo_reference_seconds;
+
+  // Speculative OoO: fast scheduler again, bimodal front end on.  The
+  // campaign detects the speculating config and runs per-trace (the
+  // batch core rejects speculation), so this measures the full
+  // subsystem cost on the production acquisition path.
+  config.uarch = sim::cortex_a7_ooo_spec(
+      sim::speculation_config{.predictor = sim::predictor_kind::bimodal});
+  core::trace_campaign ooo_spec_campaign(config, key);
+  (void)ooo_spec_campaign.produce(0);
+  const auto ooo_spec_start = std::chrono::steady_clock::now();
+  ooo_spec_campaign.run([](core::trace_record&&) {});
+  report.ooo_spec_seconds = seconds_since(ooo_spec_start);
+  report.ooo_spec_traces_per_sec =
+      static_cast<double>(report.traces) / report.ooo_spec_seconds;
 
   // Accumulator throughput, measured on traces of the campaign's length.
   const std::size_t samples = report.samples_per_trace;
@@ -544,6 +568,8 @@ void write_json(std::FILE* out, const hot_path_report& r) {
   w.member_fixed("ooo_reference_seconds", r.ooo_reference_seconds, 6);
   w.member_fixed("ooo_reference_traces_per_sec",
                  r.ooo_reference_traces_per_sec, 1);
+  w.member_fixed("ooo_spec_seconds", r.ooo_spec_seconds, 6);
+  w.member_fixed("ooo_spec_traces_per_sec", r.ooo_spec_traces_per_sec, 1);
   w.member_fixed("cpa_accumulate_ns_per_sample",
                  r.cpa_accumulate_ns_per_sample, 3);
   w.member_fixed("tvla_accumulate_ns_per_sample",

@@ -18,9 +18,12 @@
 // smallest possible simulate-once/analyse-many walkthrough.
 //
 // --window restricts the attack to a sample slice of each trace, and
-// --per-round fans ONE pass over the data into per-AES-phase CPA passes
-// (initial AddRoundKey, round-1 SubBytes/ShiftRows/MixColumns) — the
+// --per-round widens acquisition to the whole encryption and fans ONE
+// pass over the data into per-AES-round CPA passes (initial AddRoundKey,
+// the round-1 sub-phases, then every later round through round 10) — the
 // multi-window workflow: N windowed analyses, one read of the stream.
+// The round-1 SubBytes window recovers the key; the same hypothesis
+// decays through the later rounds, localizing the leakage in time.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -65,12 +68,17 @@ double subbytes_model(std::size_t guess, std::size_t pt_byte) {
 }
 
 core::acquisition_config
-demo_config(sim::backend_kind backend, std::size_t traces) {
+demo_config(sim::backend_kind backend, std::size_t traces, bool per_round) {
   core::acquisition_config config;
   config.traces = traces;
   config.seed = 42;
   config.averaging = 8;
-  config.window = core::campaign_window{crypto::mark_encrypt_begin,
+  // The per-round sweep needs samples from all ten rounds; the default
+  // attack only ever looks at the paper's Figure 3 (round 1) window.
+  config.window =
+      per_round ? core::campaign_window{crypto::mark_encrypt_begin,
+                                        crypto::mark_encrypt_end}
+                : core::campaign_window{crypto::mark_encrypt_begin,
                                         crypto::mark_round1_end};
   config.backend = backend;
   config.uarch = backend == sim::backend_kind::ooo ? sim::cortex_a7_ooo()
@@ -105,9 +113,11 @@ struct phase_window {
   core::window_spec window;
 };
 
-/// Derives the per-AES-phase sample windows from the trigger marks of
-/// one simulated trace (the phase boundaries are data-independent —
-/// constant-time AES — so trace 0 stands for all).
+/// Derives the per-round sample windows from the trigger marks of one
+/// simulated trace (the phase boundaries are data-independent —
+/// constant-time AES — so trace 0 stands for all): the initial
+/// AddRoundKey, the round-1 sub-phases of the paper's Figure 3, then
+/// every later round up to round 10.
 std::vector<phase_window>
 aes_phase_windows(const core::acquisition_record& rec) {
   const auto cycle_of = [&rec](std::uint16_t id) -> std::size_t {
@@ -118,17 +128,32 @@ aes_phase_windows(const core::acquisition_record& rec) {
     }
     throw util::analysis_error("AES phase mark missing from the trace");
   };
+  using crypto::aes_round_phase;
   const std::size_t ark0 = cycle_of(crypto::mark_ark0_end);
   const std::size_t sb1 = cycle_of(crypto::mark_sb1_end);
   const std::size_t shr1 = cycle_of(crypto::mark_shr1_end);
-  const auto end =
-      static_cast<std::size_t>(rec.window_end - rec.window_begin);
-  return {
+  const std::size_t mc1 = cycle_of(crypto::mark_round1_end);
+  std::vector<phase_window> out = {
       {"AddRoundKey 0", core::window_spec::range(0, ark0)},
       {"SubBytes 1", core::window_spec::range(ark0, sb1)},
       {"ShiftRows 1", core::window_spec::range(sb1, shr1)},
-      {"MixColumns 1", core::window_spec::range(shr1, end)},
+      {"MixColumns 1", core::window_spec::range(shr1, mc1)},
   };
+  const auto end =
+      static_cast<std::size_t>(rec.window_end - rec.window_begin);
+  std::size_t prev = mc1;
+  for (int round = 1; round <= 10; ++round) {
+    const std::uint16_t ark_mark =
+        crypto::aes_round_phase_mark(round, aes_round_phase::add_round_key);
+    const std::size_t round_end =
+        round == 10 ? end : cycle_of(ark_mark);
+    char name[24];
+    std::snprintf(name, sizeof name,
+                  round == 1 ? "AddRoundKey %d" : "round %d", round);
+    out.push_back({name, core::window_spec::range(prev, round_end)});
+    prev = round_end;
+  }
+  return out;
 }
 
 int report_and_check(const stats::cpa_result& result) {
@@ -156,7 +181,7 @@ int report_and_check(const stats::cpa_result& result) {
 
 void report_phases(const std::vector<phase_window>& phases,
                    const std::vector<core::cpa_sink*>& sinks) {
-  std::printf("\nper-AES-phase CPA (one pass over the data, %zu windowed "
+  std::printf("\nper-AES-round CPA (one pass over the data, %zu windowed "
               "passes):\n",
               phases.size());
   std::printf("  %-14s %-12s %-10s %-8s %-6s %s\n", "phase", "window",
@@ -293,7 +318,7 @@ int main(int argc, char** argv) {
       // recovers them (per-index seeding makes it THE trace behind
       // record 0 when the archive came from --dump-traces).
       core::acquisition_campaign probe = make_campaign(
-          layout, rk, demo_config(backend, 1));
+          layout, rk, demo_config(backend, 1, per_round));
       const core::acquisition_record rec =
           probe.produce(reader.first_index());
       if (rec.window_end - rec.window_begin != reader.samples()) {
@@ -333,7 +358,7 @@ int main(int argc, char** argv) {
               std::string(sim::backend_kind_name(backend)).c_str());
 
   core::acquisition_campaign campaign =
-      make_campaign(layout, rk, demo_config(backend, traces));
+      make_campaign(layout, rk, demo_config(backend, traces, per_round));
   if (per_round) {
     build_phase_sinks(campaign.produce(0));
   }

@@ -95,8 +95,11 @@ void acquisition_campaign::produce_into(sim::backend& core,
 std::size_t acquisition_campaign::batch_lanes() const {
   if (config_.backend == sim::backend_kind::ooo &&
       (config_.uarch.ooo.scheduler != sim::ooo_scheduler::fast ||
-       sim::ooo_reference_forced())) {
-    return 0; // the reference scheduler has no batched counterpart
+       sim::ooo_reference_forced() ||
+       sim::speculation_active(config_.uarch))) {
+    // Neither the reference scheduler nor a speculating core (per-lane
+    // wrong paths) has a batched counterpart.
+    return 0;
   }
   std::size_t lanes = sim::resolve_sim_batch_lanes(config_.sim_batch_lanes);
   if (lanes > config_.traces) {

@@ -131,9 +131,11 @@ void trace_campaign::produce_into(sim::backend& core,
 std::size_t trace_campaign::batch_lanes() const {
   if (config_.backend == sim::backend_kind::ooo &&
       (config_.uarch.ooo.scheduler != sim::ooo_scheduler::fast ||
-       sim::ooo_reference_forced())) {
+       sim::ooo_reference_forced() ||
+       sim::speculation_active(config_.uarch))) {
     // The reference scheduler exists as the differential oracle and has
-    // no batched counterpart; run it on the per-trace path.
+    // no batched counterpart; a speculating core's per-lane wrong paths
+    // have none either.  Run both on the per-trace path.
     return 0;
   }
   std::size_t lanes = sim::resolve_sim_batch_lanes(config_.sim_batch_lanes);

@@ -59,6 +59,12 @@ table2_column column_of(sim::component comp) noexcept {
   case component::cdb:
   case component::rob_retire_port:
     return table2_column::ex_wb_buffer;
+  // Speculation front end: the predictor table is tag-like (register-file
+  // class); the BTB/RSB ports carry addresses (align-buffer class).
+  case component::bp_table:
+    return table2_column::register_file;
+  case component::btb_port:
+    return table2_column::align_buffer;
   }
   return table2_column::register_file;
 }

@@ -21,7 +21,8 @@ constexpr reg r_xt = reg::r12;
 
 class aes_emitter {
 public:
-  aes_emitter() = default;
+  explicit aes_emitter(bool branchy_xtime = false)
+      : branchy_xtime_(branchy_xtime) {}
 
   aes_program_layout generate() {
     aes_program_layout layout;
@@ -33,7 +34,7 @@ public:
 
     // Leading jump over the xtime subroutine (emitted at a fixed index so
     // every call site knows its offset at emission time).
-    builder_.emit(mk::b(6)); // skip the 6-instruction xtime body
+    builder_.emit(mk::b(branchy_xtime_ ? 7 : 6)); // skip the xtime body
     xtime_index_ = builder_.size();
     emit_xtime();
 
@@ -45,26 +46,33 @@ public:
     builder_.load_constant(reg::sp, layout.stack_addr);
     builder_.pad_nops(8);
 
+    // Every round/phase boundary is stamped; round 1 resolves to the
+    // legacy Figure 3 ids at the exact positions the golden activity
+    // digests pin (the first new id, round-1 AddRoundKey, lands after
+    // mark_round1_end and therefore outside the pinned window).
     builder_.emit(mk::mark(mark_encrypt_begin));
     emit_add_round_key(0);
     builder_.emit(mk::mark(mark_ark0_end));
     for (int round = 1; round <= 9; ++round) {
       emit_sub_bytes();
-      if (round == 1) {
-        builder_.emit(mk::mark(mark_sb1_end));
-      }
+      builder_.emit(
+          mk::mark(aes_round_phase_mark(round, aes_round_phase::sub_bytes)));
       emit_shift_rows();
-      if (round == 1) {
-        builder_.emit(mk::mark(mark_shr1_end));
-      }
+      builder_.emit(
+          mk::mark(aes_round_phase_mark(round, aes_round_phase::shift_rows)));
       emit_mix_columns();
-      if (round == 1) {
-        builder_.emit(mk::mark(mark_round1_end));
-      }
+      builder_.emit(mk::mark(
+          aes_round_phase_mark(round, aes_round_phase::mix_columns)));
       emit_add_round_key(round);
+      builder_.emit(mk::mark(
+          aes_round_phase_mark(round, aes_round_phase::add_round_key)));
     }
     emit_sub_bytes();
+    builder_.emit(
+        mk::mark(aes_round_phase_mark(10, aes_round_phase::sub_bytes)));
     emit_shift_rows();
+    builder_.emit(
+        mk::mark(aes_round_phase_mark(10, aes_round_phase::shift_rows)));
     emit_add_round_key(10);
     builder_.emit(mk::mark(mark_encrypt_end));
     builder_.pad_nops(8);
@@ -79,9 +87,17 @@ private:
     builder_.emit(mk::lsl(reg::r3, r_xt, 1));
     builder_.emit(mk::and_imm(reg::r3, reg::r3, 0xff));
     builder_.emit(mk::dp_imm(opcode::tst, reg::r0, r_xt, 0x80));
-    instruction eorne = mk::dp_imm(opcode::eor, reg::r3, reg::r3, 0x1b);
-    eorne.cond = isa::condition::ne;
-    builder_.emit(eorne);
+    if (branchy_xtime_) {
+      // The non-constant-time shape: a real branch skips the reduction
+      // when bit 7 is clear, so its direction is a round-state (key-
+      // dependent) bit and every execution trains/queries the predictor.
+      builder_.emit(mk::b(1, isa::condition::eq));
+      builder_.emit(mk::dp_imm(opcode::eor, reg::r3, reg::r3, 0x1b));
+    } else {
+      instruction eorne = mk::dp_imm(opcode::eor, reg::r3, reg::r3, 0x1b);
+      eorne.cond = isa::condition::ne;
+      builder_.emit(eorne);
+    }
     builder_.emit(mk::mov(r_xt, reg::r3));
     builder_.emit(mk::bx(reg::lr));
   }
@@ -181,12 +197,18 @@ private:
 
   asmx::program_builder builder_;
   std::size_t xtime_index_ = 0;
+  bool branchy_xtime_ = false;
 };
 
 } // namespace
 
 aes_program_layout generate_aes128_program() {
   aes_emitter emitter;
+  return emitter.generate();
+}
+
+aes_program_layout generate_aes128_branchy_program() {
+  aes_emitter emitter(/*branchy_xtime=*/true);
   return emitter.generate();
 }
 

@@ -40,7 +40,48 @@ enum aes_marks : std::uint16_t {
   mark_ark0_end = 10, ///< initial AddRoundKey done
   mark_sb1_end = 11,  ///< round-1 SubBytes done
   mark_shr1_end = 12, ///< round-1 ShiftRows done
+  // Base id of the uniform per-round phase marks (see
+  // aes_round_phase_mark); kept clear of the legacy ids above.
+  mark_round_base = 100,
 };
+
+/// The four phases of an AES round, in emission order.  Round 10 has no
+/// MixColumns; round 0 is the initial AddRoundKey alone.
+enum class aes_round_phase : std::uint16_t {
+  sub_bytes = 0,
+  shift_rows = 1,
+  mix_columns = 2,
+  add_round_key = 3,
+};
+
+/// Mark id stamped after `phase` of `round` (0..10).  Round-1 phases and
+/// the boundary rounds map onto the legacy ids (the Figure 3 window
+/// [mark_encrypt_begin, mark_round1_end) is pinned by golden digests, so
+/// no new instructions may appear inside it); every other round/phase
+/// pair gets a fresh id above mark_round_base.
+constexpr std::uint16_t aes_round_phase_mark(int round,
+                                             aes_round_phase phase) {
+  if (round == 0) {
+    return mark_ark0_end;
+  }
+  if (round == 1) {
+    switch (phase) {
+    case aes_round_phase::sub_bytes:
+      return mark_sb1_end;
+    case aes_round_phase::shift_rows:
+      return mark_shr1_end;
+    case aes_round_phase::mix_columns:
+      return mark_round1_end;
+    case aes_round_phase::add_round_key:
+      break;
+    }
+  }
+  if (round == 10 && phase == aes_round_phase::add_round_key) {
+    return mark_encrypt_end;
+  }
+  return static_cast<std::uint16_t>(mark_round_base + 4 * (round - 1) +
+                                    static_cast<std::uint16_t>(phase));
+}
 
 struct aes_program_layout {
   asmx::program prog;
@@ -53,6 +94,15 @@ struct aes_program_layout {
 
 /// Emits the full (unrolled) AES-128 encryption program.
 aes_program_layout generate_aes128_program();
+
+/// Non-constant-time variant: xtime's conditional reduction is a real
+/// branch over the eor instead of predication, so its direction — taken
+/// iff bit 7 of the round-state byte is clear — is key-dependent.  The
+/// speculation ablation uses it to measure how predictor design points
+/// turn secret-dependent mispredicts (and their wrong-path µop activity)
+/// into leakage; the paper's constant-time generator above never
+/// mispredicts under any predictor and stays the golden-digest anchor.
+aes_program_layout generate_aes128_branchy_program();
 
 /// Installs the expanded key schedule and the plaintext into memory.
 void install_aes_inputs(mem::memory& memory, const aes_program_layout& layout,

@@ -31,6 +31,12 @@ leakage_weights leakage_weights::cortex_a7_like() noexcept {
   w[component::rs_tag_bus] = 0.4;
   w[component::cdb] = 1.2;
   w[component::rob_retire_port] = 1.0;
+  // Speculation front end: the direction-predictor table toggles few,
+  // mostly data-independent bits (tag-like, cf. rat_port); the BTB/RSB
+  // ports carry target and return addresses — address-class leakage like
+  // the align buffer.
+  w[component::bp_table] = 0.3;
+  w[component::btb_port] = 0.8;
   return w;
 }
 

@@ -72,4 +72,11 @@ micro_arch_config cortex_a7_ooo(ooo_config ooo) noexcept {
   return config;
 }
 
+micro_arch_config cortex_a7_ooo_spec(speculation_config spec,
+                                     ooo_config ooo) noexcept {
+  micro_arch_config config = cortex_a7_ooo(ooo);
+  config.speculation = spec;
+  return config;
+}
+
 } // namespace usca::sim

@@ -23,6 +23,7 @@
 
 #include "isa/instruction.h"
 #include "mem/cache.h"
+#include "sim/ooo/speculation.h"
 
 namespace usca::sim {
 
@@ -134,6 +135,13 @@ struct micro_arch_config {
 
   // --- out-of-order backend (sim::ooo_core only) -----------------------
   ooo_config ooo;
+  /// Front-end speculation of the OoO backend (sim/ooo/speculation.h).
+  /// The default `perfect` predictor keeps the core bit-identical to the
+  /// pre-speculation model; any other predictor sends mispredicted
+  /// fetches down the wrong path until a recovery flush.  Speculative
+  /// configs run per-trace only (the batched core rejects them and the
+  /// campaign layer falls back transparently).
+  speculation_config speculation;
 };
 
 /// The paper's characterized target.
@@ -151,6 +159,12 @@ micro_arch_config cortex_a7_scalar() noexcept;
 /// is the cross-design-point comparison the paper's portability argument
 /// calls for.
 micro_arch_config cortex_a7_ooo(ooo_config ooo = {}) noexcept;
+
+/// cortex_a7_ooo() with a speculating front end: the same issue engine
+/// behind the given predictor design point.  The scenario suite and the
+/// predictor ablation bench sweep this.
+micro_arch_config cortex_a7_ooo_spec(speculation_config spec,
+                                     ooo_config ooo = {}) noexcept;
 
 } // namespace usca::sim
 

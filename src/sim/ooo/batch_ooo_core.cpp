@@ -110,6 +110,14 @@ void batch_ooo_core::validate_config() const {
         "batch ooo backend supports only the fast scheduler (use "
         "USCA_SIM_BATCH=0 / per-trace cores for reference-scheduler runs)");
   }
+  // Speculative lanes diverge down per-lane wrong paths, which the shared
+  // front end of the SoA design cannot represent; the campaign layer
+  // detects this and falls back to per-trace cores transparently.
+  if (speculation_active(config_)) {
+    throw util::simulation_error(
+        "batch ooo backend does not model speculation (predictor != "
+        "perfect); use per-trace cores — campaigns fall back automatically");
+  }
 }
 
 void batch_ooo_core::reset_structures() {

@@ -49,7 +49,12 @@ ooo_core::ooo_core(program_image image, micro_arch_config config)
       config_(config),
       icache_(config.icache),
       dcache_(config.dcache) {
+  spec_ = effective_speculation(config_);
+  spec_enabled_ = spec_.predictor != predictor_kind::perfect;
   validate_config();
+  if (spec_enabled_) {
+    predictor_.configure(spec_);
+  }
   memory_.load(prog_->data_base, prog_->data);
   activity_.reserve(4096);
 
@@ -113,6 +118,15 @@ void ooo_core::validate_config() const {
   if (config_.issue_width < 1) {
     throw util::simulation_error("ooo backend requires issue_width >= 1");
   }
+  if (spec_enabled_) {
+    validate_speculation_config(spec_);
+    if (!config_.perfect_branch_prediction) {
+      throw util::simulation_error(
+          "speculation_config: a real predictor replaces the legacy "
+          "branch_mispredict_penalty model; leave "
+          "perfect_branch_prediction enabled");
+    }
+  }
 }
 
 void ooo_core::reset_structures() {
@@ -173,10 +187,28 @@ void ooo_core::reset_structures() {
   mdr_state_ = 0;
   align_buffer_state_ = 0;
 
+  wrong_path_ = false;
+  spec_fetch_done_ = false;
+  spec_pc_ = 0;
+  spec_branch_slot_ = no_slot;
+  spec_branch_seq_ = 0;
+  spec_resolve_at_ = 0;
+  ckpt_flags_slot_ = no_slot;
+  ckpt_flags_seq_ = 0;
+  spec_regs_.fill(0);
+  spec_flags_ = isa::flags{};
+  bp_table_state_.fill(0);
+  btb_port_state_.fill(0);
+  if (spec_enabled_) {
+    predictor_.reset();
+  }
+
   cycle_ = 0;
   renamed_ = 0;
   retired_ = 0;
   multi_rename_cycles_ = 0;
+  mispredicts_ = 0;
+  wrong_path_renamed_ = 0;
   record_activity_ = record_default_;
   marks_.clear();
   activity_.clear();
@@ -207,6 +239,8 @@ void ooo_core::warm_caches() {
 void ooo_core::run(std::uint64_t max_cycles) {
   const std::uint64_t start_cycle = cycle_;
   const std::uint64_t start_skipped = idle_skipped_;
+  const std::uint64_t start_mispredicts = mispredicts_;
+  const std::uint64_t start_wrong_path = wrong_path_renamed_;
   const std::uint64_t limit = cycle_ + max_cycles;
   while (!state_.halted) {
     if (cycle_ >= limit) {
@@ -221,6 +255,14 @@ void ooo_core::run(std::uint64_t max_cycles) {
                                       "sim"};
   cycles.add(cycle_ - start_cycle);
   skipped.add(idle_skipped_ - start_skipped);
+  if (spec_enabled_) {
+    static const telem::counter mispredicted{"sim.ooo.mispredicts",
+                                             "branches", "sim"};
+    static const telem::counter wrong_uops{"sim.ooo.wrong_path_uops",
+                                           "uops", "sim"};
+    mispredicted.add(mispredicts_ - start_mispredicts);
+    wrong_uops.add(wrong_path_renamed_ - start_wrong_path);
+  }
 }
 
 // ---------------------------------------------------------------------------
@@ -869,14 +911,19 @@ ooo_core::rename_result ooo_core::rename_one(int slot) {
     state_.pc = next_pc;
   } else if (isa::is_branch(ins)) {
     // Branches resolve at rename (the perfect-prediction analogue of the
-    // in-order model); bl's link value is known immediately.
+    // in-order model); bl's link value is known immediately.  Under a
+    // real predictor the resolved outcome is compared against the
+    // prediction below: a mispredict leaves this entry incomplete and
+    // sends the front end down the predicted (wrong) path until
+    // resolve_mispredict() flushes it.
     if (ins.op == opcode::bx) {
       const std::uint32_t target = read(ins.op2.rm);
       if (exec) {
         const auto target_index = prog_->index_of_address(target);
         if (!target_index) {
           // Return past the outermost frame: the front end stops and the
-          // machine drains to a halt.
+          // machine drains to a halt (no speculation on the drain —
+          // wrong-path fetch past the program's end is not modelled).
           frontend_done_ = true;
           entry.completed = true;
           entry.is_halt = true;
@@ -899,13 +946,20 @@ ooo_core::rename_result ooo_core::rename_one(int slot) {
       }
       next_pc = target;
     }
+    bool mispredicted = false;
+    if (spec_enabled_) [[unlikely]] {
+      predict_branch(ins, index, exec, next_pc, rob_slot, entry.seq);
+      mispredicted = wrong_path_ && spec_branch_seq_ == entry.seq;
+    }
     redirected = next_pc != state_.pc + 1;
     if (redirected && !config_.perfect_branch_prediction) {
       fetch_ready_ =
           cycle_ + 1 +
           static_cast<std::uint64_t>(config_.branch_mispredict_penalty);
     }
-    entry.completed = true;
+    // A mispredicted branch stays incomplete until the recovery flush:
+    // retirement stalls at it, so no wrong-path µop can ever commit.
+    entry.completed = !mispredicted;
     state_.pc = next_pc;
   } else if (isa::is_memory(ins)) {
     add_src(ins.mem.base);
@@ -1106,18 +1160,523 @@ ooo_core::rename_result ooo_core::rename_one(int slot) {
   return rename_result::accepted;
 }
 
+// ---------------------------------------------------------------------------
+// Speculation: prediction, wrong-path rename, recovery flush
+// ---------------------------------------------------------------------------
+
+void ooo_core::emit_bp_table(std::uint8_t lane, std::uint32_t value) {
+  emit(component::bp_table, lane, bp_table_state_[lane], value, cycle_);
+  bp_table_state_[lane] = value;
+}
+
+void ooo_core::emit_btb_port(std::uint8_t lane, std::uint32_t value) {
+  emit(component::btb_port, lane, btb_port_state_[lane], value, cycle_);
+  btb_port_state_[lane] = value;
+}
+
+void ooo_core::predict_branch(const instruction& ins, std::size_t pc_index,
+                              bool exec, std::size_t actual_next,
+                              std::uint32_t rob_slot, std::uint32_t seq) {
+  const auto pc32 = static_cast<std::uint32_t>(pc_index);
+  const bool conditional = ins.cond != isa::condition::al;
+  const bool is_return =
+      ins.op == opcode::bx && ins.op2.rm == reg::lr;
+
+  // Direction: unconditional branches are always "taken" to the decoder;
+  // conditional ones consult the direction predictor.  For conditional
+  // indirect branches the displacement hint is the fall-through index, so
+  // static BTFN predicts not-taken — a front end cannot see an indirect
+  // target's direction.
+  bool taken_pred = true;
+  if (conditional) {
+    std::uint32_t target_hint = pc32 + 1;
+    if (ins.op != opcode::bx) {
+      target_hint = static_cast<std::uint32_t>(
+          static_cast<std::int64_t>(pc_index) + 1 + ins.branch_offset);
+    }
+    const auto dir = predictor_.predict_conditional(pc32, target_hint);
+    emit_bp_table(0, dir.table_bus);
+    taken_pred = dir.taken;
+  }
+
+  // Target: returns pop the RSB, other indirects consult the BTB, direct
+  // branches decode their displacement.
+  std::size_t predicted = pc_index + 1;
+  if (taken_pred) {
+    if (is_return) {
+      const auto p = predictor_.pop_return();
+      emit_btb_port(1, p.target_bus);
+      predicted = p.target;
+    } else if (ins.op == opcode::bx) {
+      const auto p = predictor_.predict_indirect(pc32);
+      emit_btb_port(0, p.target_bus);
+      predicted = p.has_target ? p.target : pc_index + 1;
+    } else {
+      predicted = static_cast<std::size_t>(
+          static_cast<std::int64_t>(pc_index) + 1 + ins.branch_offset);
+    }
+  } else if (is_return && exec) {
+    // Direction-mispredicted return: the RSB still balances its bl at
+    // resolve (a silent repair pop; no prediction came off it).
+    predictor_.pop_return();
+  }
+
+  // Learn the resolved outcome (correct-path branches only).
+  if (conditional) {
+    emit_bp_table(1, predictor_.update_conditional(pc32, exec));
+  }
+  if (ins.op == opcode::bl && exec) {
+    emit_btb_port(
+        1, predictor_.push_return(static_cast<std::uint32_t>(pc_index + 1)));
+  }
+  if (ins.op == opcode::bx && !is_return && exec) {
+    emit_btb_port(0, predictor_.update_indirect(
+                         pc32, static_cast<std::uint32_t>(actual_next)));
+  }
+
+  if (predicted == actual_next) {
+    return;
+  }
+
+  // Mispredict: fetch follows the predicted (wrong) path until the branch
+  // resolves resolve_latency cycles from now.  The wrong path executes
+  // against a shadow copy of the architectural registers/flags seeded
+  // here — wrong-path dataflow is exact (loads read real memory, which
+  // already holds every older store) without touching state_.
+  ++mispredicts_;
+  wrong_path_ = true;
+  spec_pc_ = predicted;
+  spec_fetch_done_ = predicted >= prog_->code.size();
+  spec_branch_slot_ = rob_slot;
+  spec_branch_seq_ = seq;
+  spec_resolve_at_ =
+      cycle_ + static_cast<std::uint64_t>(spec_.resolve_latency);
+  ckpt_flags_slot_ = flags_producer_slot_;
+  ckpt_flags_seq_ =
+      flags_producer_slot_ != no_slot ? rob_[flags_producer_slot_].seq : 0;
+  spec_regs_ = state_.regs;
+  spec_flags_ = state_.f;
+}
+
+ooo_core::rename_result ooo_core::rename_one_wrong_path(int slot) {
+  // Mirrors rename_one structurally — same stalls, same ROB/RAT/RS
+  // allocation, same activity emission — but reads and writes the shadow
+  // register view and NEVER touches state_, memory_ or predictor tables.
+  // The duplication is deliberate: the correct-path rename is the hot
+  // loop of every campaign and stays free of per-instruction mode tests.
+  const std::size_t index = spec_pc_;
+  const instruction& ins = prog_->code[index];
+  if (ins.op == opcode::mark || ins.op == opcode::halt) {
+    // Serializing µops wait for an empty machine, which an unresolved
+    // branch makes impossible: wrong-path fetch parks until the flush.
+    spec_fetch_done_ = true;
+    return rename_result::stall;
+  }
+  if (rob_count_ >= rob_.size() || rs_used_ >= rs_.size() ||
+      free_pregs_.empty()) {
+    return rename_result::stall;
+  }
+
+  // Wrong-path fetch probes the I-cache like any other: speculative
+  // fetch pollutes (and can be stalled by) the same front-end state.
+  const int penalty = icache_.access(prog_->address_of(index));
+  if (penalty > 0) {
+    fetch_ready_ = cycle_ + static_cast<std::uint64_t>(penalty);
+    return rename_result::stall;
+  }
+
+  const auto rob_slot =
+      static_cast<std::uint32_t>((rob_head_ + rob_count_) % rob_.size());
+  rob_entry entry;
+  entry.seq = next_seq_;
+
+  const bool exec = isa::condition_passes(ins.cond, spec_flags_);
+  std::size_t next_pc = index + 1;
+
+  const auto read = [this](reg r) { return spec_regs_[isa::index_of(r)]; };
+  const auto write = [this](reg r, std::uint32_t value) {
+    spec_regs_[isa::index_of(r)] = value;
+  };
+  const auto rename_dest = [&](reg rd, std::uint32_t value) {
+    entry.dest_arch = isa::index_of(rd);
+    entry.old_preg = rat_[entry.dest_arch];
+    entry.dest_preg = alloc_preg();
+    rat_[entry.dest_arch] = entry.dest_preg;
+    entry.value = value;
+    entry.has_value = true;
+    const auto lane = static_cast<std::uint8_t>(
+        slot % static_cast<int>(rat_port_state_.size()));
+    emit(component::rat_port, lane, rat_port_state_[lane], entry.dest_preg,
+         cycle_);
+    rat_port_state_[lane] = entry.dest_preg;
+  };
+
+  rs_entry rs;
+  rs.seq = entry.seq;
+  bool to_rs = false;
+  const auto add_src = [&](reg r) {
+    const std::uint8_t preg = rat_[isa::index_of(r)];
+    rs.src_preg[rs.n_src] = preg_ready_[preg] ? no_reg : preg;
+    rs.src_value[rs.n_src] = read(r);
+    ++rs.n_src;
+  };
+  const auto wait_flags = [&] {
+    if (flags_producer_slot_ != no_slot &&
+        !rob_[flags_producer_slot_].completed) {
+      rs.flags_wait_slot = flags_producer_slot_;
+    }
+  };
+
+  if (isa::is_nop(ins)) {
+    entry.completed = true;
+  } else if (isa::is_branch(ins)) {
+    // Wrong-path branches steer wrong-path fetch by prediction alone:
+    // read-only predictor queries (tables learn nothing from a path that
+    // never resolves) and no nested checkpoints — the one in-flight
+    // mispredict flushes everything younger than itself anyway.
+    const auto pc32 = static_cast<std::uint32_t>(index);
+    bool taken_pred = true;
+    if (ins.cond != isa::condition::al) {
+      std::uint32_t target_hint = pc32 + 1;
+      if (ins.op != opcode::bx) {
+        target_hint = static_cast<std::uint32_t>(
+            static_cast<std::int64_t>(index) + 1 + ins.branch_offset);
+      }
+      const auto dir = predictor_.predict_conditional(pc32, target_hint);
+      emit_bp_table(0, dir.table_bus);
+      taken_pred = dir.taken;
+    }
+    if (taken_pred) {
+      if (ins.op == opcode::bx) {
+        if (ins.op2.rm == reg::lr) {
+          const auto p = predictor_.peek_return();
+          emit_btb_port(1, p.target_bus);
+          next_pc = p.target;
+        } else {
+          const auto p = predictor_.predict_indirect(pc32);
+          emit_btb_port(0, p.target_bus);
+          next_pc = p.has_target ? p.target : index + 1;
+        }
+      } else {
+        next_pc = static_cast<std::size_t>(
+            static_cast<std::int64_t>(index) + 1 + ins.branch_offset);
+        if (ins.op == opcode::bl) {
+          const std::uint32_t link =
+              prog_->address_of(index) + 4; // link of the next slot
+          rename_dest(reg::lr, link);
+          preg_ready_[entry.dest_preg] = 1;
+          write(reg::lr, link);
+        }
+      }
+    }
+    entry.completed = true;
+  } else if (isa::is_memory(ins)) {
+    add_src(ins.mem.base);
+    const std::uint32_t base = read(ins.mem.base);
+    std::uint32_t offset = ins.mem.offset_imm;
+    if (ins.mem.reg_offset) {
+      add_src(ins.mem.offset_reg);
+      offset = read(ins.mem.offset_reg) << ins.mem.offset_shift;
+    }
+    const std::uint32_t address =
+        ins.mem.subtract ? base - offset : base + offset;
+    rs.address = address;
+    rs.uses_lsu = true;
+    rs.is_subword = isa::is_subword(ins);
+    if (isa::reads_flags(ins)) {
+      wait_flags();
+    }
+    rs.squashed = !exec;
+    if (isa::is_load(ins)) {
+      if (ins.cond != isa::condition::al) {
+        add_src(ins.rd);
+      }
+      std::uint32_t value = read(ins.rd);
+      if (exec) {
+        // Speculative loads read real memory (every older store already
+        // executed architecturally at rename — perfect store-to-load
+        // forwarding), with forced alignment: a wrong-path address is
+        // arbitrary and must not fault the simulator.
+        switch (ins.op) {
+        case opcode::ldr:
+          value = memory_.read32(address & ~3U);
+          break;
+        case opcode::ldrb:
+          value = memory_.read8(address);
+          break;
+        case opcode::ldrh:
+          value = memory_.read16(address & ~1U);
+          break;
+        default:
+          break;
+        }
+        rs.mem_word = memory_.containing_word(address);
+      }
+      rename_dest(ins.rd, value);
+      write(ins.rd, value);
+      rs.is_load = true;
+      rs.result = value;
+      rs.sub_value = value;
+    } else {
+      const std::uint32_t data = read(ins.rd);
+      add_src(ins.rd);
+      if (exec) {
+        // Wrong-path stores write nothing — not memory, not a forwarding
+        // buffer (younger wrong-path loads see stale memory; documented
+        // simplification).  The MDR still observes the target word.
+        rs.mem_word = memory_.containing_word(address);
+        rs.sub_value =
+            ins.op == opcode::strb ? (data & 0xffU) : (data & 0xffffU);
+      }
+      rs.is_store = true;
+      rs.result = data;
+      entry.is_store = true;
+      entry.store_addr = address;
+      entry.value = data;
+      entry.has_value = true;
+    }
+    to_rs = true;
+  } else if (ins.op == opcode::mul || ins.op == opcode::mla) {
+    add_src(ins.rn);
+    add_src(ins.op2.rm);
+    std::uint32_t acc = 0;
+    if (ins.op == opcode::mla) {
+      add_src(ins.ra);
+      acc = read(ins.ra);
+    }
+    if (isa::reads_flags(ins)) {
+      wait_flags();
+    }
+    if (ins.cond != isa::condition::al) {
+      add_src(ins.rd);
+    }
+    rs.is_mul = true;
+    rs.needs_alu0 = true;
+    rs.squashed = !exec;
+    const std::uint32_t result =
+        exec ? read(ins.rn) * read(ins.op2.rm) + acc : read(ins.rd);
+    rename_dest(ins.rd, result);
+    write(ins.rd, result);
+    if (ins.set_flags) {
+      if (exec) {
+        spec_flags_.n = (result >> 31) != 0;
+        spec_flags_.z = result == 0;
+      }
+      flags_producer_slot_ = rob_slot; // restored from the checkpoint
+    }
+    rs.result = result;
+    to_rs = true;
+  } else {
+    const bool has_rn = !(ins.op == opcode::mov || ins.op == opcode::mvn ||
+                          ins.op == opcode::movw || ins.op == opcode::movt);
+    std::uint32_t rn_value = 0;
+    if (has_rn) {
+      add_src(ins.rn);
+      rn_value = read(ins.rn);
+    }
+
+    std::uint32_t result = 0;
+    alu_result dp{};
+    bool writes_result = true;
+    bool flags_op = false;
+    if (ins.op == opcode::movw) {
+      result = ins.imm16;
+    } else if (ins.op == opcode::movt) {
+      add_src(ins.rd);
+      result = (read(ins.rd) & 0xffffU) |
+               (static_cast<std::uint32_t>(ins.imm16) << 16);
+    } else {
+      const operand2_value op2 = eval_operand2(ins, read, spec_flags_.c);
+      if (ins.op2.k == isa::operand2::kind::reg_shifted) {
+        add_src(ins.op2.rm);
+        if (ins.op2.shift.by_register) {
+          add_src(ins.op2.shift.amount_reg);
+        }
+      }
+      rs.used_shifter = op2.used_shifter;
+      rs.shift_value = op2.value;
+      rs.needs_alu0 = op2.used_shifter;
+      dp = execute_dp(ins.op, rn_value, op2.value, op2.carry, spec_flags_);
+      result = dp.value;
+      writes_result = dp.writes_result;
+      flags_op = isa::writes_flags(ins);
+    }
+
+    if (isa::reads_flags(ins)) {
+      wait_flags();
+    }
+    rs.squashed = !exec;
+    if (writes_result) {
+      if (ins.cond != isa::condition::al && ins.op != opcode::movt) {
+        add_src(ins.rd);
+      }
+      const std::uint32_t committed = exec ? result : read(ins.rd);
+      rename_dest(ins.rd, committed);
+      write(ins.rd, committed);
+      rs.result = committed;
+    }
+    if (flags_op) {
+      if (exec) {
+        spec_flags_ = dp.f;
+      }
+      flags_producer_slot_ = rob_slot;
+    }
+    to_rs = true;
+  }
+
+  rob_[rob_slot] = entry;
+  ++rob_count_;
+  if (to_rs) {
+    dispatch_to_rs(rs, rob_slot);
+  }
+  ++next_seq_;
+  ++wrong_path_renamed_;
+
+  spec_pc_ = next_pc;
+  if (next_pc >= prog_->code.size()) {
+    spec_fetch_done_ = true; // wrong path ran off the program's end
+    return rename_result::accepted_stop;
+  }
+  return rename_result::accepted;
+}
+
+void ooo_core::resolve_mispredict() {
+  // Walk the ROB tail back to (exclusive) the mispredicted branch,
+  // youngest first: each step undoes one rename (RAT mapping via the
+  // old_preg chain, physical register back to the free list).  Pushing
+  // youngest-first restores the free list's exact stack order.
+  const auto branch_slot = static_cast<std::size_t>(spec_branch_slot_);
+  while (rob_count_ > 0) {
+    const std::size_t tail = (rob_head_ + rob_count_ - 1) % rob_.size();
+    if (tail == branch_slot) {
+      break;
+    }
+    rob_entry& e = rob_[tail];
+    if (e.dest_arch != no_reg) {
+      rat_[e.dest_arch] = e.old_preg;
+      preg_ready_[e.dest_preg] = 1;
+      if (fast_) {
+        preg_waiters_[e.dest_preg].clear();
+      }
+      free_pregs_.push_back(e.dest_preg);
+    }
+    if (fast_) {
+      rob_flag_waiters_[tail].clear();
+    }
+    e = rob_entry{};
+    --rob_count_;
+  }
+
+  // Purge wrong-path reservation-station entries (everything younger
+  // than the branch) and their scheduler bookkeeping.
+  for (std::size_t slot = 0; slot < rs_.size(); ++slot) {
+    rs_entry& rs = rs_[slot];
+    if (rs.busy && rs.seq > spec_branch_seq_) {
+      rs.busy = false;
+      --rs_used_;
+      if (fast_) {
+        rs_busy_mask_ &= ~(std::uint64_t{1} << slot);
+        ready_mask_ &=
+            ~(std::uint64_t{1} << (rs.seq & (age_ring_size - 1)));
+      }
+    }
+  }
+  if (fast_) {
+    // Drop purged slots from surviving producers' waiter lists (a
+    // wrong-path µop can wait on a correct-path result).  At this point
+    // every subscribed slot is either still busy (live) or just purged,
+    // so the busy flag is the exact membership test.
+    for (auto& waiters : preg_waiters_) {
+      if (!waiters.empty()) {
+        std::erase_if(waiters, [this](std::uint16_t w) {
+          return !rs_[w >> 2].busy;
+        });
+      }
+    }
+    for (auto& waiters : rob_flag_waiters_) {
+      if (!waiters.empty()) {
+        std::erase_if(waiters, [this](std::uint8_t rs_slot) {
+          return !rs_[rs_slot].busy;
+        });
+      }
+    }
+    const auto purge_exec = [this](std::vector<exec_entry>& entries) {
+      for (std::size_t i = 0; i < entries.size();) {
+        if (entries[i].seq > spec_branch_seq_) {
+          entries[i] = entries.back();
+          entries.pop_back();
+          --exec_in_flight_;
+        } else {
+          ++i;
+        }
+      }
+    };
+    for (auto& bucket : exec_wheel_) {
+      purge_exec(bucket);
+    }
+    purge_exec(exec_far_);
+    // pending_bcast_ entries already left the wheel (and its in-flight
+    // count); they just lose their CDB slot.
+    std::erase_if(pending_bcast_, [this](const exec_entry& ex) {
+      return ex.seq > spec_branch_seq_;
+    });
+  } else {
+    std::erase_if(exec_, [this](const exec_entry& ex) {
+      return ex.seq > spec_branch_seq_;
+    });
+  }
+
+  // The flag producer reverts to the checkpointed one — unless that
+  // entry has retired (possibly letting the slot be reused), which the
+  // recorded seq detects; then there is nothing to wait on.
+  flags_producer_slot_ = no_slot;
+  if (ckpt_flags_slot_ != no_slot) {
+    const std::size_t pos =
+        (static_cast<std::size_t>(ckpt_flags_slot_) + rob_.size() -
+         rob_head_) %
+        rob_.size();
+    if (pos < rob_count_ && rob_[ckpt_flags_slot_].seq == ckpt_flags_seq_) {
+      flags_producer_slot_ = ckpt_flags_slot_;
+    }
+  }
+
+  // The branch resolves: it may now retire, wrong-path sequence numbers
+  // are reused by the correct path (the fast scheduler's age ring needs
+  // the in-flight seq window to stay dense), and fetch resumes from the
+  // architectural pc, which always held the correct next index.
+  rob_[branch_slot].completed = true;
+  next_seq_ = spec_branch_seq_ + 1;
+  wrong_path_ = false;
+  spec_fetch_done_ = false;
+  spec_branch_slot_ = no_slot;
+  cycle_dirty_ = true;
+}
+
 void ooo_core::rename_stage() {
   if (frontend_done_ || cycle_ < fetch_ready_) {
     return;
   }
-  if (state_.pc >= prog_->code.size()) {
+  if (!wrong_path_ && state_.pc >= prog_->code.size()) {
     frontend_done_ = true; // fell off the end without a halt
     return;
   }
   int renamed_now = 0;
-  while (renamed_now < config_.ooo.rename_width &&
-         state_.pc < prog_->code.size()) {
-    const rename_result r = rename_one(renamed_now);
+  while (renamed_now < config_.ooo.rename_width) {
+    rename_result r;
+    if (wrong_path_) [[unlikely]] {
+      // The front end cannot tell it mispredicted: fetch continues down
+      // the predicted path — possibly in the same rename group as the
+      // branch — until the resolve-cycle flush.
+      if (spec_fetch_done_) {
+        break;
+      }
+      r = rename_one_wrong_path(renamed_now);
+    } else {
+      if (state_.pc >= prog_->code.size()) {
+        break;
+      }
+      r = rename_one(renamed_now);
+    }
     if (r == rename_result::stall) {
       break;
     }
@@ -1162,6 +1721,11 @@ std::uint64_t ooo_core::next_event_cycle() const noexcept {
   if (mul_busy_until_ > cycle_) {
     next = std::min(next, mul_busy_until_);
   }
+  if (wrong_path_) {
+    // The recovery flush is a scheduled event: a fully stalled wrong
+    // path (parked fetch, empty pipeline) must still wake up to resolve.
+    next = std::min(next, spec_resolve_at_);
+  }
   return next == ~std::uint64_t{0} ? cycle_ + 1 : next;
 }
 
@@ -1170,6 +1734,12 @@ bool ooo_core::step_cycle() {
     return false;
   }
   cycle_dirty_ = false;
+  if (wrong_path_ && cycle_ >= spec_resolve_at_) [[unlikely]] {
+    // The branch resolves at the top of the cycle: the flush happens
+    // before retirement (the resolved branch may commit this cycle) and
+    // before rename (correct-path fetch restarts this cycle).
+    resolve_mispredict();
+  }
   retire_stage();
   if (state_.halted) {
     ++cycle_;

@@ -72,6 +72,7 @@
 #include "sim/backend.h"
 #include "sim/cpu_state.h"
 #include "sim/micro_arch_config.h"
+#include "sim/ooo/speculation.h"
 #include "sim/program_image.h"
 #include "sim/uarch_activity.h"
 
@@ -123,6 +124,16 @@ public:
   }
   /// Instructions committed at the head of the ROB.
   std::uint64_t instructions_retired() const noexcept { return retired_; }
+  /// Branch mispredictions taken down the wrong path (0 under the
+  /// perfect predictor).
+  std::uint64_t mispredicts() const noexcept { return mispredicts_; }
+  /// Wrong-path µops renamed and later squashed by a recovery flush —
+  /// each one toggled fetch/rename/RS leakage components first.
+  std::uint64_t wrong_path_renamed() const noexcept {
+    return wrong_path_renamed_;
+  }
+  /// The speculation block actually in effect (config + env override).
+  const speculation_config& speculation() const noexcept { return spec_; }
   /// Cycles in which the rename stage accepted more than one instruction
   /// (the OoO analogue of dual-issue pairs).
   std::uint64_t multi_rename_cycles() const noexcept {
@@ -229,6 +240,24 @@ private:
   /// Architectural execution + rename bookkeeping of one instruction.
   rename_result rename_one(int slot);
 
+  // --- speculation (active only when spec_enabled_) --------------------
+  /// Correct-path branch: queries/updates the predictor, emits bp_table/
+  /// btb_port activity, and starts a wrong-path episode on a mispredict.
+  /// `actual_next` is the architecturally resolved next pc.
+  void predict_branch(const isa::instruction& ins, std::size_t pc_index,
+                      bool exec, std::size_t actual_next,
+                      std::uint32_t rob_slot, std::uint32_t seq);
+  /// Rename of one wrong-path µop: structurally identical to rename_one
+  /// (ROB/RAT/RS allocation, full activity emission) but reads/writes the
+  /// shadow register view and NEVER touches architectural state/memory.
+  rename_result rename_one_wrong_path(int slot);
+  /// Recovery flush at branch resolution: walks the ROB tail back to the
+  /// mispredicted branch restoring RAT/free-list/ready state, purges
+  /// younger RS/exec/waiter entries, and resumes correct-path fetch.
+  void resolve_mispredict();
+  void emit_bp_table(std::uint8_t lane, std::uint32_t value);
+  void emit_btb_port(std::uint8_t lane, std::uint32_t value);
+
   bool rs_ready(const rs_entry& rs) const noexcept;
   /// Unit/port eligibility shared by both select implementations (the
   /// readiness check differs: reference re-derives it, fast reads the
@@ -314,10 +343,40 @@ private:
   std::uint32_t mdr_state_ = 0;
   std::uint32_t align_buffer_state_ = 0;
 
+  // Speculation state (inert under the default perfect predictor: the
+  // hot correct path only ever tests spec_enabled_ / wrong_path_).
+  speculation_config spec_;
+  branch_predictor predictor_;
+  bool spec_enabled_ = false;
+  bool wrong_path_ = false;      ///< front end is fetching the wrong path
+  bool spec_fetch_done_ = false; ///< wrong-path fetch ran off a cliff
+  std::size_t spec_pc_ = 0;      ///< wrong-path fetch index
+  std::uint32_t spec_branch_slot_ = no_slot; ///< mispredicted branch (ROB)
+  std::uint32_t spec_branch_seq_ = 0;
+  std::uint64_t spec_resolve_at_ = 0; ///< cycle the recovery flush runs
+  /// Checkpointed flag-producer (slot + seq; the seq validates that the
+  /// slot has not retired and been reused by the time the flush restores
+  /// it).  The RAT needs no checkpoint: the ROB walk restores it through
+  /// the old_preg chain.
+  std::uint32_t ckpt_flags_slot_ = no_slot;
+  std::uint32_t ckpt_flags_seq_ = 0;
+  /// Shadow register view the wrong path executes against (seeded from
+  /// the architectural state at the mispredict): wrong-path dataflow is
+  /// exact — a wrong-path load's result feeds the next wrong-path µop's
+  /// address, the Spectre gadget's second access — without ever writing
+  /// state_ or memory.  Wrong-path stores update nothing (no forwarding
+  /// to younger wrong-path loads; documented simplification).
+  std::array<std::uint32_t, isa::num_registers> spec_regs_{};
+  isa::flags spec_flags_{};
+  std::array<std::uint32_t, 2> bp_table_state_{};
+  std::array<std::uint32_t, 2> btb_port_state_{};
+
   std::uint64_t cycle_ = 0;
   std::uint64_t renamed_ = 0;
   std::uint64_t retired_ = 0;
   std::uint64_t multi_rename_cycles_ = 0;
+  std::uint64_t mispredicts_ = 0;
+  std::uint64_t wrong_path_renamed_ = 0;
   /// Cycles the fast scheduler jumped over as idle; accumulated here in
   /// the per-cycle loop and flushed to telemetry once per run().
   std::uint64_t idle_skipped_ = 0;

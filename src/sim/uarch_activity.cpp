@@ -34,6 +34,10 @@ std::string_view component_name(component c) noexcept {
     return "CDB";
   case component::rob_retire_port:
     return "ROB retire port";
+  case component::bp_table:
+    return "BP table";
+  case component::btb_port:
+    return "BTB/RSB port";
   }
   return "?";
 }

@@ -40,6 +40,14 @@
 //                               broadcast to the RS and the PRF
 //   rob_retire_port lanes 0..w  reorder-buffer retirement ports: values
 //                               committed in order at the head of the ROB
+//
+// Front-end speculation structures (emitted only when the speculation
+// config selects a real predictor; see sim/ooo/speculation.h):
+//   bp_table        lane 0 read / lane 1 write   direction-predictor
+//                               table port (index + counter state)
+//   btb_port        lane 0 BTB / lane 1 RSB      target-carrying ports:
+//                               predicted/installed branch targets and
+//                               return addresses
 #ifndef USCA_SIM_UARCH_ACTIVITY_H
 #define USCA_SIM_UARCH_ACTIVITY_H
 
@@ -65,9 +73,14 @@ enum class component : std::uint8_t {
   rs_tag_bus,
   cdb,
   rob_retire_port,
+  // Front-end speculation structures (sim/ooo/speculation.h); silent
+  // under the default perfect predictor, so traces recorded before
+  // these components existed stay bit-identical.
+  bp_table,
+  btb_port,
 };
 
-constexpr std::size_t component_count = 14;
+constexpr std::size_t component_count = 16;
 
 std::string_view component_name(component c) noexcept;
 

@@ -74,6 +74,63 @@ TEST(AesCodegen, PipelineMatchesGolden) {
   }
 }
 
+TEST(AesCodegen, BranchyVariantMatchesGolden) {
+  const aes_program_layout layout = generate_aes128_branchy_program();
+  util::xoshiro256 rng(99);
+  for (int i = 0; i < 10; ++i) {
+    const aes_key key = random_block(rng);
+    const aes_block pt = random_block(rng);
+    sim::functional_executor exec(layout.prog);
+    install_aes_inputs(exec.memory(), layout, expand_key(key), pt);
+    exec.run();
+    ASSERT_EQ(read_aes_state(exec.memory(), layout), encrypt_block(pt, key))
+        << "iteration " << i;
+  }
+}
+
+TEST(AesCodegen, PerRoundMarksCoverAllTenRounds) {
+  const aes_program_layout layout = generate_aes128_program();
+  sim::pipeline pipe(layout.prog, sim::cortex_a7());
+  pipe.set_record_activity(false);
+  install_aes_inputs(pipe.memory(), layout, expand_key(aes_key{}),
+                     aes_block{});
+  pipe.warm_caches();
+  pipe.run();
+  // Every round/phase boundary is stamped exactly once, in order.
+  std::uint64_t prev = 0;
+  for (int round = 1; round <= 10; ++round) {
+    for (const auto phase :
+         {aes_round_phase::sub_bytes, aes_round_phase::shift_rows,
+          aes_round_phase::mix_columns, aes_round_phase::add_round_key}) {
+      if (round == 10 && phase == aes_round_phase::mix_columns) {
+        continue; // the final round has no MixColumns
+      }
+      const std::uint16_t id = aes_round_phase_mark(round, phase);
+      std::size_t hits = 0;
+      std::uint64_t cycle = 0;
+      for (const auto& m : pipe.marks()) {
+        if (m.id == id) {
+          ++hits;
+          cycle = m.cycle;
+        }
+      }
+      ASSERT_EQ(hits, 1u) << "round " << round << " phase "
+                          << static_cast<int>(phase);
+      EXPECT_GT(cycle, prev);
+      prev = cycle;
+    }
+  }
+  // Round-1 phases resolve to the legacy Figure 3 ids.
+  EXPECT_EQ(aes_round_phase_mark(1, aes_round_phase::sub_bytes),
+            mark_sb1_end);
+  EXPECT_EQ(aes_round_phase_mark(1, aes_round_phase::mix_columns),
+            mark_round1_end);
+  EXPECT_EQ(aes_round_phase_mark(10, aes_round_phase::add_round_key),
+            mark_encrypt_end);
+  EXPECT_EQ(aes_round_phase_mark(0, aes_round_phase::add_round_key),
+            mark_ark0_end);
+}
+
 TEST(AesCodegen, MarksDelimitTheFirstRound) {
   const aes_program_layout layout = generate_aes128_program();
   sim::pipeline pipe(layout.prog, sim::cortex_a7());
